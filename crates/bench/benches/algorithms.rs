@@ -1,0 +1,97 @@
+//! Benchmarks of the optimal algorithms.
+//!
+//! * Algorithm 1 (`O(m^2)`) vs Smith's greedy (`O(m log m)`) across tree
+//!   sizes — the price of shared-stream optimality;
+//! * the depth-first branch-and-bound, with and without its pruning
+//!   reductions (the DESIGN.md ablation, as a timing benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_core::algo::exhaustive::{dnf_search, SearchOptions};
+use paotr_core::algo::{greedy, smith};
+use paotr_gen::{fig4_grid, random_and_instance, random_dnf_instance, AndConfig, DnfConfig,
+                ParamDistributions, Shape};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn bench_and_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_tree_scheduling");
+    let dist = ParamDistributions::paper();
+    for m in [5usize, 20, 100, 500] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let (tree, catalog) =
+            random_and_instance(AndConfig { leaves: m, rho: 2.0 }, &dist, &mut rng);
+        group.bench_with_input(BenchmarkId::new("algorithm_1", m), &tree, |b, tree| {
+            b.iter(|| black_box(greedy::schedule(tree, &catalog)))
+        });
+        group.bench_with_input(BenchmarkId::new("smith", m), &tree, |b, tree| {
+            b.iter(|| black_box(smith::schedule(tree, &catalog)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dnf_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_branch_and_bound");
+    group.sample_size(10);
+    let dist = ParamDistributions::paper();
+    let mut rng = StdRng::seed_from_u64(31337);
+    let inst = random_dnf_instance(
+        DnfConfig { terms: 4, shape: Shape::TotalWithCap { total: 12, cap: 4 }, rho: 2.0 },
+        &dist,
+        &mut rng,
+    );
+    let incumbent = paotr_core::algo::heuristics::best_of_paper_set(&inst.tree, &inst.catalog, 1).1;
+    for (name, opts) in [
+        (
+            "full_reductions",
+            SearchOptions { incumbent: incumbent * (1.0 + 1e-9), ..Default::default() },
+        ),
+        (
+            "no_prop1",
+            SearchOptions {
+                prop1_ordering: false,
+                incumbent: incumbent * (1.0 + 1e-9),
+                ..Default::default()
+            },
+        ),
+        ("no_incumbent", SearchOptions::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
+            b.iter(|| black_box(dnf_search(&inst.tree, &inst.catalog, opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_config_sweep(c: &mut Criterion) {
+    // One full Figure-4 grid cell: generate + schedule both ways +
+    // evaluate, for 100 instances (1/10 of the paper's per-cell count).
+    let grid = fig4_grid();
+    let config = grid[grid.len() - 1]; // m = 20, rho = 10
+    let dist = ParamDistributions::paper();
+    c.bench_function("fig4_cell_m20_rho10_x100", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..100u64 {
+                let mut rng = StdRng::seed_from_u64(i);
+                let (tree, catalog) = random_and_instance(config, &dist, &mut rng);
+                let (_, opt) = greedy::schedule_with_cost(&tree, &catalog);
+                let ro = paotr_core::cost::and_eval::expected_cost(
+                    &tree,
+                    &catalog,
+                    &smith::schedule(&tree, &catalog),
+                );
+                total += ro / opt.max(1e-300);
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_and_schedulers,
+    bench_dnf_branch_and_bound,
+    bench_fig4_config_sweep
+);
+criterion_main!(benches);

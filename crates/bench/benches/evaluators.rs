@@ -1,0 +1,104 @@
+//! Benchmarks of the schedule cost evaluators.
+//!
+//! Verifies the complexity story of Section IV-A: the Proposition 2
+//! evaluator is `O(|L| * D * N^2)`-ish, the literal transcription pays a
+//! constant-factor penalty over the incremental one, and the closed-form
+//! AND evaluator is linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_core::cost::{and_eval, dnf_eval, DnfCostEvaluator};
+use paotr_core::prelude::*;
+use paotr_gen::{random_dnf_instance, DnfConfig, ParamDistributions, Shape};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn instance(terms: usize, per_term: usize, rho: f64, seed: u64) -> DnfInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_dnf_instance(
+        DnfConfig { terms, shape: Shape::PerTerm(per_term), rho },
+        &ParamDistributions::paper(),
+        &mut rng,
+    )
+}
+
+fn bench_dnf_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_expected_cost");
+    for (n, m) in [(2usize, 5usize), (5, 10), (10, 20)] {
+        let inst = instance(n, m, 2.0, 42);
+        let schedule = DnfSchedule::declaration_order(&inst.tree);
+        group.bench_with_input(
+            BenchmarkId::new("literal_prop2", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(dnf_eval::expected_cost(
+                        &inst.tree,
+                        &inst.catalog,
+                        black_box(&schedule),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(dnf_eval::expected_cost_fast(
+                        &inst.tree,
+                        &inst.catalog,
+                        black_box(&schedule),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_clone(c: &mut Criterion) {
+    // The branch-and-bound clones an evaluator per surviving child; clone
+    // cost is therefore part of the search's inner loop.
+    let inst = instance(5, 10, 2.0, 7);
+    let mut eval = DnfCostEvaluator::new(&inst.tree, &inst.catalog);
+    for r in inst.tree.leaf_refs().take(25) {
+        eval.push(r);
+    }
+    c.bench_function("evaluator_clone_5x10_half_full", |b| {
+        b.iter(|| black_box(eval.clone()))
+    });
+}
+
+fn bench_and_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_expected_cost");
+    for m in [5usize, 20, 100] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let catalog = StreamCatalog::from_costs((0..4).map(|_| rng.gen_range(1.0..10.0)))
+            .expect("valid costs");
+        let tree = AndTree::new(
+            (0..m)
+                .map(|_| {
+                    Leaf::raw(
+                        StreamId(rng.gen_range(0..4)),
+                        rng.gen_range(1..=5),
+                        Prob::new(rng.gen_range(0.0..1.0)).expect("valid"),
+                    )
+                })
+                .collect(),
+        )
+        .expect("non-empty");
+        let schedule = AndSchedule::identity(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &tree, |b, tree| {
+            b.iter(|| black_box(and_eval::expected_cost(tree, &catalog, black_box(&schedule))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dnf_evaluators,
+    bench_incremental_clone,
+    bench_and_evaluator
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! One benchmark per paper figure: each measures the full per-instance
+//! pipeline the corresponding experiment runs, on a representative batch.
+//! (The `paotr-experiments` binary regenerates the figures themselves;
+//! these benches track the cost of doing so.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paotr_core::algo::exhaustive::{dnf_search, SearchOptions};
+use paotr_core::algo::heuristics::paper_set;
+use paotr_core::algo::{greedy, smith};
+use paotr_core::cost::and_eval;
+use paotr_gen::{fig4_instance, fig5_instance, fig6_instance};
+use std::hint::black_box;
+
+/// Figure 4 pipeline: generate instance, schedule with both algorithms,
+/// evaluate both schedules. Batch of 50 instances across the grid.
+fn bench_fig4_pipeline(c: &mut Criterion) {
+    c.bench_function("fig4_pipeline_x50", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                let (tree, catalog) = fig4_instance(i * 3 % 157, i);
+                let (_, opt) = greedy::schedule_with_cost(&tree, &catalog);
+                let ro =
+                    and_eval::expected_cost(&tree, &catalog, &smith::schedule(&tree, &catalog));
+                acc += ro / opt.max(1e-300);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Figure 5 pipeline: ten heuristics + exact optimum per instance.
+/// Batch of 10 small instances (bounded node budget).
+fn bench_fig5_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let heuristics = paper_set(1);
+    group.bench_function("pipeline_x10", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10 {
+                let inst = fig5_instance(i * 21 % 216, i);
+                let costs: Vec<f64> = heuristics
+                    .iter()
+                    .map(|h| h.schedule_with_cost(&inst.tree, &inst.catalog).1)
+                    .collect();
+                let incumbent = costs.iter().copied().fold(f64::INFINITY, f64::min);
+                let r = dnf_search(
+                    &inst.tree,
+                    &inst.catalog,
+                    SearchOptions {
+                        incumbent: incumbent * (1.0 + 1e-9),
+                        node_limit: 200_000,
+                        ..Default::default()
+                    },
+                );
+                acc += r.cost.min(incumbent);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Figure 6 pipeline: ten heuristics per large instance. Batch of 5.
+fn bench_fig6_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let heuristics = paper_set(1);
+    group.bench_function("pipeline_x5", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..5 {
+                let inst = fig6_instance(i * 61 % 324, i);
+                for h in &heuristics {
+                    acc += h.schedule_with_cost(&inst.tree, &inst.catalog).1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_pipeline, bench_fig5_pipeline, bench_fig6_pipeline);
+criterion_main!(benches);

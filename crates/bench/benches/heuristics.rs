@@ -1,0 +1,67 @@
+//! Benchmarks of the ten DNF heuristics, including the paper's STAT6
+//! runtime claim: scheduling a 10-AND x 20-leaf tree took the authors
+//! "less than 5 seconds on a 1.86 GHz core" with the best heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_core::algo::heuristics::paper_set;
+use paotr_core::prelude::*;
+use paotr_gen::{random_dnf_instance, DnfConfig, ParamDistributions, Shape};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn instance(terms: usize, per_term: usize) -> DnfInstance {
+    let mut rng = StdRng::seed_from_u64((terms * 1000 + per_term) as u64);
+    random_dnf_instance(
+        DnfConfig { terms, shape: Shape::PerTerm(per_term), rho: 2.0 },
+        &ParamDistributions::paper(),
+        &mut rng,
+    )
+}
+
+fn bench_all_heuristics_small(c: &mut Criterion) {
+    let inst = instance(4, 4);
+    let mut group = c.benchmark_group("heuristics_4x4");
+    for h in paper_set(1) {
+        group.bench_with_input(BenchmarkId::from_parameter(h.name()), &h, |b, h| {
+            b.iter(|| black_box(h.schedule(&inst.tree, &inst.catalog)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_heuristic_10x20(c: &mut Criterion) {
+    // STAT6: the paper's 10 ANDs x 20 leaves workload.
+    let inst = instance(10, 20);
+    let h = Heuristic::AndIncCOverPDynamic;
+    c.bench_function("stat6_and_ord_inc_cp_dyn_10x20", |b| {
+        b.iter(|| black_box(h.schedule(&inst.tree, &inst.catalog)))
+    });
+}
+
+fn bench_heuristic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_heuristic_scaling");
+    group.sample_size(20);
+    for (n, m) in [(2usize, 5usize), (5, 10), (10, 20), (16, 25)] {
+        let inst = instance(n, m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        Heuristic::AndIncCOverPDynamic.schedule(&inst.tree, &inst.catalog),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_heuristics_small,
+    bench_reference_heuristic_10x20,
+    bench_heuristic_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks of the parallel-map substrate: dispatch overhead and
+//! scaling against the serial baseline on experiment-shaped workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_core::algo::greedy;
+use paotr_gen::{random_and_instance, AndConfig, ParamDistributions};
+use paotr_par::ThreadCount;
+use rand::prelude::*;
+use std::hint::black_box;
+
+/// The per-task body used by the Figure 4 sweep.
+fn fig4_task(i: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(i as u64);
+    let (tree, catalog) = random_and_instance(
+        AndConfig { leaves: 20, rho: 2.0 },
+        &ParamDistributions::paper(),
+        &mut rng,
+    );
+    greedy::schedule_with_cost(&tree, &catalog).1
+}
+
+fn bench_par_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_tasks_fig4_x256");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out =
+                        paotr_par::par_tasks(256, ThreadCount::Fixed(threads), fig4_task);
+                    black_box(out.iter().sum::<f64>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    // Tiny tasks measure scheduling overhead per item.
+    c.bench_function("par_tasks_trivial_x10000", |b| {
+        b.iter(|| {
+            let out = paotr_par::par_tasks(10_000, ThreadCount::Fixed(2), |i| i as u64 * 2);
+            black_box(out.last().copied())
+        })
+    });
+}
+
+criterion_group!(benches, bench_par_tasks, bench_dispatch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+// Criterion benches live under benches/.

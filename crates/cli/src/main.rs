@@ -1,0 +1,130 @@
+//! `paotr` — command-line front end for the PAOTR library.
+//!
+//! ```text
+//! paotr schedule "(AVG(A,5) < 70 @0.6 AND MAX(B,4) > 100 @0.2) OR C < 3 @0.5" \
+//!       [--costs A=1,B=2.5,C=8] [--heuristic NAME | --all | --optimal]
+//! paotr explain  "<query>" [--costs ...]      # heuristic metrics per leaf/AND/stream
+//! paotr simulate "<query>" [--costs ...] [--evals N] [--retain]
+//! ```
+//!
+//! Probabilities come from `@` annotations (default 0.5). Stream costs
+//! default to 1.0.
+
+mod explain;
+mod schedule_cmd;
+mod simulate_cmd;
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "schedule" => schedule_cmd::run(rest),
+        "explain" => explain::run(rest),
+        "simulate" => simulate_cmd::run(rest),
+        "--help" | "-h" | "help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "paotr — cost-optimal execution of boolean query trees with shared streams\n\n\
+         usage:\n\
+         \x20 paotr schedule \"<query>\" [--costs A=1,B=2] [--heuristic NAME | --all | --optimal]\n\
+         \x20 paotr explain  \"<query>\" [--costs A=1,B=2]\n\
+         \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\n\
+         query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
+         \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
+         heuristic names: stream-ordered, leaf-random, leaf-dec-q, leaf-inc-c,\n\
+         \x20 leaf-inc-cq, and-dec-p, and-inc-c-stat, and-inc-cp-stat,\n\
+         \x20 and-inc-c-dyn, and-inc-cp-dyn (default)"
+    );
+}
+
+/// Shared argument plumbing for the subcommands.
+pub(crate) struct CommonArgs {
+    pub query: String,
+    pub costs: HashMap<String, f64>,
+    pub rest: Vec<(String, Option<String>)>,
+}
+
+pub(crate) fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let Some((query, flags)) = args.split_first() else {
+        return Err("expected a query string".into());
+    };
+    if query.starts_with("--") {
+        return Err("the query string must come before flags".into());
+    }
+    let mut costs = HashMap::new();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < flags.len() {
+        let flag = &flags[i];
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected argument `{flag}`"));
+        }
+        let value = flags.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+        if flag == "--costs" {
+            let spec = value.clone().ok_or("--costs expects e.g. A=1,B=2.5")?;
+            for pair in spec.split(',') {
+                let (name, cost) =
+                    pair.split_once('=').ok_or_else(|| format!("bad cost `{pair}`"))?;
+                let cost: f64 =
+                    cost.parse().map_err(|_| format!("bad cost value `{cost}`"))?;
+                costs.insert(name.trim().to_string(), cost);
+            }
+        } else {
+            rest.push((flag.clone(), value.clone()));
+        }
+        i += if value.is_some() { 2 } else { 1 };
+    }
+    Ok(CommonArgs { query: query.clone(), costs, rest })
+}
+
+/// Resolves a heuristic by CLI name.
+pub(crate) fn heuristic_by_name(
+    name: &str,
+    seed: u64,
+) -> Result<paotr_core::algo::heuristics::Heuristic, String> {
+    use paotr_core::algo::heuristics::Heuristic;
+    Ok(match name {
+        "stream-ordered" => Heuristic::StreamOrdered(Default::default()),
+        "leaf-random" => Heuristic::LeafRandom { seed },
+        "leaf-dec-q" => Heuristic::LeafDecQ,
+        "leaf-inc-c" => Heuristic::LeafIncC,
+        "leaf-inc-cq" => Heuristic::LeafIncCOverQ,
+        "and-dec-p" => Heuristic::AndDecP,
+        "and-inc-c-stat" => Heuristic::AndIncCStatic,
+        "and-inc-cp-stat" => Heuristic::AndIncCOverPStatic,
+        "and-inc-c-dyn" => Heuristic::AndIncCDynamic,
+        "and-inc-cp-dyn" => Heuristic::AndIncCOverPDynamic,
+        other => return Err(format!("unknown heuristic `{other}` (see --help)")),
+    })
+}
+
+/// Parses the query and compiles it against the cost table.
+pub(crate) fn compile(common: &CommonArgs) -> Result<(paotr_qlang::Expr, paotr_qlang::Compiled), String> {
+    let expr = paotr_qlang::parse(&common.query)
+        .map_err(|e| format!("\n{}", e.render(&common.query)))?;
+    let compiled = paotr_qlang::compile(&expr, &common.costs)
+        .map_err(|e| format!("\n{}", e.render(&common.query)))?;
+    Ok((expr, compiled))
+}

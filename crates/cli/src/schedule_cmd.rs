@@ -1,0 +1,76 @@
+//! `paotr schedule` — compute and price schedules for a query.
+
+use crate::{compile, heuristic_by_name, parse_common};
+use paotr_core::algo::exhaustive;
+use paotr_core::algo::heuristics::paper_set;
+use paotr_core::cost::dnf_eval;
+use paotr_core::tree::display;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let common = parse_common(args)?;
+    let (_, compiled) = compile(&common)?;
+    let Some(dnf) = compiled.tree.as_dnf() else {
+        // General trees: use the recursive heuristic.
+        let order = paotr_core::algo::general::schedule(&compiled.tree, &compiled.catalog);
+        println!("{}", display::render_query_tree(&compiled.tree));
+        println!("general AND-OR tree ({} leaves); recursive heuristic order:", order.len());
+        println!("  {:?}", order);
+        if compiled.tree.num_leaves() <= 12 {
+            let cost = paotr_core::algo::general::expected_cost(
+                &compiled.tree,
+                &compiled.catalog,
+                &order,
+            );
+            println!("  expected cost: {cost:.6}");
+        }
+        return Ok(());
+    };
+
+    println!("{}", display::render_dnf_named(&dnf, &compiled.catalog));
+    let mut which_all = false;
+    let mut which_optimal = false;
+    let mut heuristic_name = "and-inc-cp-dyn".to_string();
+    let mut seed = 42u64;
+    for (flag, value) in &common.rest {
+        match flag.as_str() {
+            "--all" => which_all = true,
+            "--optimal" => which_optimal = true,
+            "--heuristic" => {
+                heuristic_name = value.clone().ok_or("--heuristic expects a name")?;
+            }
+            "--seed" => {
+                seed = value
+                    .as_deref()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed expects an integer")?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let print_one = |name: &str, schedule: &paotr_core::schedule::DnfSchedule, cost: f64| {
+        println!("{name:<28} E[cost] = {cost:<10.4} {schedule}");
+    };
+
+    if which_all {
+        for h in paper_set(seed) {
+            let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
+            print_one(h.name(), &s, c);
+        }
+    } else {
+        let h = heuristic_by_name(&heuristic_name, seed)?;
+        let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
+        print_one(h.name(), &s, c);
+    }
+    if which_optimal || which_all {
+        if dnf.num_leaves() <= 24 {
+            let (s, c) = exhaustive::dnf_optimal(&dnf, &compiled.catalog);
+            let check = dnf_eval::expected_cost(&dnf, &compiled.catalog, &s);
+            debug_assert!((c - check).abs() < 1e-9);
+            print_one("OPTIMAL (exhaustive DF)", &s, c);
+        } else {
+            println!("(tree too large for the exhaustive optimum; {} leaves)", dnf.num_leaves());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Unit tests for CLI argument handling.
+
+use crate::{heuristic_by_name, parse_common};
+use paotr_core::algo::heuristics::Heuristic;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn parses_query_and_costs() {
+    let a = args(&["A < 1 AND B < 2", "--costs", "A=2,B=0.5"]);
+    let c = parse_common(&a).unwrap();
+    assert_eq!(c.query, "A < 1 AND B < 2");
+    assert_eq!(c.costs["A"], 2.0);
+    assert_eq!(c.costs["B"], 0.5);
+    assert!(c.rest.is_empty());
+}
+
+#[test]
+fn collects_unknown_flags_for_subcommands() {
+    let a = args(&["A < 1", "--heuristic", "leaf-inc-c", "--all"]);
+    let c = parse_common(&a).unwrap();
+    assert_eq!(c.rest.len(), 2);
+    assert_eq!(c.rest[0], ("--heuristic".to_string(), Some("leaf-inc-c".to_string())));
+    assert_eq!(c.rest[1], ("--all".to_string(), None));
+}
+
+#[test]
+fn rejects_missing_query() {
+    assert!(parse_common(&args(&[])).is_err());
+    assert!(parse_common(&args(&["--costs", "A=1"])).is_err());
+}
+
+#[test]
+fn rejects_malformed_costs() {
+    assert!(parse_common(&args(&["A < 1", "--costs", "A"])).is_err());
+    assert!(parse_common(&args(&["A < 1", "--costs", "A=x"])).is_err());
+}
+
+#[test]
+fn resolves_every_documented_heuristic_name() {
+    for name in [
+        "stream-ordered",
+        "leaf-random",
+        "leaf-dec-q",
+        "leaf-inc-c",
+        "leaf-inc-cq",
+        "and-dec-p",
+        "and-inc-c-stat",
+        "and-inc-cp-stat",
+        "and-inc-c-dyn",
+        "and-inc-cp-dyn",
+    ] {
+        assert!(heuristic_by_name(name, 1).is_ok(), "{name}");
+    }
+    assert!(heuristic_by_name("bogus", 1).is_err());
+    assert!(matches!(
+        heuristic_by_name("and-inc-cp-dyn", 1).unwrap(),
+        Heuristic::AndIncCOverPDynamic
+    ));
+}
+
+#[test]
+fn compile_reports_parse_errors_with_rendering() {
+    let a = args(&["A <"]);
+    let c = parse_common(&a).unwrap();
+    let err = crate::compile(&c).unwrap_err();
+    assert!(err.contains('^'), "rendered caret expected: {err}");
+}

@@ -1,0 +1,284 @@
+//! Expected cost of DNF schedules — Proposition 2 of the paper.
+//!
+//! In the shared model the memory content a leaf observes is *random*: it
+//! depends on which earlier leaves were actually evaluated. Section IV-A
+//! derives the expected cost of acquiring the `t`-th item of stream `S_k`
+//! at leaf `l_{i,j}` as a product of three probabilities:
+//!
+//! 1. no earlier leaf that is "first of its AND node to require item
+//!    `(k,t)`" (the set `L_{k,t}`) has been evaluated — otherwise the item
+//!    is already in memory;
+//! 2. no AND node that completed earlier evaluated to TRUE — otherwise the
+//!    query is already resolved (AND nodes with a leaf in `L_{k,t}` are
+//!    excluded: factor 1 already conditions on that leaf not having been
+//!    evaluated, which implies those AND nodes are FALSE);
+//! 3. every leaf before `l_{i,j}` inside its own AND node evaluated to
+//!    TRUE — otherwise `l_{i,j}` is short-circuited.
+//!
+//! This module is a *literal transcription* of that formula, using
+//! explicitly materialized `L_{k,t}` sets; it favours fidelity to the paper
+//! over speed. The production evaluator (same semantics, incremental,
+//! clonable for branch-and-bound) lives in [`crate::cost::incremental`];
+//! tests assert the two agree to machine precision, and both agree with
+//! assignment enumeration.
+
+use crate::leaf::LeafRef;
+use crate::schedule::DnfSchedule;
+use crate::stream::StreamCatalog;
+use crate::tree::DnfTree;
+
+/// One member of a set `L_{k,t}`: the first leaf of AND node `term` (in
+/// schedule order) that requires the `t`-th item of stream `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Member {
+    term: usize,
+    pos: usize,
+    /// Probability the leaf is reached within its AND node:
+    /// `prod` of `p` over same-term leaves scheduled before it.
+    eval_prob: f64,
+}
+
+/// Expected cost of `schedule` on `tree` — Proposition 2, literal form.
+pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSchedule) -> f64 {
+    let order = schedule.order();
+    let n_terms = tree.num_terms();
+    let n_streams = catalog.len();
+    let max_d = tree.max_items() as usize;
+
+    // Position of each leaf in the schedule.
+    let mut pos = vec![vec![0usize; 0]; n_terms];
+    for (i, t) in tree.terms().iter().enumerate() {
+        pos[i] = vec![usize::MAX; t.len()];
+    }
+    for (p, &r) in order.iter().enumerate() {
+        pos[r.term][r.leaf] = p;
+    }
+
+    // eval_prob[r] = prod of p over same-term leaves scheduled before r.
+    let mut eval_prob = vec![vec![1.0f64; 0]; n_terms];
+    for (i, t) in tree.terms().iter().enumerate() {
+        eval_prob[i] = vec![1.0; t.len()];
+    }
+    {
+        let mut running = vec![1.0f64; n_terms];
+        for &r in order {
+            eval_prob[r.term][r.leaf] = running[r.term];
+            running[r.term] *= tree.leaf(r).prob.value();
+        }
+    }
+
+    // Position after which each AND node is fully scheduled, and its
+    // success probability (product of all its leaf probabilities).
+    let completed_pos: Vec<usize> = (0..n_terms)
+        .map(|i| pos[i].iter().copied().max().expect("terms are non-empty"))
+        .collect();
+    let term_success: Vec<f64> =
+        tree.terms().iter().map(|t| t.success_prob().value()).collect();
+
+    // Materialize L_{k,t}: members[k][t-1] = the first leaf of each AND
+    // node (in schedule order) requiring the t-th item of stream k.
+    let mut members: Vec<Vec<Vec<Member>>> = vec![vec![Vec::new(); max_d]; n_streams];
+    for (i, term) in tree.terms().iter().enumerate() {
+        // leaves of term i grouped by stream, in schedule order
+        let mut by_stream: Vec<Vec<LeafRef>> = vec![Vec::new(); n_streams];
+        let mut refs: Vec<LeafRef> =
+            (0..term.len()).map(|j| LeafRef::new(i, j)).collect();
+        refs.sort_by_key(|r| pos[r.term][r.leaf]);
+        for r in refs {
+            by_stream[tree.leaf(r).stream.0].push(r);
+        }
+        for (k, leaves) in by_stream.iter().enumerate() {
+            let mut covered = 0u32;
+            for &r in leaves {
+                let d = tree.leaf(r).items;
+                for t in (covered + 1)..=d.max(covered) {
+                    members[k][(t - 1) as usize].push(Member {
+                        term: i,
+                        pos: pos[r.term][r.leaf],
+                        eval_prob: eval_prob[r.term][r.leaf],
+                    });
+                }
+                covered = covered.max(d);
+            }
+        }
+    }
+
+    // Sum C_{i,j,t} over all leaves and items.
+    let mut total = 0.0;
+    for &r in order {
+        let leaf = tree.leaf(r);
+        let k = leaf.stream.0;
+        let my_pos = pos[r.term][r.leaf];
+        let f3 = eval_prob[r.term][r.leaf];
+        let unit = catalog.cost(leaf.stream);
+        for t in 1..=leaf.items {
+            let set = &members[k][(t - 1) as usize];
+            // First case of Proposition 2: a same-term leaf in L_{k,t}
+            // precedes l_{i,j} -> the item is free (either already in
+            // memory, or l_{i,j} is short-circuited).
+            let same_term_earlier = set
+                .iter()
+                .any(|m| m.term == r.term && m.pos < my_pos);
+            if same_term_earlier {
+                continue;
+            }
+            // Factor 1: none of the earlier L_{k,t} members was evaluated.
+            let f1: f64 = set
+                .iter()
+                .filter(|m| m.pos < my_pos)
+                .map(|m| 1.0 - m.eval_prob)
+                .product();
+            // Factor 2: no fully-evaluated AND node (without a leaf in
+            // L_{k,t}) evaluated to TRUE.
+            let f2: f64 = (0..tree.num_terms())
+                .filter(|&a| completed_pos[a] < my_pos)
+                .filter(|&a| !set.iter().any(|m| m.term == a))
+                .map(|a| 1.0 - term_success[a])
+                .product();
+            total += f1 * f2 * f3 * unit;
+        }
+    }
+    total
+}
+
+/// Expected cost via the incremental evaluator (same semantics, faster).
+/// See [`crate::cost::incremental::DnfCostEvaluator`].
+pub fn expected_cost_fast(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    schedule: &DnfSchedule,
+) -> f64 {
+    let mut eval = crate::cost::incremental::DnfCostEvaluator::new(tree, catalog);
+    for &r in schedule.order() {
+        eval.push(r);
+    }
+    eval.total_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::assignment;
+    use crate::leaf::Leaf;
+    use crate::prob::Prob;
+    use crate::stream::StreamId;
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn fig3(p: [f64; 7]) -> (DnfTree, StreamCatalog) {
+        (
+            DnfTree::from_leaves(vec![
+                vec![leaf(0, 1, p[0]), leaf(2, 1, p[2]), leaf(3, 1, p[3])],
+                vec![leaf(1, 1, p[1]), leaf(2, 1, p[4])],
+                vec![leaf(1, 1, p[5]), leaf(3, 1, p[6])],
+            ])
+            .unwrap(),
+            StreamCatalog::unit(4),
+        )
+    }
+
+    fn fig3_schedule(tree: &DnfTree) -> DnfSchedule {
+        DnfSchedule::new(
+            vec![
+                LeafRef::new(0, 0),
+                LeafRef::new(1, 0),
+                LeafRef::new(0, 1),
+                LeafRef::new(0, 2),
+                LeafRef::new(1, 1),
+                LeafRef::new(2, 0),
+                LeafRef::new(2, 1),
+            ],
+            tree,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_section_ii_b_closed_form() {
+        let p = [0.3, 0.6, 0.8, 0.25, 0.9, 0.4, 0.7];
+        let (t, cat) = fig3(p);
+        let s = fig3_schedule(&t);
+        let (p1, p2, p3, _p4, p5, p6, _p7) = (p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
+        let expect = 1.0
+            + 1.0
+            + (p1 + (1.0 - p1) * p2)
+            + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
+        let got = expected_cost(&t, &cat, &s);
+        assert!((got - expect).abs() < 1e-12, "got {got} expected {expect}");
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_uniform_probabilities() {
+        let (t, cat) = fig3([0.5; 7]);
+        let s = fig3_schedule(&t);
+        let analytic = expected_cost(&t, &cat, &s);
+        let exact = assignment::dnf_expected_cost(&t, &cat, &s);
+        assert!((analytic - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_multi_item_leaves() {
+        // Shared stream with different item counts across AND nodes.
+        let t = DnfTree::from_leaves(vec![
+            vec![leaf(0, 3, 0.4), leaf(1, 1, 0.7)],
+            vec![leaf(0, 5, 0.6), leaf(1, 2, 0.2)],
+            vec![leaf(0, 2, 0.9)],
+        ])
+        .unwrap();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let s = DnfSchedule::declaration_order(&t);
+        let analytic = expected_cost(&t, &cat, &s);
+        let exact = assignment::dnf_expected_cost(&t, &cat, &s);
+        assert!((analytic - exact).abs() < 1e-10, "{analytic} vs {exact}");
+    }
+
+    #[test]
+    fn interleaved_non_depth_first_schedule_is_supported() {
+        let (t, cat) = fig3([0.2, 0.9, 0.5, 0.5, 0.1, 0.8, 0.3]);
+        // interleave terms deliberately
+        let s = DnfSchedule::new(
+            vec![
+                LeafRef::new(2, 1),
+                LeafRef::new(0, 2),
+                LeafRef::new(1, 0),
+                LeafRef::new(0, 0),
+                LeafRef::new(2, 0),
+                LeafRef::new(1, 1),
+                LeafRef::new(0, 1),
+            ],
+            &t,
+        )
+        .unwrap();
+        let analytic = expected_cost(&t, &cat, &s);
+        let exact = assignment::dnf_expected_cost(&t, &cat, &s);
+        assert!((analytic - exact).abs() < 1e-10, "{analytic} vs {exact}");
+    }
+
+    #[test]
+    fn fast_path_matches_literal_path() {
+        let (t, cat) = fig3([0.15, 0.35, 0.55, 0.75, 0.95, 0.25, 0.45]);
+        let s = fig3_schedule(&t);
+        let a = expected_cost(&t, &cat, &s);
+        let b = expected_cost_fast(&t, &cat, &s);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_term_dnf_matches_and_tree_evaluator() {
+        let at = crate::tree::AndTree::new(vec![
+            leaf(0, 1, 0.75),
+            leaf(0, 2, 0.1),
+            leaf(1, 1, 0.5),
+        ])
+        .unwrap();
+        let cat = StreamCatalog::unit(2);
+        let dnf = DnfTree::from_and_tree(&at);
+        let ds = DnfSchedule::declaration_order(&dnf);
+        let as_ = crate::schedule::AndSchedule::identity(3);
+        let a = expected_cost(&dnf, &cat, &ds);
+        let b = crate::cost::and_eval::expected_cost(&at, &cat, &as_);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

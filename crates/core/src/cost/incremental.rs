@@ -1,0 +1,329 @@
+//! Incremental DNF schedule cost evaluation.
+//!
+//! [`DnfCostEvaluator`] maintains the Proposition 2 state while leaves are
+//! appended one at a time, returning each leaf's marginal expected cost.
+//! It is the workhorse behind:
+//!
+//! * the branch-and-bound optimal search (clone the evaluator at each
+//!   branching point, prune when the running total exceeds the incumbent —
+//!   marginal costs are non-negative so the running total is a valid lower
+//!   bound);
+//! * the *dynamic* AND-ordered heuristics, which repeatedly ask "what would
+//!   appending this AND node cost, given everything scheduled so far?".
+//!
+//! The state is kept in **flat** vectors (no nested allocations) because
+//! the branch-and-bound clones an evaluator at every search node: a clone
+//! is four `memcpy`-able buffers, independent of how many `L_{k,t}` sets
+//! exist.
+
+use crate::leaf::LeafRef;
+use crate::stream::StreamCatalog;
+use crate::tree::DnfTree;
+
+/// One `L_{k,t}` membership entry: the first leaf of AND node `term` (in
+/// schedule order) requiring item `t` of stream `stream`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Member {
+    stream: u32,
+    /// Item index `t` (1-based).
+    t: u32,
+    term: u32,
+    /// Probability the leaf is reached within its AND node when pushed.
+    eval_prob: f64,
+}
+
+/// Append-only expected-cost evaluator for DNF schedules (Proposition 2).
+#[derive(Debug, Clone)]
+pub struct DnfCostEvaluator<'a> {
+    tree: &'a DnfTree,
+    catalog: &'a StreamCatalog,
+    n_streams: usize,
+    /// Product of `p` over scheduled leaves of each term (the probability
+    /// that the next leaf of that term is reached within its AND node).
+    prefix_prob: Vec<f64>,
+    /// Number of scheduled leaves per term.
+    seen: Vec<u32>,
+    /// Fully scheduled terms, with their success probabilities.
+    completed: Vec<(u32, f64)>,
+    /// `covered[term * n_streams + stream]`: items of `stream` already
+    /// required by scheduled leaves of `term` (the first-case test of
+    /// Proposition 2).
+    covered: Vec<u32>,
+    /// All `L_{k,t}` membership entries so far, in schedule order.
+    members: Vec<Member>,
+    /// Total expected cost of the schedule so far.
+    total: f64,
+    /// Number of leaves pushed.
+    scheduled: usize,
+}
+
+impl<'a> DnfCostEvaluator<'a> {
+    /// Creates an evaluator for an empty schedule prefix.
+    ///
+    /// # Panics
+    /// Panics on trees with more than 64 AND nodes (a `u64` bitmask is
+    /// used to track `L_{k,t}` term membership; the paper's experiments
+    /// use at most 10).
+    pub fn new(tree: &'a DnfTree, catalog: &'a StreamCatalog) -> DnfCostEvaluator<'a> {
+        let n_terms = tree.num_terms();
+        assert!(n_terms <= 64, "evaluator limited to 64 AND nodes");
+        let n_streams = catalog.len();
+        DnfCostEvaluator {
+            tree,
+            catalog,
+            n_streams,
+            prefix_prob: vec![1.0; n_terms],
+            seen: vec![0; n_terms],
+            completed: Vec::with_capacity(n_terms),
+            covered: vec![0; n_terms * n_streams],
+            members: Vec::with_capacity(tree.num_leaves()),
+            total: 0.0,
+            scheduled: 0,
+        }
+    }
+
+    /// The marginal expected cost leaf `r` would contribute if appended
+    /// now, without mutating the evaluator. `push` returns the same value;
+    /// `peek` lets searches rank candidates before committing to a clone.
+    pub fn peek(&self, r: LeafRef) -> f64 {
+        let leaf = self.tree.leaf(r);
+        let k = leaf.stream.0;
+        let f3 = self.prefix_prob[r.term];
+        let unit = self.catalog.cost(leaf.stream);
+        let cov = self.covered[r.term * self.n_streams + k];
+
+        let mut marginal = 0.0;
+        // Items 1..=cov are the first case of Proposition 2 (cost 0);
+        // items cov+1..=d are the second case.
+        for t in (cov + 1)..=leaf.items.max(cov) {
+            // One scan over the flat membership list yields both factor 1
+            // (product over earlier members of this (k, t)) and the set of
+            // terms that own such a member (excluded from factor 2).
+            let mut f1 = 1.0;
+            let mut term_mask = 0u64;
+            for m in &self.members {
+                if m.stream == k as u32 && m.t == t {
+                    f1 *= 1.0 - m.eval_prob;
+                    term_mask |= 1 << m.term;
+                }
+            }
+            let mut f2 = 1.0;
+            for &(a, sp) in &self.completed {
+                if term_mask >> a & 1 == 0 {
+                    f2 *= 1.0 - sp;
+                }
+            }
+            marginal += f1 * f2;
+        }
+        marginal * f3 * unit
+    }
+
+    /// Appends leaf `r` to the schedule and returns its marginal expected
+    /// cost (the sum of its `C_{i,j,t}` over the items it requires).
+    ///
+    /// # Panics
+    /// Debug-asserts the leaf has not been pushed already.
+    pub fn push(&mut self, r: LeafRef) -> f64 {
+        let leaf = self.tree.leaf(r);
+        let k = leaf.stream.0;
+        let f3 = self.prefix_prob[r.term];
+        let cov = self.covered[r.term * self.n_streams + k];
+        let marginal = self.peek(r);
+        self.total += marginal;
+
+        // State updates: L_{k,t} membership, coverage, prefix products,
+        // term completion.
+        for t in (cov + 1)..=leaf.items.max(cov) {
+            self.members.push(Member {
+                stream: k as u32,
+                t,
+                term: r.term as u32,
+                eval_prob: f3,
+            });
+        }
+        self.covered[r.term * self.n_streams + k] = cov.max(leaf.items);
+        self.prefix_prob[r.term] *= leaf.prob.value();
+        self.seen[r.term] += 1;
+        debug_assert!(
+            self.seen[r.term] as usize <= self.tree.term(r.term).len(),
+            "leaf pushed twice or term over-filled"
+        );
+        if self.seen[r.term] as usize == self.tree.term(r.term).len() {
+            self.completed.push((r.term as u32, self.prefix_prob[r.term]));
+        }
+        self.scheduled += 1;
+        marginal
+    }
+
+    /// Expected cost of the prefix pushed so far.
+    #[inline]
+    pub fn total_cost(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of leaves pushed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.scheduled
+    }
+
+    /// True when no leaf has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.scheduled == 0
+    }
+
+    /// Number of leaves of `term` still unscheduled.
+    #[inline]
+    pub fn remaining_in_term(&self, term: usize) -> usize {
+        self.tree.term(term).len() - self.seen[term] as usize
+    }
+
+    /// Probability that execution is still "live" when the prefix ends:
+    /// no completed AND node evaluated to TRUE.
+    pub fn survival_prob(&self) -> f64 {
+        self.completed.iter().map(|&(_, sp)| 1.0 - sp).product()
+    }
+
+    /// The tree this evaluator is bound to.
+    #[inline]
+    pub fn tree(&self) -> &'a DnfTree {
+        self.tree
+    }
+
+    /// The catalog this evaluator is bound to.
+    #[inline]
+    pub fn catalog(&self) -> &'a StreamCatalog {
+        self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{assignment, dnf_eval};
+    use crate::leaf::Leaf;
+    use crate::prob::Prob;
+    use crate::schedule::DnfSchedule;
+    use crate::stream::StreamId;
+    use rand::prelude::*;
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn example_tree() -> (DnfTree, StreamCatalog) {
+        (
+            DnfTree::from_leaves(vec![
+                vec![leaf(0, 3, 0.4), leaf(1, 1, 0.7)],
+                vec![leaf(0, 5, 0.6), leaf(1, 2, 0.2)],
+                vec![leaf(0, 2, 0.9), leaf(2, 1, 0.5)],
+            ])
+            .unwrap(),
+            StreamCatalog::from_costs([2.0, 3.0, 0.5]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let (t, cat) = example_tree();
+        let s = DnfSchedule::declaration_order(&t);
+        let mut eval = DnfCostEvaluator::new(&t, &cat);
+        let mut sum = 0.0;
+        for &r in s.order() {
+            sum += eval.push(r);
+        }
+        assert!((sum - eval.total_cost()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_literal_evaluator_on_random_schedules() {
+        let (t, cat) = example_tree();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for _ in 0..50 {
+            refs.shuffle(&mut rng);
+            let s = DnfSchedule::new(refs.clone(), &t).unwrap();
+            let literal = dnf_eval::expected_cost(&t, &cat, &s);
+            let mut eval = DnfCostEvaluator::new(&t, &cat);
+            for &r in s.order() {
+                eval.push(r);
+            }
+            assert!(
+                (literal - eval.total_cost()).abs() < 1e-10,
+                "literal {literal} vs incremental {}",
+                eval.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_schedules() {
+        let (t, cat) = example_tree();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for _ in 0..10 {
+            refs.shuffle(&mut rng);
+            let s = DnfSchedule::new(refs.clone(), &t).unwrap();
+            let exact = assignment::dnf_expected_cost(&t, &cat, &s);
+            let mut eval = DnfCostEvaluator::new(&t, &cat);
+            for &r in s.order() {
+                eval.push(r);
+            }
+            assert!((exact - eval.total_cost()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn clone_preserves_independent_state() {
+        let (t, cat) = example_tree();
+        let order: Vec<LeafRef> = t.leaf_refs().collect();
+        let mut a = DnfCostEvaluator::new(&t, &cat);
+        a.push(order[0]);
+        let mut b = a.clone();
+        a.push(order[1]);
+        b.push(order[2]);
+        assert_ne!(a.total_cost(), b.total_cost());
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn survival_prob_tracks_completed_terms() {
+        let (t, cat) = example_tree();
+        let mut eval = DnfCostEvaluator::new(&t, &cat);
+        assert_eq!(eval.survival_prob(), 1.0);
+        eval.push(LeafRef::new(0, 0));
+        eval.push(LeafRef::new(0, 1));
+        // term 0 success prob = 0.4 * 0.7 = 0.28
+        assert!((eval.survival_prob() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_counts() {
+        let (t, cat) = example_tree();
+        let mut eval = DnfCostEvaluator::new(&t, &cat);
+        assert_eq!(eval.remaining_in_term(1), 2);
+        eval.push(LeafRef::new(1, 0));
+        assert_eq!(eval.remaining_in_term(1), 1);
+    }
+
+    #[test]
+    fn marginal_of_covered_item_is_zero() {
+        // Second leaf of a term on the same stream with smaller d: free.
+        let t = DnfTree::from_leaves(vec![vec![leaf(0, 5, 0.5), leaf(0, 3, 0.5)]]).unwrap();
+        let cat = StreamCatalog::unit(1);
+        let mut eval = DnfCostEvaluator::new(&t, &cat);
+        assert!(eval.push(LeafRef::new(0, 0)) > 0.0);
+        assert_eq!(eval.push(LeafRef::new(0, 1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 AND nodes")]
+    fn rejects_too_many_terms() {
+        let terms: Vec<Vec<Leaf>> = (0..65).map(|_| vec![leaf(0, 1, 0.5)]).collect();
+        let t = DnfTree::from_leaves(terms).unwrap();
+        let cat = StreamCatalog::unit(1);
+        let _ = DnfCostEvaluator::new(&t, &cat);
+    }
+}

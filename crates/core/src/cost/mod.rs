@@ -1,0 +1,23 @@
+//! Schedule cost evaluation.
+//!
+//! Four independent implementations of the same semantics, used to
+//! cross-validate one another:
+//!
+//! | module | method | scope | complexity |
+//! |---|---|---|---|
+//! | [`execution`] | ground-truth interpreter (one assignment) | any tree | `O(L)` per run |
+//! | [`assignment`] | exact expectation by enumeration | any tree, small `L` | `O(2^L * L)` |
+//! | [`and_eval`] | closed form | AND-trees | `O(m)` |
+//! | [`dnf_eval`] / [`incremental`] | Proposition 2 | DNF trees | `O(L * D * N^2)` |
+//! | [`montecarlo`] | sampling | any tree | `O(samples * L)` |
+
+pub mod and_eval;
+pub mod assignment;
+pub mod dnf_eval;
+pub mod execution;
+pub mod incremental;
+pub mod montecarlo;
+
+pub use execution::{Execution, LeafIndexer};
+pub use incremental::DnfCostEvaluator;
+pub use montecarlo::Estimate;

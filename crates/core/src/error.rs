@@ -1,0 +1,68 @@
+//! Error types for the PAOTR core library.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating PAOTR objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A probability outside `[0, 1]` (or NaN) was supplied.
+    InvalidProbability(f64),
+    /// A per-item stream cost that is negative or NaN.
+    InvalidCost(f64),
+    /// A leaf demands zero data items; the model requires `d >= 1`.
+    ZeroItems,
+    /// A leaf references a stream that is not in the catalog.
+    UnknownStream { stream: usize, catalog_len: usize },
+    /// A tree (or AND term) has no leaves.
+    EmptyTree,
+    /// A schedule is not a permutation of the tree's leaves.
+    InvalidSchedule(String),
+    /// A strategy (decision tree) is malformed.
+    InvalidStrategy(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidProbability(p) => {
+                write!(f, "probability {p} is not a finite value in [0, 1]")
+            }
+            Error::InvalidCost(c) => write!(f, "stream cost {c} is not a finite value >= 0"),
+            Error::ZeroItems => write!(f, "a leaf must require at least one data item"),
+            Error::UnknownStream { stream, catalog_len } => write!(
+                f,
+                "leaf references stream {stream} but the catalog has only {catalog_len} streams"
+            ),
+            Error::EmptyTree => write!(f, "query trees must contain at least one leaf"),
+            Error::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            Error::InvalidStrategy(msg) => write!(f, "invalid strategy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = Error::UnknownStream { stream: 7, catalog_len: 3 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3'));
+        let e = Error::InvalidSchedule("duplicate leaf".into());
+        assert!(e.to_string().contains("duplicate leaf"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::ZeroItems, Error::ZeroItems);
+        assert_ne!(Error::EmptyTree, Error::ZeroItems);
+    }
+}

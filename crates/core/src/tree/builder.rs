@@ -1,0 +1,117 @@
+//! Fluent builders for query trees.
+//!
+//! Building a DNF instance by hand requires coordinating stream ids,
+//! catalogs and leaf vectors; the builders keep that coordination in one
+//! place. Example (the paper's Figure 2 AND-tree over streams A and B with
+//! unit costs):
+//!
+//! ```
+//! use paotr_core::tree::builder::InstanceBuilder;
+//!
+//! let mut b = InstanceBuilder::new();
+//! let a = b.stream("A", 1.0);
+//! let bb = b.stream("B", 1.0);
+//! let inst = b
+//!     .term(|t| t.leaf(a, 1, 0.75).leaf(a, 2, 0.1).leaf(bb, 1, 0.5))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(inst.num_leaves(), 3);
+//! ```
+
+use crate::error::Result;
+use crate::leaf::Leaf;
+use crate::prob::Prob;
+use crate::stream::{StreamCatalog, StreamId};
+use crate::tree::dnf::{DnfInstance, DnfTree};
+
+/// Builder for one AND term.
+#[derive(Debug, Default)]
+pub struct TermBuilder {
+    leaves: Vec<Leaf>,
+}
+
+impl TermBuilder {
+    /// Appends a leaf requiring `items` items of `stream`, TRUE with
+    /// probability `prob`.
+    ///
+    /// # Panics
+    /// Panics if `prob` is not a valid probability or `items == 0`;
+    /// builders are for literal, hand-written trees where this is a bug.
+    pub fn leaf(mut self, stream: StreamId, items: u32, prob: f64) -> TermBuilder {
+        let prob = Prob::new(prob).expect("builder leaf probability must be in [0,1]");
+        self.leaves.push(Leaf::new(stream, items, prob).expect("builder leaf needs items >= 1"));
+        self
+    }
+}
+
+/// Builder for a complete [`DnfInstance`] (catalog + tree).
+#[derive(Debug, Default)]
+pub struct InstanceBuilder {
+    catalog: StreamCatalog,
+    terms: Vec<Vec<Leaf>>,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> InstanceBuilder {
+        InstanceBuilder::default()
+    }
+
+    /// Registers a named stream with per-item cost `cost`, returning its id.
+    ///
+    /// # Panics
+    /// Panics on invalid (negative/NaN) costs.
+    pub fn stream(&mut self, name: &str, cost: f64) -> StreamId {
+        self.catalog.add_named(name, cost).expect("builder stream cost must be finite and >= 0")
+    }
+
+    /// Adds an AND term described by a closure over a [`TermBuilder`].
+    pub fn term(mut self, f: impl FnOnce(TermBuilder) -> TermBuilder) -> InstanceBuilder {
+        let t = f(TermBuilder::default());
+        self.terms.push(t.leaves);
+        self
+    }
+
+    /// Finalizes the instance, validating the tree against the catalog.
+    pub fn build(self) -> Result<DnfInstance> {
+        let tree = DnfTree::from_leaves(self.terms)?;
+        DnfInstance::new(tree, self.catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figure_3_tree() {
+        let mut b = InstanceBuilder::new();
+        let a = b.stream("A", 1.0);
+        let bb = b.stream("B", 1.0);
+        let c = b.stream("C", 1.0);
+        let d = b.stream("D", 1.0);
+        let inst = b
+            .term(|t| t.leaf(a, 1, 0.5).leaf(c, 1, 0.5).leaf(d, 1, 0.5))
+            .term(|t| t.leaf(bb, 1, 0.5).leaf(c, 1, 0.5))
+            .term(|t| t.leaf(bb, 1, 0.5).leaf(d, 1, 0.5))
+            .build()
+            .unwrap();
+        assert_eq!(inst.num_terms(), 3);
+        assert_eq!(inst.num_leaves(), 7);
+        assert_eq!(inst.catalog.len(), 4);
+        assert_eq!(inst.catalog.find("C"), Some(StreamId(2)));
+    }
+
+    #[test]
+    fn empty_builder_fails_validation() {
+        assert!(InstanceBuilder::new().build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn builder_panics_on_bad_probability() {
+        let mut b = InstanceBuilder::new();
+        let a = b.stream("A", 1.0);
+        let _ = b.term(|t| t.leaf(a, 1, 1.5));
+    }
+}

@@ -1,0 +1,22 @@
+//! Query tree representations.
+//!
+//! Three levels of generality, mirroring the paper:
+//!
+//! * [`and_tree::AndTree`] — single-level AND trees (Section III; optimal
+//!   polynomial algorithm).
+//! * [`dnf::DnfTree`] — OR of ANDs (Section IV; NP-complete, depth-first
+//!   schedules dominant, heuristics).
+//! * [`general::QueryTree`] — arbitrary AND-OR nesting (open problem; we
+//!   provide exact-but-exponential evaluation and heuristics as an
+//!   extension).
+
+pub mod and_tree;
+pub mod builder;
+pub mod display;
+pub mod dnf;
+pub mod general;
+
+pub use and_tree::AndTree;
+pub use builder::{InstanceBuilder, TermBuilder};
+pub use dnf::{AndTerm, DnfInstance, DnfTree};
+pub use general::{Node, QueryTree};

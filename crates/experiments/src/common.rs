@@ -1,0 +1,87 @@
+//! Shared experiment plumbing: options, output locations, progress and
+//! timing.
+
+use paotr_par::ThreadCount;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Fraction of the paper's instance count to run (1.0 = the full
+    /// 157,000 / 21,600 / 32,400 instances).
+    pub scale: f64,
+    /// Worker threads.
+    pub threads: ThreadCount,
+    /// Output directory for CSV/SVG/Markdown artifacts.
+    pub out_dir: PathBuf,
+    /// Seed for the random heuristic baseline.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scale: 0.1,
+            threads: ThreadCount::Auto,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+        }
+    }
+}
+
+impl Options {
+    /// Scales a paper instance count, keeping at least one instance.
+    pub fn scaled(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.scale).round() as usize).clamp(1, paper_count)
+    }
+
+    /// Path inside the output directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+}
+
+/// Runs `f`, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Prints a progress line that overwrites itself.
+pub fn progress_line(done: usize, total: usize, label: &str) {
+    if done.is_multiple_of((total / 100).max(1)) || done == total {
+        eprint!("\r  {label}: {done}/{total} ({:.0}%)", done as f64 / total as f64 * 100.0);
+        if done == total {
+            eprintln!();
+        }
+    }
+}
+
+/// Ensures a directory exists.
+pub fn ensure_dir(path: &Path) {
+    std::fs::create_dir_all(path).unwrap_or_else(|e| panic!("cannot create {path:?}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_counts_clamp() {
+        let mut o = Options { scale: 0.5, ..Default::default() };
+        assert_eq!(o.scaled(100), 50);
+        o.scale = 0.0001;
+        assert_eq!(o.scaled(100), 1);
+        o.scale = 2.0;
+        assert_eq!(o.scaled(100), 100);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 21);
+        assert_eq!(v, 21);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Empirical verification of the paper's theoretical results
+//! (experiments THM1, PROP1, THM2, and the Section V linearity claim).
+//!
+//! These are exactly the checks the property tests run, but at a larger
+//! sample size and with a human-readable report.
+
+use crate::common::Options;
+use paotr_core::algo::{exhaustive, greedy, nonlinear};
+use paotr_core::cost::and_eval;
+use paotr_core::prelude::*;
+use rand::prelude::*;
+
+/// Outcome of the verification battery.
+#[derive(Debug, Clone)]
+pub struct TheoremReport {
+    /// Instances on which Algorithm 1 matched the exhaustive optimum.
+    pub thm1_checked: usize,
+    /// Instances on which the best depth-first schedule matched the best
+    /// overall schedule.
+    pub thm2_checked: usize,
+    /// Shared instances found where the optimal non-linear strategy
+    /// strictly beats every schedule.
+    pub linearity_witnesses: usize,
+    /// The largest relative linearity gap observed.
+    pub max_linearity_gap: f64,
+}
+
+fn random_and(rng: &mut StdRng) -> (AndTree, StreamCatalog) {
+    let n_streams = rng.gen_range(1..=4);
+    let m = rng.gen_range(2..=7);
+    let cat =
+        StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
+    let leaves = (0..m)
+        .map(|_| {
+            Leaf::raw(
+                StreamId(rng.gen_range(0..n_streams)),
+                rng.gen_range(1..=5),
+                Prob::new(rng.gen_range(0.0..1.0)).unwrap(),
+            )
+        })
+        .collect();
+    (AndTree::new(leaves).unwrap(), cat)
+}
+
+fn random_dnf(rng: &mut StdRng, max_leaves: usize) -> DnfInstance {
+    let n_streams = rng.gen_range(1..=3);
+    let cat =
+        StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
+    let n_terms = rng.gen_range(2..=3);
+    let mut total = 0;
+    let mut terms = Vec::new();
+    for _ in 0..n_terms {
+        let m = rng.gen_range(1..=3).min(max_leaves.saturating_sub(total).max(1));
+        total += m;
+        terms.push(
+            (0..m)
+                .map(|_| {
+                    Leaf::raw(
+                        StreamId(rng.gen_range(0..n_streams)),
+                        rng.gen_range(1..=4),
+                        Prob::new(rng.gen_range(0.02..0.98)).unwrap(),
+                    )
+                })
+                .collect(),
+        );
+    }
+    DnfInstance::new(DnfTree::from_leaves(terms).unwrap(), cat).unwrap()
+}
+
+/// Runs the battery and writes `theorems.md`.
+pub fn run(opts: &Options, samples: usize) -> TheoremReport {
+    // THM1: Algorithm 1 vs exhaustive search over all permutations.
+    let thm1 = paotr_par::par_tasks(samples, opts.threads, |i| {
+        let mut rng = StdRng::seed_from_u64(0x7410 + i as u64);
+        let (tree, cat) = random_and(&mut rng);
+        let (_, g) = greedy::schedule_with_cost(&tree, &cat);
+        let (_, best) = exhaustive::and_all_permutations(&tree, &cat);
+        assert!(
+            g <= best + 1e-9,
+            "THM1 violated: Algorithm 1 cost {g} vs optimal {best} (sample {i})"
+        );
+        1usize
+    })
+    .len();
+
+    // THM2: depth-first dominance.
+    let thm2 = paotr_par::par_tasks(samples, opts.threads, |i| {
+        let mut rng = StdRng::seed_from_u64(0x7420 + i as u64);
+        let inst = random_dnf(&mut rng, 7);
+        let (_, df) = exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+        let (_, all) = exhaustive::dnf_all_schedules(&inst.tree, &inst.catalog);
+        assert!(
+            (df - all).abs() < 1e-9,
+            "THM2 violated: depth-first {df} vs all {all} (sample {i})"
+        );
+        1usize
+    })
+    .len();
+
+    // Section V: non-linear strategies can strictly win on shared trees.
+    let gaps = paotr_par::par_tasks(samples.min(300), opts.threads, |i| {
+        let mut rng = StdRng::seed_from_u64(0x7430 + i as u64);
+        let inst = random_dnf(&mut rng, 6);
+        if inst.tree.is_read_once() {
+            return (false, 0.0);
+        }
+        let (linear, non_linear) = nonlinear::linearity_gap(&inst.tree, &inst.catalog);
+        assert!(non_linear <= linear + 1e-9, "strategies include all schedules");
+        let gap = (linear - non_linear) / linear.max(1e-300);
+        (gap > 1e-9, gap)
+    });
+    let linearity_witnesses = gaps.iter().filter(|(w, _)| *w).count();
+    let max_gap = gaps.iter().map(|&(_, g)| g).fold(0.0, f64::max);
+
+    // PROP1 spot check: swapping same-stream leaves into decreasing-d
+    // order never helps (verified inside Algorithm 1's tests; here we
+    // verify on explicit exchanges).
+    for i in 0..samples {
+        let mut rng = StdRng::seed_from_u64(0x7440 + i as u64);
+        let (tree, cat) = random_and(&mut rng);
+        let (sched, base) = greedy::schedule_with_cost(&tree, &cat);
+        let order = sched.order().to_vec();
+        for a in 0..order.len() {
+            for b in (a + 1)..order.len() {
+                let (la, lb) = (tree.leaf(order[a]), tree.leaf(order[b]));
+                if la.stream == lb.stream && la.items < lb.items {
+                    let mut swapped = order.clone();
+                    swapped.swap(a, b);
+                    let s = AndSchedule::new(swapped, &tree).unwrap();
+                    let c = and_eval::expected_cost(&tree, &cat, &s);
+                    assert!(
+                        c + 1e-9 >= base,
+                        "PROP1 violated: swapping helped ({c} < {base})"
+                    );
+                }
+            }
+        }
+    }
+
+    let report = TheoremReport {
+        thm1_checked: thm1,
+        thm2_checked: thm2,
+        linearity_witnesses,
+        max_linearity_gap: max_gap,
+    };
+    let md = format!(
+        "# Theorem verification\n\n\
+         | claim | check | result |\n|---|---|---|\n\
+         | Theorem 1 (Algorithm 1 optimal, shared AND-trees) | vs exhaustive m! search, {} random instances | all matched |\n\
+         | Theorem 2 (depth-first schedules dominant) | best DF vs best overall schedule, {} random instances | all matched |\n\
+         | Proposition 1 (increasing-d within stream) | exchange argument on optimal schedules | no improving swap |\n\
+         | Section V (linear not dominant, shared) | optimal strategy vs optimal schedule | {} witnesses, max gap {:.3}% |\n",
+        report.thm1_checked,
+        report.thm2_checked,
+        report.linearity_witnesses,
+        report.max_linearity_gap * 100.0,
+    );
+    std::fs::write(opts.path("theorems.md"), md).expect("write theorems.md");
+    report
+}

@@ -1,0 +1,57 @@
+//! Thread-count policy.
+//!
+//! Experiments read the desired parallelism from (in priority order) an
+//! explicit [`ThreadCount::Fixed`], the `PAOTR_THREADS` environment
+//! variable, or the machine's available parallelism.
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a parallel operation should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadCount {
+    /// Resolve from `PAOTR_THREADS` or the machine's available
+    /// parallelism.
+    #[default]
+    Auto,
+    /// Exactly this many threads (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl ThreadCount {
+    /// Resolves the policy to a concrete thread count (`>= 1`).
+    pub fn resolve(self) -> usize {
+        match self {
+            ThreadCount::Fixed(n) => n.max(1),
+            ThreadCount::Auto => num_threads(),
+        }
+    }
+}
+
+/// The `Auto` policy: `PAOTR_THREADS` if set and parseable, otherwise the
+/// machine's available parallelism (1 if unknown).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("PAOTR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_clamps_to_one() {
+        assert_eq!(ThreadCount::Fixed(0).resolve(), 1);
+        assert_eq!(ThreadCount::Fixed(5).resolve(), 5);
+    }
+
+    #[test]
+    fn auto_is_positive() {
+        assert!(ThreadCount::Auto.resolve() >= 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Compilation of parsed queries to scheduling trees and simulator
+//! queries.
+//!
+//! The compiler:
+//!
+//! * discovers streams in order of first appearance and assigns
+//!   [`StreamId`]s (per-item costs can be supplied per stream name;
+//!   default 1.0);
+//! * turns each predicate into a [`paotr_core::leaf::Leaf`] whose `d` is
+//!   the predicate's window and whose `p` is the `@` annotation (default
+//!   0.5 — replace with trace-calibrated values later);
+//! * produces a general [`QueryTree`] for any expression, and a
+//!   [`stream_sim::SimQuery`] when the expression is in DNF shape.
+
+use crate::ast::{Agg, CmpOp, Expr, PredicateAst};
+use crate::error::{ParseError, Result};
+use paotr_core::prelude::*;
+use std::collections::HashMap;
+
+/// Compilation output.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The scheduling tree (general AND-OR shape).
+    pub tree: QueryTree,
+    /// Streams discovered, with costs.
+    pub catalog: StreamCatalog,
+}
+
+/// Compiles an expression with per-stream costs (by name; absent names
+/// cost 1.0).
+pub fn compile(expr: &Expr, costs: &HashMap<String, f64>) -> Result<Compiled> {
+    let mut ctx = Ctx { catalog: StreamCatalog::new(), costs };
+    let root = ctx.node(expr)?;
+    let tree = QueryTree::new(root)
+        .map_err(|e| ParseError::new(format!("invalid query shape: {e}"), 0))?;
+    Ok(Compiled { tree, catalog: ctx.catalog })
+}
+
+/// Parses and compiles in one step with default costs.
+pub fn compile_str(source: &str) -> Result<Compiled> {
+    let expr = crate::parser::parse(source)?;
+    compile(&expr, &HashMap::new())
+}
+
+struct Ctx<'a> {
+    catalog: StreamCatalog,
+    costs: &'a HashMap<String, f64>,
+}
+
+impl Ctx<'_> {
+    fn stream_id(&mut self, name: &str) -> Result<StreamId> {
+        if let Some(id) = self.catalog.find(name) {
+            return Ok(id);
+        }
+        let cost = self.costs.get(name).copied().unwrap_or(1.0);
+        self.catalog
+            .add_named(name, cost)
+            .map_err(|e| ParseError::new(format!("bad cost for stream `{name}`: {e}"), 0))
+    }
+
+    fn leaf(&mut self, p: &PredicateAst) -> Result<Leaf> {
+        let stream = self.stream_id(&p.stream)?;
+        let prob = Prob::new(p.prob.unwrap_or(0.5))
+            .map_err(|e| ParseError::new(e.to_string(), 0))?;
+        Leaf::new(stream, p.window, prob).map_err(|e| ParseError::new(e.to_string(), 0))
+    }
+
+    fn node(&mut self, e: &Expr) -> Result<Node> {
+        Ok(match e {
+            Expr::Pred(p) => Node::Leaf(self.leaf(p)?),
+            Expr::And(cs) => {
+                Node::And(cs.iter().map(|c| self.node(c)).collect::<Result<Vec<_>>>()?)
+            }
+            Expr::Or(cs) => {
+                Node::Or(cs.iter().map(|c| self.node(c)).collect::<Result<Vec<_>>>()?)
+            }
+        })
+    }
+}
+
+/// Converts a compiled DNF-shaped expression into a simulator query.
+/// Returns `None` when the expression is not in DNF shape (after
+/// normalization).
+pub fn to_sim_query(expr: &Expr, compiled: &Compiled) -> Option<stream_sim::SimQuery> {
+    // Reuse the tree's DNF view to validate shape, then rebuild with
+    // concrete predicates by walking the expression in the same order.
+    compiled.tree.as_dnf()?;
+    let terms = match expr {
+        Expr::Or(parts) => parts.iter().map(dnf_term).collect::<Option<Vec<_>>>()?,
+        other => vec![dnf_term(other)?],
+    };
+    let sim_terms: Vec<Vec<stream_sim::SimLeaf>> = terms
+        .into_iter()
+        .map(|preds| {
+            preds
+                .into_iter()
+                .map(|p| {
+                    Some(stream_sim::SimLeaf {
+                        stream: compiled.catalog.find(&p.stream)?,
+                        predicate: to_predicate(p),
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+        })
+        .collect::<Option<Vec<_>>>()?;
+    stream_sim::SimQuery::new(sim_terms).ok()
+}
+
+fn dnf_term(e: &Expr) -> Option<Vec<&PredicateAst>> {
+    match e {
+        Expr::Pred(p) => Some(vec![p]),
+        Expr::And(cs) => cs
+            .iter()
+            .map(|c| match c {
+                Expr::Pred(p) => Some(p),
+                _ => None,
+            })
+            .collect(),
+        Expr::Or(_) => None,
+    }
+}
+
+fn to_predicate(p: &PredicateAst) -> stream_sim::Predicate {
+    use stream_sim::{Comparator, WindowOp};
+    let op = match p.agg {
+        Agg::Avg => WindowOp::Avg,
+        Agg::Max => WindowOp::Max,
+        Agg::Min => WindowOp::Min,
+        Agg::Sum => WindowOp::Sum,
+        Agg::Last => WindowOp::Last,
+    };
+    let cmp = match p.cmp {
+        CmpOp::Lt => Comparator::Lt,
+        CmpOp::Le => Comparator::Le,
+        CmpOp::Gt => Comparator::Gt,
+        CmpOp::Ge => Comparator::Ge,
+    };
+    stream_sim::Predicate::new(op, p.window, cmp, p.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compiles_figure_1a_to_tree_and_catalog() {
+        let c = compile_str("(AVG(A,5) < 70 AND MAX(B,4) > 100) OR C < 3").unwrap();
+        assert_eq!(c.catalog.len(), 3);
+        assert_eq!(c.tree.num_leaves(), 3);
+        assert!(c.tree.is_read_once());
+        let dnf = c.tree.as_dnf().unwrap();
+        assert_eq!(dnf.num_terms(), 2);
+        // windows become item counts
+        assert_eq!(dnf.term(0).leaves()[0].items, 5);
+        assert_eq!(dnf.term(1).leaves()[0].items, 1);
+    }
+
+    #[test]
+    fn compiles_figure_1b_shared_query() {
+        let c = compile_str(
+            "(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A,10) > 80)",
+        )
+        .unwrap();
+        assert!(!c.tree.is_read_once());
+        assert_eq!(c.catalog.len(), 3);
+        let a = c.catalog.find("A").unwrap();
+        let dnf = c.tree.as_dnf().unwrap();
+        let a_leaves: Vec<u32> = dnf
+            .leaves()
+            .filter(|(_, l)| l.stream == a)
+            .map(|(_, l)| l.items)
+            .collect();
+        assert_eq!(a_leaves, vec![5, 10]);
+    }
+
+    #[test]
+    fn probability_annotations_flow_into_leaves() {
+        let c = compile_str("A < 1 @ 0.75 AND B < 2").unwrap();
+        let dnf = c.tree.as_dnf().unwrap();
+        assert_eq!(dnf.term(0).leaves()[0].prob.value(), 0.75);
+        assert_eq!(dnf.term(0).leaves()[1].prob.value(), 0.5);
+    }
+
+    #[test]
+    fn custom_costs_apply_by_name() {
+        let expr = parse("hr > 100 AND spo2 < 0.9").unwrap();
+        let mut costs = HashMap::new();
+        costs.insert("spo2".to_string(), 8.0);
+        let c = compile(&expr, &costs).unwrap();
+        assert_eq!(c.catalog.cost(c.catalog.find("hr").unwrap()), 1.0);
+        assert_eq!(c.catalog.cost(c.catalog.find("spo2").unwrap()), 8.0);
+    }
+
+    #[test]
+    fn sim_query_conversion_for_dnf_shapes() {
+        let src = "(AVG(A,5) < 70 AND MAX(B,4) > 100) OR C < 3";
+        let expr = parse(src).unwrap();
+        let c = compile(&expr, &HashMap::new()).unwrap();
+        let q = to_sim_query(&expr, &c).unwrap();
+        assert_eq!(q.num_leaves(), 3);
+        assert_eq!(q.terms()[0][0].predicate.window, 5);
+    }
+
+    #[test]
+    fn sim_query_conversion_rejects_deep_nesting() {
+        let src = "(a < 1 OR b < 2) AND c < 3";
+        let expr = parse(src).unwrap();
+        let c = compile(&expr, &HashMap::new()).unwrap();
+        assert!(to_sim_query(&expr, &c).is_none());
+    }
+
+    #[test]
+    fn repeated_stream_names_reuse_ids() {
+        let c = compile_str("A < 1 AND AVG(A, 3) > 2").unwrap();
+        assert_eq!(c.catalog.len(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # paotr-stats — statistics and figure plumbing for the experiments
+//!
+//! * [`summary`] — ratio aggregates (the paper's inline Figure-4 numbers:
+//!   max ratio, %>10%, %>1%, tie rate) and best-heuristic win counting;
+//! * [`profile`] — performance profiles (the ratio-vs-fraction curves of
+//!   Figures 5 and 6);
+//! * [`table`] — dependency-free CSV / Markdown table writers;
+//! * [`svg`] — dependency-free SVG line/scatter charts;
+//! * [`ascii`] — terminal charts for the examples.
+
+pub mod ascii;
+pub mod profile;
+pub mod summary;
+pub mod svg;
+pub mod table;
+
+pub use ascii::AsciiChart;
+pub use profile::{ratios, Profile};
+pub use summary::{best_counts, best_counts_with_tolerance, percentile, RatioSummary};
+pub use svg::{Chart, Series, Style};
+pub use table::{fmt_f64, fmt_short, Table};

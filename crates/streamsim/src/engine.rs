@@ -1,0 +1,286 @@
+//! The pull-based query execution engine.
+//!
+//! Evaluates a [`SimQuery`] at the current tick, following a schedule:
+//! leaves are visited in schedule order, skipped when short-circuited,
+//! and each evaluated leaf pulls the *missing* items of its window from
+//! its stream (shared device memory makes overlapping windows cheap),
+//! paying the energy model. This is the concrete counterpart of
+//! [`paotr_core::cost::execution`]: there truth values come from an
+//! assignment, here from real predicates over real (simulated) data.
+
+use crate::device::{DeviceMemory, MemoryPolicy};
+use crate::energy::EnergyModel;
+use crate::query::SimQuery;
+use crate::stream::SimStream;
+use crate::trace::{LeafRecord, TraceLog};
+use paotr_core::schedule::DnfSchedule;
+
+/// Result of one query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Truth value of the query.
+    pub value: bool,
+    /// Energy spent on this evaluation.
+    pub cost: f64,
+    /// Leaves actually evaluated.
+    pub evaluated: usize,
+    /// Items pulled per stream during this evaluation.
+    pub items_pulled: Vec<u32>,
+}
+
+/// The query-processing device: memory, policy and energy meter.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    memory: DeviceMemory,
+    policy: MemoryPolicy,
+    energy: EnergyModel,
+    total_cost: f64,
+    evaluations: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `n_streams` streams.
+    pub fn new(n_streams: usize, policy: MemoryPolicy, energy: EnergyModel) -> Engine {
+        assert_eq!(energy.len(), n_streams, "energy model must cover every stream");
+        Engine {
+            memory: DeviceMemory::new(n_streams),
+            policy,
+            energy,
+            total_cost: 0.0,
+            evaluations: 0,
+        }
+    }
+
+    /// Total energy spent since construction.
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Number of query evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates `query` under `schedule` against the given streams
+    /// (`streams[k]` backs `StreamId(k)`), optionally appending per-leaf
+    /// records to a trace.
+    ///
+    /// # Panics
+    /// Panics if a stream is too cold to provide a required window (run
+    /// the streams for at least the largest window first) or if the
+    /// schedule shape does not match the query.
+    pub fn evaluate(
+        &mut self,
+        query: &SimQuery,
+        schedule: &DnfSchedule,
+        streams: &[SimStream],
+        mut trace: Option<&mut TraceLog>,
+    ) -> QueryOutcome {
+        assert_eq!(
+            schedule.len(),
+            query.num_leaves(),
+            "schedule does not cover the query's leaves"
+        );
+        if self.policy == MemoryPolicy::ClearEachQuery {
+            self.memory.clear();
+        } else {
+            // Retain policy: drop items older than each stream's horizon.
+            let horizons = query.max_windows(streams.len());
+            for (k, &w) in horizons.iter().enumerate() {
+                if w > 0 {
+                    let now = streams[k].now();
+                    let horizon = now.saturating_sub(u64::from(w) - 1);
+                    self.memory.prune(paotr_core::stream::StreamId(k), horizon);
+                }
+            }
+        }
+
+        let n_terms = query.terms().len();
+        let mut term_failed = vec![false; n_terms];
+        let mut remaining: Vec<usize> = query.terms().iter().map(Vec::len).collect();
+        let mut alive = n_terms;
+        let mut items_pulled = vec![0u32; streams.len()];
+        let mut cost = 0.0;
+        let mut evaluated = 0;
+        let mut value = false;
+
+        for &r in schedule.order() {
+            if term_failed[r.term] || remaining[r.term] == 0 {
+                continue;
+            }
+            let leaf = query.leaf(r);
+            let k = leaf.stream;
+            let stream = &streams[k.0];
+            let now = stream.now();
+            let window = leaf.predicate.window;
+            let missing = self.memory.missing(k, now, window);
+            let pull_cost = self.energy.pull_cost(k, missing);
+            cost += pull_cost;
+            items_pulled[k.0] += missing;
+            self.memory.insert_window(k, now, window);
+            let data = stream
+                .recent(window as usize)
+                .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window"));
+            let truth = leaf.predicate.eval(&data);
+            evaluated += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(LeafRecord {
+                    tick: now,
+                    leaf: r,
+                    value: truth,
+                    items_paid: missing,
+                    cost: pull_cost,
+                });
+            }
+            if truth {
+                remaining[r.term] -= 1;
+                if remaining[r.term] == 0 {
+                    value = true;
+                    break;
+                }
+            } else {
+                term_failed[r.term] = true;
+                alive -= 1;
+                if alive == 0 {
+                    break;
+                }
+            }
+        }
+
+        self.total_cost += cost;
+        self.evaluations += 1;
+        QueryOutcome { value, cost, evaluated, items_pulled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Comparator, Predicate, WindowOp};
+    use crate::query::SimLeaf;
+    use crate::source::{SensorModel, SensorSource};
+    use paotr_core::stream::{StreamCatalog, StreamId};
+    use rand::prelude::*;
+
+    fn constant_stream(v: f64, ticks: usize) -> SimStream {
+        let mut s = SimStream::new(SensorSource::new(SensorModel::Constant(v)), 64);
+        let mut rng = StdRng::seed_from_u64(0);
+        s.advance_by(ticks, &mut rng);
+        s
+    }
+
+    fn leaf(stream: usize, window: u32, cmp: Comparator, thr: f64) -> SimLeaf {
+        SimLeaf {
+            stream: StreamId(stream),
+            predicate: Predicate::new(WindowOp::Avg, window, cmp, thr),
+        }
+    }
+
+    fn engine(costs: &[f64]) -> Engine {
+        let cat = StreamCatalog::from_costs(costs.iter().copied()).unwrap();
+        Engine::new(costs.len(), MemoryPolicy::ClearEachQuery, EnergyModel::from_catalog(&cat))
+    }
+
+    #[test]
+    fn true_query_shortcircuits_remaining_terms() {
+        // stream 0 constant 50: AVG < 70 true. Term 0 true -> stop.
+        let q = SimQuery::new(vec![
+            vec![leaf(0, 5, Comparator::Lt, 70.0)],
+            vec![leaf(1, 4, Comparator::Gt, 100.0)],
+        ])
+        .unwrap();
+        let streams = vec![constant_stream(50.0, 20), constant_stream(50.0, 20)];
+        let mut e = engine(&[1.0, 1.0]);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let out = e.evaluate(&q, &s, &streams, None);
+        assert!(out.value);
+        assert_eq!(out.evaluated, 1);
+        assert_eq!(out.cost, 5.0);
+        assert_eq!(out.items_pulled, vec![5, 0]);
+    }
+
+    #[test]
+    fn shared_windows_pay_only_missing_items() {
+        // Both leaves on stream 0, same term: windows 5 then 8 -> 5 + 3.
+        let q = SimQuery::new(vec![vec![
+            leaf(0, 5, Comparator::Lt, 70.0),
+            leaf(0, 8, Comparator::Lt, 70.0),
+        ]])
+        .unwrap();
+        let streams = vec![constant_stream(50.0, 20)];
+        let mut e = engine(&[2.0]);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let out = e.evaluate(&q, &s, &streams, None);
+        assert!(out.value);
+        assert_eq!(out.items_pulled, vec![8]);
+        assert_eq!(out.cost, 16.0);
+    }
+
+    #[test]
+    fn false_leaf_kills_term_and_skips_its_leaves() {
+        let q = SimQuery::new(vec![
+            vec![leaf(0, 2, Comparator::Gt, 100.0), leaf(1, 6, Comparator::Lt, 70.0)],
+            vec![leaf(1, 3, Comparator::Lt, 70.0)],
+        ])
+        .unwrap();
+        let streams = vec![constant_stream(50.0, 20), constant_stream(50.0, 20)];
+        let mut e = engine(&[1.0, 1.0]);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let out = e.evaluate(&q, &s, &streams, None);
+        // leaf (0,0): avg 50 > 100 false -> term 0 dead, (0,1) skipped.
+        // leaf (1,0): true -> query true. Cost = 2 + 3.
+        assert!(out.value);
+        assert_eq!(out.evaluated, 2);
+        assert_eq!(out.cost, 5.0);
+    }
+
+    #[test]
+    fn retain_policy_reuses_overlapping_windows_across_ticks() {
+        let q = SimQuery::new(vec![vec![leaf(0, 5, Comparator::Lt, 70.0)]]).unwrap();
+        let cat = StreamCatalog::from_costs([1.0]).unwrap();
+        let mut e = Engine::new(1, MemoryPolicy::Retain, EnergyModel::from_catalog(&cat));
+        let mut stream = constant_stream(50.0, 10);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let out1 = e.evaluate(&q, &s, std::slice::from_ref(&stream), None);
+        assert_eq!(out1.cost, 5.0);
+        // advance one tick: only 1 new item needed
+        let mut rng = StdRng::seed_from_u64(1);
+        stream.advance(&mut rng);
+        let out2 = e.evaluate(&q, &s, std::slice::from_ref(&stream), None);
+        assert_eq!(out2.cost, 1.0);
+        assert_eq!(e.total_cost(), 6.0);
+        assert_eq!(e.evaluations(), 2);
+    }
+
+    #[test]
+    fn clear_policy_matches_abstract_model_every_time() {
+        let q = SimQuery::new(vec![vec![leaf(0, 5, Comparator::Lt, 70.0)]]).unwrap();
+        let mut e = engine(&[1.0]);
+        let mut stream = constant_stream(50.0, 10);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..3 {
+            let out = e.evaluate(&q, &s, std::slice::from_ref(&stream), None);
+            assert_eq!(out.cost, 5.0);
+            stream.advance(&mut rng);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_evaluated_leaf() {
+        let q = SimQuery::new(vec![vec![
+            leaf(0, 2, Comparator::Lt, 70.0),
+            leaf(1, 3, Comparator::Gt, 100.0),
+        ]])
+        .unwrap();
+        let streams = vec![constant_stream(50.0, 10), constant_stream(50.0, 10)];
+        let mut e = engine(&[1.0, 1.0]);
+        let s = DnfSchedule::from_order_unchecked(q.leaf_refs());
+        let mut log = TraceLog::default();
+        let out = e.evaluate(&q, &s, &streams, Some(&mut log));
+        assert_eq!(out.evaluated, 2);
+        assert_eq!(log.len(), 2);
+        assert!(log.records()[0].value);
+        assert!(!log.records()[1].value);
+    }
+}

@@ -1,0 +1,157 @@
+//! Telehealth monitoring — the paper's motivating scenario, end to end.
+//!
+//! "An alert may be generated either if the heart rate is high (e.g.,
+//! above 100) and the accelerometer is stationary, or if the heart rate
+//! is low and SPO2 (blood oxygen saturation) is low." (Section I)
+//!
+//! This example runs the full deployment pipeline on simulated sensors:
+//!
+//! 1. parse the alert query from the textual query language;
+//! 2. simulate heart-rate / accelerometer / SPO2 sensors;
+//! 3. calibrate leaf probabilities from a warm-up trace;
+//! 4. schedule with several policies and measure real energy per
+//!    evaluation over a simulated day.
+//!
+//! ```text
+//! cargo run --release --example telehealth
+//! ```
+
+use paotr::core::algo::heuristics::Heuristic;
+use paotr::core::prelude::*;
+use paotr::qlang;
+use paotr::sim::{
+    run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource,
+};
+use std::collections::HashMap;
+
+fn main() {
+    // The paper's alert, written in the query language. Windows: average
+    // heart rate over 5 samples, accelerometer activity over 10, SPO2
+    // minimum over 4.
+    let source = "(AVG(hr,5) > 100 AND MAX(accel,10) < 0.2) \
+                  OR (AVG(hr,5) < 65 AND MIN(spo2,4) < 0.95)";
+    println!("alert query: {source}\n");
+
+    // Radio costs: SPO2 is on a power-hungry link; accel is cheap.
+    let mut costs = HashMap::new();
+    costs.insert("hr".to_string(), 1.0);
+    costs.insert("accel".to_string(), 0.5);
+    costs.insert("spo2".to_string(), 6.0);
+
+    let expr = qlang::parse(source).expect("alert parses");
+    let compiled = qlang::compile(&expr, &costs).expect("alert compiles");
+    let query = qlang::to_sim_query(&expr, &compiled).expect("alert is in DNF shape");
+    println!(
+        "{}",
+        paotr::core::tree::display::render_dnf_named(
+            &compiled.tree.as_dnf().expect("DNF shape"),
+            &compiled.catalog
+        )
+    );
+
+    // Sensor models: heart rate oscillating around 80 bpm with occasional
+    // highs, accelerometer mostly active, SPO2 drifting near 0.97.
+    let sensors = || {
+        vec![
+            SensorSource::new(SensorModel::Sine {
+                offset: 82.0,
+                amplitude: 24.0,
+                period: 181.0,
+                noise: 4.0,
+            }),
+            SensorSource::new(SensorModel::Spiky {
+                base: 0.8,
+                spike: 0.05,
+                spike_prob: 0.25,
+                noise: 0.15,
+            }),
+            SensorSource::new(SensorModel::RandomWalk {
+                start: 0.97,
+                step: 0.005,
+                min: 0.85,
+                max: 1.0,
+            }),
+        ]
+    };
+
+    // One simulated day at one evaluation per "minute".
+    let config = PipelineConfig {
+        warmup_evaluations: 240,
+        measure_evaluations: 1440,
+        ticks_between: 1,
+        policy: MemoryPolicy::ClearEachQuery,
+        seed: 20140519, // IPDPS 2014 began May 19
+    };
+
+    println!(
+        "{:<32} {:>14} {:>12} {:>10}",
+        "scheduling policy", "energy/eval", "total items", "alert rate"
+    );
+    type Policy = Box<dyn FnOnce(&DnfTree, &StreamCatalog) -> DnfSchedule>;
+    let policies: Vec<(&str, Policy)> = vec![
+        (
+            "declaration order (naive)",
+            Box::new(|t: &DnfTree, _: &StreamCatalog| {
+                DnfSchedule::from_order_unchecked(t.leaf_refs().collect())
+            }),
+        ),
+        (
+            "stream-ordered (Lim et al.)",
+            Box::new(|t: &DnfTree, c: &StreamCatalog| {
+                Heuristic::StreamOrdered(Default::default()).schedule(t, c)
+            }),
+        ),
+        (
+            "AND-ord., inc. C/p, static",
+            Box::new(|t: &DnfTree, c: &StreamCatalog| {
+                Heuristic::AndIncCOverPStatic.schedule(t, c)
+            }),
+        ),
+        (
+            "AND-ord., inc. C/p, dynamic",
+            Box::new(|t: &DnfTree, c: &StreamCatalog| {
+                Heuristic::AndIncCOverPDynamic.schedule(t, c)
+            }),
+        ),
+        (
+            "exhaustive optimum",
+            Box::new(|t: &DnfTree, c: &StreamCatalog| {
+                paotr::core::algo::exhaustive::dnf_optimal(t, c).0
+            }),
+        ),
+    ];
+
+    let mut baseline = None;
+    for (name, policy) in policies {
+        let report = run_pipeline(&query, sensors(), &compiled.catalog, config, policy);
+        let items: u64 = report.items_pulled.iter().sum();
+        println!(
+            "{:<32} {:>14.4} {:>12} {:>9.1}%",
+            name,
+            report.mean_cost,
+            items,
+            report.truth_rate * 100.0
+        );
+        if baseline.is_none() {
+            baseline = Some(report.mean_cost);
+            println!(
+                "    calibrated leaf probabilities: {:?}",
+                report
+                    .estimated_probs
+                    .iter()
+                    .map(|p| (p * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+    let base = baseline.expect("at least one policy ran");
+    println!(
+        "\nNote the Section IV-C phenomenon: the AND-ordered heuristics order each\n\
+         AND node with Algorithm 1 *in isolation*, which here pulls the cheap\n\
+         accelerometer before the heart-rate stream — but heart rate is shared\n\
+         with the second AND node, so the globally optimal schedule (found by\n\
+         the exhaustive search) probes it first and gets the second AND node's\n\
+         heart-rate leaf for free. Per-AND optimality is not global optimality\n\
+         under sharing (naive baseline: {base:.4} energy/eval)."
+    );
+}

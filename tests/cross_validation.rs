@@ -1,0 +1,173 @@
+//! Cross-validation of every cost evaluator against every other.
+//!
+//! The shared-streams cost semantics is implemented five ways (ground-
+//! truth interpreter, assignment enumeration, AND closed form, literal
+//! Proposition 2, incremental Proposition 2) plus Monte-Carlo. Any
+//! disagreement is a bug in at least one of them; proptest hunts for one.
+
+use paotr::core::cost::{and_eval, assignment, dnf_eval, montecarlo, DnfCostEvaluator};
+use paotr::core::prelude::*;
+use proptest::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng as _;
+use rand::prelude::*;
+
+/// Strategy: a random shared DNF instance with at most `max_leaves`
+/// leaves, `max_terms` terms, `max_streams` streams and items in 1..=4.
+fn dnf_instance(
+    max_terms: usize,
+    max_leaves_per_term: usize,
+    max_streams: usize,
+) -> impl Strategy<Value = DnfInstance> {
+    let leaf = (0..max_streams, 1u32..=4, 0.0f64..=1.0);
+    let term = prop::collection::vec(leaf, 1..=max_leaves_per_term);
+    let terms = prop::collection::vec(term, 1..=max_terms);
+    let costs = prop::collection::vec(0.1f64..10.0, max_streams);
+    (terms, costs).prop_map(move |(terms, costs)| {
+        let catalog = StreamCatalog::from_costs(costs).expect("valid costs");
+        let tree = DnfTree::from_leaves(
+            terms
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .map(|(s, d, p)| {
+                            Leaf::raw(StreamId(s), d, Prob::new(p).expect("in range"))
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("non-empty");
+        DnfInstance::new(tree, catalog).expect("valid instance")
+    })
+}
+
+/// A random permutation of the instance's leaves, as a schedule.
+fn random_schedule(inst: &DnfInstance, seed: u64) -> DnfSchedule {
+    let mut refs: Vec<LeafRef> = inst.tree.leaf_refs().collect();
+    refs.shuffle(&mut StdRng::seed_from_u64(seed));
+    DnfSchedule::new(refs, &inst.tree).expect("permutation of the leaves")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Literal Prop. 2 == incremental evaluator, on arbitrary schedules.
+    #[test]
+    fn literal_equals_incremental(inst in dnf_instance(4, 3, 3), seed in any::<u64>()) {
+        let s = random_schedule(&inst, seed);
+        let literal = dnf_eval::expected_cost(&inst.tree, &inst.catalog, &s);
+        let fast = dnf_eval::expected_cost_fast(&inst.tree, &inst.catalog, &s);
+        prop_assert!((literal - fast).abs() < 1e-9 * (1.0 + literal.abs()),
+            "literal {literal} vs incremental {fast}");
+    }
+
+    /// Analytic Prop. 2 == exact enumeration (the semantics ground truth).
+    #[test]
+    fn analytic_equals_enumeration(inst in dnf_instance(3, 3, 3), seed in any::<u64>()) {
+        prop_assume!(inst.num_leaves() <= 9);
+        let s = random_schedule(&inst, seed);
+        let analytic = dnf_eval::expected_cost(&inst.tree, &inst.catalog, &s);
+        let exact = assignment::dnf_expected_cost(&inst.tree, &inst.catalog, &s);
+        prop_assert!((analytic - exact).abs() < 1e-9 * (1.0 + exact.abs()),
+            "analytic {analytic} vs exact {exact}");
+    }
+
+    /// AND closed form == enumeration on single-term DNF trees.
+    #[test]
+    fn and_closed_form_equals_enumeration(inst in dnf_instance(1, 6, 3), seed in any::<u64>()) {
+        let tree = inst.tree.term(0).as_and_tree();
+        let mut order: Vec<usize> = (0..tree.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let s = AndSchedule::new(order, &tree).expect("permutation");
+        let analytic = and_eval::expected_cost(&tree, &inst.catalog, &s);
+        let exact = assignment::and_tree_expected_cost(&tree, &inst.catalog, &s);
+        prop_assert!((analytic - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// Marginal costs are non-negative and sum to the total.
+    #[test]
+    fn marginals_nonnegative_and_additive(inst in dnf_instance(4, 3, 3), seed in any::<u64>()) {
+        let s = random_schedule(&inst, seed);
+        let mut eval = DnfCostEvaluator::new(&inst.tree, &inst.catalog);
+        let mut sum = 0.0;
+        for &r in s.order() {
+            let m = eval.push(r);
+            prop_assert!(m >= -1e-12, "negative marginal {m}");
+            sum += m;
+        }
+        prop_assert!((sum - eval.total_cost()).abs() < 1e-9);
+    }
+
+    /// Scaling every stream cost by a factor scales every schedule cost
+    /// by the same factor.
+    #[test]
+    fn cost_scales_linearly(inst in dnf_instance(3, 3, 3), lambda in 0.1f64..10.0, seed in any::<u64>()) {
+        let s = random_schedule(&inst, seed);
+        let base = dnf_eval::expected_cost(&inst.tree, &inst.catalog, &s);
+        let mut scaled = inst.catalog.clone();
+        for (id, info) in inst.catalog.iter() {
+            scaled.set_cost(id, info.cost * lambda).expect("valid scaled cost");
+        }
+        let scaled_cost = dnf_eval::expected_cost(&inst.tree, &scaled, &s);
+        prop_assert!((scaled_cost - lambda * base).abs() < 1e-9 * (1.0 + scaled_cost.abs()));
+    }
+
+    /// The general-tree interpreter agrees with the DNF interpreter on
+    /// every truth assignment.
+    #[test]
+    fn general_interpreter_matches_dnf(inst in dnf_instance(3, 2, 3), seed in any::<u64>()) {
+        prop_assume!(inst.num_leaves() <= 6);
+        let s = random_schedule(&inst, seed);
+        let qt = QueryTree::from(inst.tree.clone());
+        let indexer = paotr::core::cost::LeafIndexer::new(&inst.tree);
+        let flat: Vec<usize> = s.order().iter().map(|&r| indexer.flat(r)).collect();
+        let n = inst.num_leaves();
+        for mask in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|b| mask >> b & 1 == 1).collect();
+            let a = paotr::core::cost::execution::execute_dnf(
+                &inst.tree, &inst.catalog, &s, &assignment);
+            let b = paotr::core::cost::execution::execute_query_tree(
+                &qt, &inst.catalog, &flat, &assignment);
+            prop_assert_eq!(a.cost, b.cost);
+            prop_assert_eq!(a.value, b.value);
+        }
+    }
+}
+
+/// Monte-Carlo agrees with the analytic evaluator within 5 standard
+/// errors (deterministic seeds; a single fixed instance batch keeps the
+/// test fast and non-flaky).
+#[test]
+fn montecarlo_confirms_analytic_costs() {
+    let mut seed_rng = StdRng::seed_from_u64(99);
+    for trial in 0..10 {
+        let n_streams = seed_rng.gen_range(1..=3);
+        let catalog = StreamCatalog::from_costs(
+            (0..n_streams).map(|_| seed_rng.gen_range(0.5..5.0)),
+        )
+        .expect("valid costs");
+        let terms: Vec<Vec<Leaf>> = (0..seed_rng.gen_range(1..=3))
+            .map(|_| {
+                (0..seed_rng.gen_range(1..=3))
+                    .map(|_| {
+                        Leaf::raw(
+                            StreamId(seed_rng.gen_range(0..n_streams)),
+                            seed_rng.gen_range(1..=4),
+                            Prob::new(seed_rng.gen_range(0.0..1.0)).expect("in range"),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree = DnfTree::from_leaves(terms).expect("non-empty");
+        let s = DnfSchedule::declaration_order(&tree);
+        let analytic = dnf_eval::expected_cost(&tree, &catalog, &s);
+        let mut rng = StdRng::seed_from_u64(1000 + trial);
+        let est = montecarlo::dnf_cost(&tree, &catalog, &s, 100_000, &mut rng);
+        assert!(
+            est.consistent_with(analytic, 5.0),
+            "trial {trial}: MC {est:?} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration: query language -> scheduling -> simulated
+//! execution, the full pipeline a deployment would run.
+
+use paotr::core::algo::heuristics::Heuristic;
+use paotr::core::cost::dnf_eval;
+use paotr::qlang;
+use paotr::sim::{
+    run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource,
+};
+use std::collections::HashMap;
+
+/// Figure 1(b) of the paper, from source text to an optimized schedule.
+#[test]
+fn figure_1b_parses_schedules_and_costs() {
+    let src = "(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A,10) > 80)";
+    let compiled = qlang::compile_str(src).expect("valid query");
+    assert!(!compiled.tree.is_read_once());
+    let dnf = compiled.tree.as_dnf().expect("DNF shape");
+
+    for h in paotr::core::algo::heuristics::paper_set(3) {
+        let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
+        assert_eq!(s.len(), 4, "{}", h.name());
+        assert!(c.is_finite() && c > 0.0, "{}", h.name());
+        // every heuristic's reported cost must match the evaluator
+        let check = dnf_eval::expected_cost(&dnf, &compiled.catalog, &s);
+        assert!((c - check).abs() < 1e-9, "{}: {c} vs {check}", h.name());
+    }
+}
+
+/// The sharing effect from the paper's introduction: with stream A shared
+/// between AVG(A,5) and MAX(A,10), the second leaf pays at most 5 extra
+/// items, and the optimal schedule exploits it.
+#[test]
+fn shared_stream_reduces_optimal_cost() {
+    let shared = qlang::compile_str("AVG(A,5) < 70 @0.6 AND MAX(A,10) > 80 @0.7").unwrap();
+    let split = qlang::compile_str("AVG(A,5) < 70 @0.6 AND MAX(B,10) > 80 @0.7").unwrap();
+    let shared_tree = shared.tree.as_dnf().unwrap();
+    let split_tree = split.tree.as_dnf().unwrap();
+    let (_, shared_cost) =
+        paotr::core::algo::exhaustive::dnf_optimal(&shared_tree, &shared.catalog);
+    let (_, split_cost) =
+        paotr::core::algo::exhaustive::dnf_optimal(&split_tree, &split.catalog);
+    assert!(
+        shared_cost < split_cost,
+        "sharing must be cheaper: {shared_cost} vs {split_cost}"
+    );
+}
+
+fn hr_sensors() -> Vec<SensorSource> {
+    vec![
+        SensorSource::new(SensorModel::Sine {
+            offset: 85.0,
+            amplitude: 25.0,
+            period: 131.0,
+            noise: 5.0,
+        }),
+        SensorSource::new(SensorModel::RandomWalk {
+            start: 0.96,
+            step: 0.01,
+            min: 0.80,
+            max: 1.0,
+        }),
+    ]
+}
+
+/// Full pipeline: calibration estimates probabilities that match the
+/// signal's actual behaviour, and the optimized schedule's *measured*
+/// energy tracks the skeleton's *predicted* expected cost.
+#[test]
+fn calibrated_prediction_matches_measured_energy() {
+    let src = "AVG(hr,5) > 100 OR MIN(spo2,4) < 0.9";
+    let expr = qlang::parse(src).unwrap();
+    let mut costs = HashMap::new();
+    costs.insert("hr".into(), 1.0);
+    costs.insert("spo2".into(), 4.0);
+    let compiled = qlang::compile(&expr, &costs).unwrap();
+    let query = qlang::to_sim_query(&expr, &compiled).unwrap();
+
+    let config = PipelineConfig {
+        warmup_evaluations: 400,
+        measure_evaluations: 2000,
+        ticks_between: 3,
+        policy: MemoryPolicy::ClearEachQuery,
+        seed: 7,
+    };
+    let report = run_pipeline(&query, hr_sensors(), &compiled.catalog, config, |t, c| {
+        Heuristic::AndIncCOverPDynamic.schedule(t, c)
+    });
+
+    // Predicted expected cost of the chosen schedule on the calibrated
+    // skeleton.
+    let predicted =
+        dnf_eval::expected_cost(&report.skeleton, &compiled.catalog, &report.schedule);
+    let measured = report.mean_cost;
+    // Leaf outcomes are *not* independent in the simulator (windows
+    // overlap, signals autocorrelate), so we only require coarse
+    // agreement: within 30% relative error.
+    let rel = (predicted - measured).abs() / measured.max(1e-9);
+    assert!(
+        rel < 0.30,
+        "prediction {predicted:.3} vs measurement {measured:.3} (rel {rel:.2})"
+    );
+}
+
+/// The memory-retention policy can only reduce energy, and the engine's
+/// accounting is consistent.
+#[test]
+fn retention_only_helps() {
+    let src = "AVG(hr,8) > 100 OR MIN(spo2,6) < 0.9";
+    let expr = qlang::parse(src).unwrap();
+    let compiled = qlang::compile(&expr, &HashMap::new()).unwrap();
+    let query = qlang::to_sim_query(&expr, &compiled).unwrap();
+    let base = PipelineConfig {
+        warmup_evaluations: 100,
+        measure_evaluations: 500,
+        ticks_between: 2,
+        policy: MemoryPolicy::ClearEachQuery,
+        seed: 11,
+    };
+    let clear = run_pipeline(&query, hr_sensors(), &compiled.catalog, base, |t, c| {
+        Heuristic::AndIncCOverPStatic.schedule(t, c)
+    });
+    let retain = run_pipeline(
+        &query,
+        hr_sensors(),
+        &compiled.catalog,
+        PipelineConfig { policy: MemoryPolicy::Retain, ..base },
+        |t, c| Heuristic::AndIncCOverPStatic.schedule(t, c),
+    );
+    assert!(retain.mean_cost <= clear.mean_cost + 1e-9);
+    assert!(retain.items_pulled.iter().sum::<u64>() <= clear.items_pulled.iter().sum::<u64>());
+}
+
+/// Generator -> heuristics -> stats: the whole experiment stack holds its
+/// invariants on a slice of the Figure 5 grid.
+#[test]
+fn experiment_stack_smoke() {
+    use paotr_stats::{best_counts, Profile};
+    let heuristics = paotr::core::algo::heuristics::paper_set(5);
+    let mut costs_matrix = Vec::new();
+    let mut optimal = Vec::new();
+    for config in (0..216).step_by(36) {
+        for instance in 0..3 {
+            let inst = paotr::gen::fig5_instance(config, instance);
+            let costs: Vec<f64> = heuristics
+                .iter()
+                .map(|h| h.schedule_with_cost(&inst.tree, &inst.catalog).1)
+                .collect();
+            if inst.num_leaves() <= 10 {
+                let (_, opt) =
+                    paotr::core::algo::exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+                for &c in &costs {
+                    assert!(c >= opt - 1e-9, "heuristic beat the optimum: {c} < {opt}");
+                }
+                optimal.push(opt);
+            }
+            costs_matrix.push(costs);
+        }
+    }
+    let wins = best_counts(&costs_matrix);
+    assert_eq!(wins.len(), heuristics.len());
+    assert!(wins.iter().sum::<usize>() >= costs_matrix.len());
+    // Profiles built from these ratios are monotone by construction.
+    let ratios: Vec<f64> = costs_matrix.iter().map(|row| row[9] / row[8].max(1e-12)).collect();
+    let p = Profile::new("dyn C/p vs dyn C", &ratios);
+    assert!(p.ratio_at(0.0) <= p.ratio_at(100.0));
+}

@@ -1,0 +1,115 @@
+//! Property tests for the query language: display/parse round-trips and
+//! compile invariants.
+
+use paotr::qlang::{self, Agg, CmpOp, Expr, PredicateAst};
+use proptest::prelude::*;
+
+fn agg_strategy() -> impl Strategy<Value = Agg> {
+    prop_oneof![
+        Just(Agg::Avg),
+        Just(Agg::Max),
+        Just(Agg::Min),
+        Just(Agg::Sum),
+        Just(Agg::Last),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)]
+}
+
+fn pred_strategy() -> impl Strategy<Value = PredicateAst> {
+    (
+        agg_strategy(),
+        0usize..6,
+        1u32..=20,
+        cmp_strategy(),
+        -50i32..150,
+        prop::option::of(0u32..=100),
+    )
+        .prop_map(|(agg, stream, window, cmp, threshold, prob)| PredicateAst {
+            agg,
+            stream: format!("s{stream}"),
+            window,
+            cmp,
+            threshold: f64::from(threshold),
+            prob: prob.map(|p| f64::from(p) / 100.0),
+        })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = pred_strategy().prop_map(Expr::Pred);
+    leaf.prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            prop::collection::vec(inner, 2..4).prop_map(Expr::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing an expression and re-parsing it yields an equivalent
+    /// expression (modulo probability formatting, which Display preserves
+    /// exactly for our two-decimal annotations).
+    #[test]
+    fn display_parse_roundtrip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = qlang::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on `{printed}`: {e}"));
+        prop_assert_eq!(&reparsed, &expr, "source: {}", printed);
+    }
+
+    /// Compilation discovers each distinct stream exactly once and maps
+    /// every predicate to a leaf with the declared window.
+    #[test]
+    fn compile_preserves_counts(expr in expr_strategy()) {
+        let compiled = match qlang::compile(&expr, &Default::default()) {
+            Ok(c) => c,
+            // single-predicate trees wrapped in 1-ary operators cannot
+            // occur (strategy builds 2..4 children), so compile succeeds
+            Err(e) => return Err(TestCaseError::fail(format!("compile failed: {e}"))),
+        };
+        prop_assert_eq!(compiled.tree.num_leaves(), expr.num_predicates());
+        // stream count == number of distinct stream names in the source
+        let mut names = std::collections::BTreeSet::new();
+        collect_streams(&expr, &mut names);
+        prop_assert_eq!(compiled.catalog.len(), names.len());
+    }
+}
+
+fn collect_streams(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match e {
+        Expr::Pred(p) => {
+            out.insert(p.stream.clone());
+        }
+        Expr::And(cs) | Expr::Or(cs) => {
+            for c in cs {
+                collect_streams(c, out);
+            }
+        }
+    }
+}
+
+/// Error paths produce positioned diagnostics.
+#[test]
+fn parse_errors_carry_positions() {
+    for (src, expect) in [
+        ("", "expected a predicate"),
+        ("AVG(A,5)", "comparison"),
+        ("A < 1 AND", "predicate"),
+        ("A < 1 @ 2", "probability"),
+        ("FOO(A, 3) < 1", "unknown aggregate"),
+    ] {
+        let err = qlang::parse(src).expect_err(src);
+        assert!(
+            err.message.contains(expect),
+            "`{src}`: message `{}` should mention `{expect}`",
+            err.message
+        );
+        assert!(err.offset <= src.len());
+        // render never panics and points inside the line
+        let _ = err.render(src);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-test versions of the paper's theorems.
+//!
+//! * Theorem 1 — Algorithm 1 is optimal for shared AND-trees;
+//! * Proposition 1 — same-stream leaves go in increasing item order;
+//! * Theorem 2 — depth-first schedules are dominant for DNF trees;
+//! * read-once degenerations — Algorithm 1 collapses to Smith's greedy,
+//!   the AND-ordered C/p heuristic collapses to Greiner's optimal
+//!   algorithm;
+//! * Section V — non-linear strategies never lose to schedules, and tie
+//!   exactly on read-once instances.
+
+use paotr::core::algo::{exhaustive, greedy, nonlinear, read_once_dnf, smith};
+use paotr::core::cost::{and_eval, dnf_eval};
+use paotr::core::prelude::*;
+use proptest::prelude::*;
+
+fn and_tree(max_leaves: usize, max_streams: usize) -> impl Strategy<Value = (AndTree, StreamCatalog)> {
+    let leaf = (0..max_streams, 1u32..=5, 0.0f64..=1.0);
+    let leaves = prop::collection::vec(leaf, 1..=max_leaves);
+    let costs = prop::collection::vec(0.1f64..10.0, max_streams);
+    (leaves, costs).prop_map(|(leaves, costs)| {
+        let catalog = StreamCatalog::from_costs(costs).expect("valid costs");
+        let tree = AndTree::new(
+            leaves
+                .into_iter()
+                .map(|(s, d, p)| Leaf::raw(StreamId(s), d, Prob::new(p).expect("in range")))
+                .collect(),
+        )
+        .expect("non-empty");
+        (tree, catalog)
+    })
+}
+
+fn dnf(max_terms: usize, max_per_term: usize, max_streams: usize) -> impl Strategy<Value = DnfInstance> {
+    let leaf = (0..max_streams, 1u32..=3, 0.0f64..=1.0);
+    let term = prop::collection::vec(leaf, 1..=max_per_term);
+    let terms = prop::collection::vec(term, 1..=max_terms);
+    let costs = prop::collection::vec(0.1f64..10.0, max_streams);
+    (terms, costs).prop_map(|(terms, costs)| {
+        let catalog = StreamCatalog::from_costs(costs).expect("valid costs");
+        let tree = DnfTree::from_leaves(
+            terms
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .map(|(s, d, p)| Leaf::raw(StreamId(s), d, Prob::new(p).expect("valid")))
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("non-empty");
+        DnfInstance::new(tree, catalog).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: Algorithm 1 matches exhaustive search over all m!
+    /// permutations.
+    #[test]
+    fn algorithm_1_is_optimal((tree, catalog) in and_tree(7, 4)) {
+        let (_, greedy_cost) = greedy::schedule_with_cost(&tree, &catalog);
+        let (_, best) = exhaustive::and_all_permutations(&tree, &catalog);
+        prop_assert!(greedy_cost <= best + 1e-9 * (1.0 + best.abs()),
+            "greedy {greedy_cost} vs exhaustive {best}");
+    }
+
+    /// Proposition 1: in Algorithm 1's output, same-stream leaves appear
+    /// in non-decreasing item order.
+    #[test]
+    fn same_stream_leaves_increasing((tree, catalog) in and_tree(10, 3)) {
+        let s = greedy::schedule(&tree, &catalog);
+        let mut high = vec![0u32; catalog.len()];
+        for &j in s.order() {
+            let l = tree.leaf(j);
+            prop_assert!(l.items >= high[l.stream.0]);
+            high[l.stream.0] = l.items;
+        }
+    }
+
+    /// Theorem 2: restricting the exhaustive search to depth-first
+    /// schedules loses nothing.
+    #[test]
+    fn depth_first_dominance(inst in dnf(3, 2, 3)) {
+        prop_assume!(inst.num_leaves() <= 6);
+        let (_, df) = exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+        let (_, all) = exhaustive::dnf_all_schedules(&inst.tree, &inst.catalog);
+        prop_assert!((df - all).abs() < 1e-9 * (1.0 + all.abs()),
+            "depth-first {df} vs unrestricted {all}");
+    }
+
+    /// Read-once AND-trees: Algorithm 1 and Smith's greedy coincide in
+    /// cost (the paper's shared algorithm generalizes [7]).
+    #[test]
+    fn read_once_reduces_to_smith(leaves in prop::collection::vec((1u32..=5, 0.0f64..0.999), 1..=8)) {
+        let costs: Vec<f64> = (0..leaves.len()).map(|i| 1.0 + i as f64).collect();
+        let catalog = StreamCatalog::from_costs(costs).expect("valid");
+        let tree = AndTree::new(
+            leaves.iter().enumerate()
+                .map(|(s, &(d, p))| Leaf::raw(StreamId(s), d, Prob::new(p).expect("valid")))
+                .collect(),
+        ).expect("non-empty");
+        let a = and_eval::expected_cost(&tree, &catalog, &greedy::schedule(&tree, &catalog));
+        let b = and_eval::expected_cost(&tree, &catalog, &smith::schedule(&tree, &catalog));
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    /// Read-once DNF trees: Greiner's algorithm is optimal, and the
+    /// static AND-ordered C/p heuristic achieves the same cost.
+    #[test]
+    fn read_once_dnf_optimality(term_sizes in prop::collection::vec(1usize..=2, 1..=3),
+                                seed in any::<u64>()) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut costs = Vec::new();
+        let terms: Vec<Vec<Leaf>> = term_sizes.iter().map(|&m| {
+            (0..m).map(|_| {
+                let s = costs.len();
+                costs.push(rng.gen_range(0.5..8.0));
+                Leaf::raw(StreamId(s), rng.gen_range(1..=4),
+                          Prob::new(rng.gen_range(0.0..1.0)).expect("valid"))
+            }).collect()
+        }).collect();
+        let tree = DnfTree::from_leaves(terms).expect("non-empty");
+        let catalog = StreamCatalog::from_costs(costs).expect("valid");
+        prop_assume!(tree.num_leaves() <= 6);
+
+        let greiner = dnf_eval::expected_cost(&tree, &catalog,
+            &read_once_dnf::schedule(&tree, &catalog));
+        let heuristic = Heuristic::AndIncCOverPStatic.schedule_with_cost(&tree, &catalog).1;
+        let (_, optimal) = exhaustive::dnf_all_schedules(&tree, &catalog);
+        prop_assert!(greiner <= optimal + 1e-9 * (1.0 + optimal.abs()),
+            "greiner {greiner} vs optimal {optimal}");
+        prop_assert!((heuristic - greiner).abs() < 1e-9 * (1.0 + greiner.abs()),
+            "static C/p heuristic {heuristic} vs greiner {greiner}");
+    }
+
+    /// Section V: the optimal non-linear strategy never exceeds the
+    /// optimal schedule, and ties exactly on read-once instances.
+    #[test]
+    fn nonlinear_strategies_dominate_schedules(inst in dnf(3, 2, 3)) {
+        prop_assume!(inst.num_leaves() <= 6);
+        let (linear, non_linear) = nonlinear::linearity_gap(&inst.tree, &inst.catalog);
+        prop_assert!(non_linear <= linear + 1e-9 * (1.0 + linear.abs()));
+        if inst.tree.is_read_once() {
+            prop_assert!((linear - non_linear).abs() < 1e-9 * (1.0 + linear.abs()),
+                "read-once gap: {linear} vs {non_linear}");
+        }
+    }
+}
+
+/// The B&B search options are all lossless (fixed-seed batch).
+#[test]
+fn search_reductions_are_lossless() {
+    use paotr::core::algo::exhaustive::{dnf_search, SearchOptions};
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(2718);
+    for _ in 0..25 {
+        let n_streams = rng.gen_range(1..=3);
+        let catalog = StreamCatalog::from_costs(
+            (0..n_streams).map(|_| rng.gen_range(0.5..8.0)),
+        )
+        .expect("valid");
+        let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(2..=3))
+            .map(|_| {
+                (0..rng.gen_range(1..=3))
+                    .map(|_| {
+                        Leaf::raw(
+                            StreamId(rng.gen_range(0..n_streams)),
+                            rng.gen_range(1..=3),
+                            Prob::new(rng.gen_range(0.0..1.0)).expect("valid"),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree = DnfTree::from_leaves(terms).expect("non-empty");
+        let full = dnf_search(
+            &tree,
+            &catalog,
+            SearchOptions { prune: false, prop1_ordering: false, ..Default::default() },
+        );
+        for opts in [
+            SearchOptions::default(),
+            SearchOptions { prop1_ordering: false, ..Default::default() },
+            SearchOptions { prune: false, ..Default::default() },
+        ] {
+            let r = dnf_search(&tree, &catalog, opts);
+            assert!(
+                (r.cost - full.cost).abs() < 1e-9,
+                "reduction changed the optimum: {} vs {}",
+                r.cost,
+                full.cost
+            );
+        }
+    }
+}
