@@ -7,9 +7,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paotr_core::algo::exhaustive::{dnf_search, SearchOptions};
-use paotr_core::algo::{greedy, smith};
-use paotr_gen::{fig4_grid, random_and_instance, random_dnf_instance, AndConfig, DnfConfig,
-                ParamDistributions, Shape};
+use paotr_core::plan::planners::{GreedyPlanner, SmithPlanner};
+use paotr_core::plan::{Planner as _, QueryRef};
+use paotr_gen::{
+    fig4_grid, random_and_instance, random_dnf_instance, AndConfig, DnfConfig, ParamDistributions,
+    Shape,
+};
 use rand::prelude::*;
 use std::hint::black_box;
 
@@ -18,13 +21,19 @@ fn bench_and_schedulers(c: &mut Criterion) {
     let dist = ParamDistributions::paper();
     for m in [5usize, 20, 100, 500] {
         let mut rng = StdRng::seed_from_u64(m as u64);
-        let (tree, catalog) =
-            random_and_instance(AndConfig { leaves: m, rho: 2.0 }, &dist, &mut rng);
+        let (tree, catalog) = random_and_instance(
+            AndConfig {
+                leaves: m,
+                rho: 2.0,
+            },
+            &dist,
+            &mut rng,
+        );
         group.bench_with_input(BenchmarkId::new("algorithm_1", m), &tree, |b, tree| {
-            b.iter(|| black_box(greedy::schedule(tree, &catalog)))
+            b.iter(|| black_box(GreedyPlanner.plan(&QueryRef::from(tree), &catalog)))
         });
         group.bench_with_input(BenchmarkId::new("smith", m), &tree, |b, tree| {
-            b.iter(|| black_box(smith::schedule(tree, &catalog)))
+            b.iter(|| black_box(SmithPlanner.plan(&QueryRef::from(tree), &catalog)))
         });
     }
     group.finish();
@@ -36,7 +45,11 @@ fn bench_dnf_branch_and_bound(c: &mut Criterion) {
     let dist = ParamDistributions::paper();
     let mut rng = StdRng::seed_from_u64(31337);
     let inst = random_dnf_instance(
-        DnfConfig { terms: 4, shape: Shape::TotalWithCap { total: 12, cap: 4 }, rho: 2.0 },
+        DnfConfig {
+            terms: 4,
+            shape: Shape::TotalWithCap { total: 12, cap: 4 },
+            rho: 2.0,
+        },
         &dist,
         &mut rng,
     );
@@ -44,7 +57,10 @@ fn bench_dnf_branch_and_bound(c: &mut Criterion) {
     for (name, opts) in [
         (
             "full_reductions",
-            SearchOptions { incumbent: incumbent * (1.0 + 1e-9), ..Default::default() },
+            SearchOptions {
+                incumbent: incumbent * (1.0 + 1e-9),
+                ..Default::default()
+            },
         ),
         (
             "no_prop1",
@@ -75,12 +91,9 @@ fn bench_fig4_config_sweep(c: &mut Criterion) {
             for i in 0..100u64 {
                 let mut rng = StdRng::seed_from_u64(i);
                 let (tree, catalog) = random_and_instance(config, &dist, &mut rng);
-                let (_, opt) = greedy::schedule_with_cost(&tree, &catalog);
-                let ro = paotr_core::cost::and_eval::expected_cost(
-                    &tree,
-                    &catalog,
-                    &smith::schedule(&tree, &catalog),
-                );
+                let q = QueryRef::from(&tree);
+                let opt = GreedyPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
+                let ro = SmithPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
                 total += ro / opt.max(1e-300);
             }
             black_box(total)

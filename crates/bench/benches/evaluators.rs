@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn instance(terms: usize, per_term: usize, rho: f64, seed: u64) -> DnfInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     random_dnf_instance(
-        DnfConfig { terms, shape: Shape::PerTerm(per_term), rho },
+        DnfConfig {
+            terms,
+            shape: Shape::PerTerm(per_term),
+            rho,
+        },
         &ParamDistributions::paper(),
         &mut rng,
     )
@@ -89,7 +93,13 @@ fn bench_and_evaluator(c: &mut Criterion) {
         .expect("non-empty");
         let schedule = AndSchedule::identity(m);
         group.bench_with_input(BenchmarkId::from_parameter(m), &tree, |b, tree| {
-            b.iter(|| black_box(and_eval::expected_cost(tree, &catalog, black_box(&schedule))))
+            b.iter(|| {
+                black_box(and_eval::expected_cost(
+                    tree,
+                    &catalog,
+                    black_box(&schedule),
+                ))
+            })
         });
     }
     group.finish();

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use paotr_core::algo::exhaustive::{dnf_search, SearchOptions};
 use paotr_core::algo::heuristics::paper_set;
-use paotr_core::algo::{greedy, smith};
-use paotr_core::cost::and_eval;
+use paotr_core::plan::planners::{GreedyPlanner, SmithPlanner};
+use paotr_core::plan::{Planner as _, QueryRef};
 use paotr_gen::{fig4_instance, fig5_instance, fig6_instance};
 use std::hint::black_box;
 
@@ -19,9 +19,9 @@ fn bench_fig4_pipeline(c: &mut Criterion) {
             let mut acc = 0.0;
             for i in 0..50 {
                 let (tree, catalog) = fig4_instance(i * 3 % 157, i);
-                let (_, opt) = greedy::schedule_with_cost(&tree, &catalog);
-                let ro =
-                    and_eval::expected_cost(&tree, &catalog, &smith::schedule(&tree, &catalog));
+                let q = QueryRef::from(&tree);
+                let opt = GreedyPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
+                let ro = SmithPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
                 acc += ro / opt.max(1e-300);
             }
             black_box(acc)
@@ -82,5 +82,10 @@ fn bench_fig6_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig4_pipeline, bench_fig5_pipeline, bench_fig6_pipeline);
+criterion_group!(
+    benches,
+    bench_fig4_pipeline,
+    bench_fig5_pipeline,
+    bench_fig6_pipeline
+);
 criterion_main!(benches);

@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn instance(terms: usize, per_term: usize) -> DnfInstance {
     let mut rng = StdRng::seed_from_u64((terms * 1000 + per_term) as u64);
     random_dnf_instance(
-        DnfConfig { terms, shape: Shape::PerTerm(per_term), rho: 2.0 },
+        DnfConfig {
+            terms,
+            shape: Shape::PerTerm(per_term),
+            rho: 2.0,
+        },
         &ParamDistributions::paper(),
         &mut rng,
     )
@@ -48,9 +52,7 @@ fn bench_heuristic_scaling(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    black_box(
-                        Heuristic::AndIncCOverPDynamic.schedule(&inst.tree, &inst.catalog),
-                    )
+                    black_box(Heuristic::AndIncCOverPDynamic.schedule(&inst.tree, &inst.catalog))
                 })
             },
         );

@@ -2,7 +2,8 @@
 //! scaling against the serial baseline on experiment-shaped workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paotr_core::algo::greedy;
+use paotr_core::plan::planners::GreedyPlanner;
+use paotr_core::plan::{Planner as _, QueryRef};
 use paotr_gen::{random_and_instance, AndConfig, ParamDistributions};
 use paotr_par::ThreadCount;
 use rand::prelude::*;
@@ -12,11 +13,17 @@ use std::hint::black_box;
 fn fig4_task(i: usize) -> f64 {
     let mut rng = StdRng::seed_from_u64(i as u64);
     let (tree, catalog) = random_and_instance(
-        AndConfig { leaves: 20, rho: 2.0 },
+        AndConfig {
+            leaves: 20,
+            rho: 2.0,
+        },
         &ParamDistributions::paper(),
         &mut rng,
     );
-    greedy::schedule_with_cost(&tree, &catalog).1
+    GreedyPlanner
+        .plan(&QueryRef::from(&tree), &catalog)
+        .expect("plans")
+        .cost_or_nan()
 }
 
 fn bench_par_tasks(c: &mut Criterion) {
@@ -28,8 +35,7 @@ fn bench_par_tasks(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let out =
-                        paotr_par::par_tasks(256, ThreadCount::Fixed(threads), fig4_task);
+                    let out = paotr_par::par_tasks(256, ThreadCount::Fixed(threads), fig4_task);
                     black_box(out.iter().sum::<f64>())
                 })
             },

@@ -8,7 +8,7 @@ use paotr_core::prelude::*;
 use rand::prelude::*;
 use std::hint::black_box;
 use stream_sim::{
-    Comparator, EnergyModel, Engine, MemoryPolicy, Predicate, PipelineConfig, SensorModel,
+    Comparator, EnergyModel, Engine, MemoryPolicy, PipelineConfig, Predicate, SensorModel,
     SensorSource, SimLeaf, SimQuery, SimStream, WindowOp,
 };
 
@@ -35,16 +35,34 @@ fn query() -> (SimQuery, StreamCatalog) {
 
 fn sensors() -> Vec<SensorSource> {
     vec![
-        SensorSource::new(SensorModel::Sine { offset: 82.0, amplitude: 24.0, period: 181.0, noise: 4.0 }),
-        SensorSource::new(SensorModel::Spiky { base: 0.8, spike: 0.05, spike_prob: 0.25, noise: 0.15 }),
-        SensorSource::new(SensorModel::RandomWalk { start: 0.97, step: 0.005, min: 0.85, max: 1.0 }),
+        SensorSource::new(SensorModel::Sine {
+            offset: 82.0,
+            amplitude: 24.0,
+            period: 181.0,
+            noise: 4.0,
+        }),
+        SensorSource::new(SensorModel::Spiky {
+            base: 0.8,
+            spike: 0.05,
+            spike_prob: 0.25,
+            noise: 0.15,
+        }),
+        SensorSource::new(SensorModel::RandomWalk {
+            start: 0.97,
+            step: 0.005,
+            min: 0.85,
+            max: 1.0,
+        }),
     ]
 }
 
 fn bench_stream_advance(c: &mut Criterion) {
     c.bench_function("stream_advance_x1000", |b| {
         let mut stream = SimStream::new(
-            SensorSource::new(SensorModel::Gaussian { mean: 0.0, std_dev: 1.0 }),
+            SensorSource::new(SensorModel::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            }),
             64,
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -58,13 +76,19 @@ fn bench_stream_advance(c: &mut Criterion) {
 fn bench_engine_evaluation(c: &mut Criterion) {
     let (q, cat) = query();
     let mut rng = StdRng::seed_from_u64(2);
-    let mut streams: Vec<SimStream> =
-        sensors().into_iter().map(|s| SimStream::new(s, 32)).collect();
+    let mut streams: Vec<SimStream> = sensors()
+        .into_iter()
+        .map(|s| SimStream::new(s, 32))
+        .collect();
     for s in &mut streams {
         s.advance_by(16, &mut rng);
     }
     let schedule = DnfSchedule::from_order_unchecked(q.leaf_refs());
-    let mut engine = Engine::new(cat.len(), MemoryPolicy::ClearEachQuery, EnergyModel::from_catalog(&cat));
+    let mut engine = Engine::new(
+        cat.len(),
+        MemoryPolicy::ClearEachQuery,
+        EnergyModel::from_catalog(&cat),
+    );
     c.bench_function("engine_evaluate", |b| {
         b.iter(|| black_box(engine.evaluate(&q, &schedule, &streams, None)))
     });
@@ -93,5 +117,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stream_advance, bench_engine_evaluation, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_stream_advance,
+    bench_engine_evaluation,
+    bench_full_pipeline
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let cat = &compiled.catalog;
 
     println!("Leaf metrics (leaf-ordered heuristics sort by these):");
-    println!("{:<10} {:<10} {:>8} {:>8} {:>8} {:>10}", "leaf", "stream", "d", "C=d*c", "q", "C/q");
+    println!(
+        "{:<10} {:<10} {:>8} {:>8} {:>8} {:>10}",
+        "leaf", "stream", "d", "C=d*c", "q", "C/q"
+    );
     for (r, leaf) in dnf.leaves() {
         let c = leaf.standalone_cost(cat);
         let q = leaf.fail();
@@ -41,9 +44,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("\nAND-node metrics (AND-ordered heuristics; leaves via Algorithm 1):");
     println!("{:<8} {:>10} {:>8} {:>10}", "AND", "C", "p", "C/p");
     for (i, term) in dnf.terms().iter().enumerate() {
+        use paotr_core::plan::{planners::GreedyPlanner, Planner, QueryRef};
         let at = term.as_and_tree();
-        let s = paotr_core::algo::greedy::schedule(&at, cat);
-        let (c, p) = and_eval::expected_cost_and_prob(&at, cat, &s);
+        let plan = GreedyPlanner
+            .plan(&QueryRef::from(&at), cat)
+            .map_err(|e| e.to_string())?;
+        let s = plan
+            .body
+            .as_and()
+            .expect("AND-tree planner emits an AND schedule");
+        let (c, p) = and_eval::expected_cost_and_prob(&at, cat, s);
         let ratio = if p > 0.0 { c / p } else { f64::INFINITY };
         println!("and{:<5} {:>10.4} {:>8.4} {:>10.4}", i + 1, c, p, ratio);
     }

@@ -53,10 +53,12 @@ fn print_help() {
          \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
-         heuristic names: stream-ordered, leaf-random, leaf-dec-q, leaf-inc-c,\n\
-         \x20 leaf-inc-cq, and-dec-p, and-inc-c-stat, and-inc-cp-stat,\n\
-         \x20 and-inc-c-dyn, and-inc-cp-dyn (default)"
+         planner names (for --heuristic; default and-inc-cp-dyn):"
     );
+    // One source of truth: the registry, not a hand-rolled name table.
+    let registry = paotr_core::plan::PlannerRegistry::with_defaults();
+    let names = registry.names().join(", ");
+    println!("  {names}");
 }
 
 /// Shared argument plumbing for the subcommands.
@@ -85,10 +87,12 @@ pub(crate) fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         if flag == "--costs" {
             let spec = value.clone().ok_or("--costs expects e.g. A=1,B=2.5")?;
             for pair in spec.split(',') {
-                let (name, cost) =
-                    pair.split_once('=').ok_or_else(|| format!("bad cost `{pair}`"))?;
-                let cost: f64 =
-                    cost.parse().map_err(|_| format!("bad cost value `{cost}`"))?;
+                let (name, cost) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad cost `{pair}`"))?;
+                let cost: f64 = cost
+                    .parse()
+                    .map_err(|_| format!("bad cost value `{cost}`"))?;
                 costs.insert(name.trim().to_string(), cost);
             }
         } else {
@@ -96,34 +100,47 @@ pub(crate) fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         }
         i += if value.is_some() { 2 } else { 1 };
     }
-    Ok(CommonArgs { query: query.clone(), costs, rest })
-}
-
-/// Resolves a heuristic by CLI name.
-pub(crate) fn heuristic_by_name(
-    name: &str,
-    seed: u64,
-) -> Result<paotr_core::algo::heuristics::Heuristic, String> {
-    use paotr_core::algo::heuristics::Heuristic;
-    Ok(match name {
-        "stream-ordered" => Heuristic::StreamOrdered(Default::default()),
-        "leaf-random" => Heuristic::LeafRandom { seed },
-        "leaf-dec-q" => Heuristic::LeafDecQ,
-        "leaf-inc-c" => Heuristic::LeafIncC,
-        "leaf-inc-cq" => Heuristic::LeafIncCOverQ,
-        "and-dec-p" => Heuristic::AndDecP,
-        "and-inc-c-stat" => Heuristic::AndIncCStatic,
-        "and-inc-cp-stat" => Heuristic::AndIncCOverPStatic,
-        "and-inc-c-dyn" => Heuristic::AndIncCDynamic,
-        "and-inc-cp-dyn" => Heuristic::AndIncCOverPDynamic,
-        other => return Err(format!("unknown heuristic `{other}` (see --help)")),
+    Ok(CommonArgs {
+        query: query.clone(),
+        costs,
+        rest,
     })
 }
 
+/// Plans `query` with the planner named `name`, honoring `--seed` for
+/// the seeded heuristics. The accepted names are exactly
+/// [`paotr_core::plan::PlannerRegistry::names`]; heuristic names parse
+/// through [`Heuristic`](paotr_core::algo::heuristics::Heuristic)'s
+/// `FromStr`, so the CLI has no name table of its own.
+pub(crate) fn plan_by_name<'a>(
+    engine: &paotr_core::plan::Engine,
+    name: &str,
+    seed: u64,
+    query: impl Into<paotr_core::plan::QueryRef<'a>>,
+    catalog: &paotr_core::stream::StreamCatalog,
+) -> Result<paotr_core::plan::Plan, String> {
+    use paotr_core::algo::heuristics::Heuristic;
+    use paotr_core::plan::{planners::HeuristicPlanner, Planner};
+    if engine.registry().get(name).is_none() {
+        return Err(format!("unknown planner `{name}` (see --help)"));
+    }
+    match name.parse::<Heuristic>() {
+        // Seeded heuristics bypass the cache so --seed is honored.
+        Ok(h) if h.with_seed(seed) != h => HeuristicPlanner::new(h.with_seed(seed))
+            .plan(&query.into(), catalog)
+            .map_err(|e| e.to_string()),
+        _ => engine
+            .plan_with(name, query, catalog)
+            .map_err(|e| e.to_string()),
+    }
+}
+
 /// Parses the query and compiles it against the cost table.
-pub(crate) fn compile(common: &CommonArgs) -> Result<(paotr_qlang::Expr, paotr_qlang::Compiled), String> {
-    let expr = paotr_qlang::parse(&common.query)
-        .map_err(|e| format!("\n{}", e.render(&common.query)))?;
+pub(crate) fn compile(
+    common: &CommonArgs,
+) -> Result<(paotr_qlang::Expr, paotr_qlang::Compiled), String> {
+    let expr =
+        paotr_qlang::parse(&common.query).map_err(|e| format!("\n{}", e.render(&common.query)))?;
     let compiled = paotr_qlang::compile(&expr, &common.costs)
         .map_err(|e| format!("\n{}", e.render(&common.query)))?;
     Ok((expr, compiled))

@@ -1,42 +1,58 @@
 //! `paotr schedule` — compute and price schedules for a query.
+//!
+//! All planning is routed through [`paotr_core::plan::Engine`]: the
+//! default planner per query class, `--heuristic NAME` for any registry
+//! planner, `--all` for the paper's heuristic set, `--optimal` for the
+//! exhaustive baseline.
 
-use crate::{compile, heuristic_by_name, parse_common};
-use paotr_core::algo::exhaustive;
-use paotr_core::algo::heuristics::paper_set;
-use paotr_core::cost::dnf_eval;
+use crate::{compile, parse_common, plan_by_name};
+use paotr_core::plan::{Engine, Plan, QueryRef};
 use paotr_core::tree::display;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;
     let (_, compiled) = compile(&common)?;
+    let engine = Engine::new();
+
+    let print_one = |plan: &Plan| {
+        let cost = match plan.expected_cost {
+            Some(c) => format!("{c:<10.4}"),
+            None => "(n/a)     ".to_string(),
+        };
+        println!(
+            "{:<28} E[cost] = {cost} {}",
+            plan.planner,
+            plan.body_display()
+        );
+    };
+
     let Some(dnf) = compiled.tree.as_dnf() else {
-        // General trees: use the recursive heuristic.
-        let order = paotr_core::algo::general::schedule(&compiled.tree, &compiled.catalog);
+        // General trees: the engine dispatches to the recursive heuristic.
+        let query = QueryRef::from(&compiled.tree);
+        let plan = engine
+            .plan(query, &compiled.catalog)
+            .map_err(|e| e.to_string())?;
         println!("{}", display::render_query_tree(&compiled.tree));
-        println!("general AND-OR tree ({} leaves); recursive heuristic order:", order.len());
-        println!("  {:?}", order);
-        if compiled.tree.num_leaves() <= 12 {
-            let cost = paotr_core::algo::general::expected_cost(
-                &compiled.tree,
-                &compiled.catalog,
-                &order,
-            );
-            println!("  expected cost: {cost:.6}");
-        }
+        println!(
+            "general AND-OR tree ({} leaves); `{}` planner order:",
+            compiled.tree.num_leaves(),
+            plan.planner
+        );
+        print_one(&plan);
         return Ok(());
     };
 
     println!("{}", display::render_dnf_named(&dnf, &compiled.catalog));
     let mut which_all = false;
     let mut which_optimal = false;
-    let mut heuristic_name = "and-inc-cp-dyn".to_string();
+    let mut planner_name: Option<String> = None;
     let mut seed = 42u64;
     for (flag, value) in &common.rest {
         match flag.as_str() {
             "--all" => which_all = true,
             "--optimal" => which_optimal = true,
-            "--heuristic" => {
-                heuristic_name = value.clone().ok_or("--heuristic expects a name")?;
+            "--heuristic" | "--planner" => {
+                planner_name = Some(value.clone().ok_or("--heuristic expects a name")?);
             }
             "--seed" => {
                 seed = value
@@ -48,28 +64,29 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let print_one = |name: &str, schedule: &paotr_core::schedule::DnfSchedule, cost: f64| {
-        println!("{name:<28} E[cost] = {cost:<10.4} {schedule}");
-    };
-
+    let query = QueryRef::from(&dnf);
     if which_all {
-        for h in paper_set(seed) {
-            let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
-            print_one(h.name(), &s, c);
+        // Iterate the registry's paper-set view, not a hard-coded list.
+        for planner in engine.registry().paper_set() {
+            let plan = plan_by_name(&engine, planner.name(), seed, query, &compiled.catalog)?;
+            print_one(&plan);
         }
     } else {
-        let h = heuristic_by_name(&heuristic_name, seed)?;
-        let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
-        print_one(h.name(), &s, c);
+        let name = planner_name.unwrap_or_else(|| "and-inc-cp-dyn".to_string());
+        let plan = plan_by_name(&engine, &name, seed, query, &compiled.catalog)?;
+        print_one(&plan);
     }
     if which_optimal || which_all {
-        if dnf.num_leaves() <= 24 {
-            let (s, c) = exhaustive::dnf_optimal(&dnf, &compiled.catalog);
-            let check = dnf_eval::expected_cost(&dnf, &compiled.catalog, &s);
-            debug_assert!((c - check).abs() < 1e-9);
-            print_one("OPTIMAL (exhaustive DF)", &s, c);
-        } else {
-            println!("(tree too large for the exhaustive optimum; {} leaves)", dnf.num_leaves());
+        match engine.plan_with("exhaustive", query, &compiled.catalog) {
+            Ok(plan) => {
+                println!(
+                    "{:<28} E[cost] = {:<10.4} {}",
+                    "OPTIMAL (exhaustive DF)",
+                    plan.cost_or_nan(),
+                    plan.body_display()
+                );
+            }
+            Err(e) => println!("(no exhaustive optimum: {e})"),
         }
     }
     Ok(())

@@ -7,11 +7,9 @@
 //! best heuristic, and reports measured energy.
 
 use crate::{compile, parse_common};
-use paotr_core::algo::heuristics::Heuristic;
+use paotr_core::plan::Engine;
 use paotr_qlang::Expr;
-use stream_sim::{
-    run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource,
-};
+use stream_sim::{run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;
@@ -55,7 +53,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 .fold(0.0f64, f64::max)
                 .max(mean.abs() * 0.25)
                 .max(1.0);
-            SensorSource::new(SensorModel::Gaussian { mean, std_dev: spread })
+            SensorSource::new(SensorModel::Gaussian {
+                mean,
+                std_dev: spread,
+            })
         })
         .collect();
 
@@ -66,15 +67,32 @@ pub fn run(args: &[String]) -> Result<(), String> {
         policy,
         seed,
     };
+    // The engine picks the class default: Greiner on read-once queries,
+    // the paper's best heuristic on shared ones. Calibration re-plans
+    // with refreshed probabilities, so the plan cache carries repeats.
+    let engine = Engine::new();
     let report = run_pipeline(&query, models, &compiled.catalog, config, |tree, cat| {
-        Heuristic::AndIncCOverPDynamic.schedule(tree, cat)
+        engine
+            .plan(tree, cat)
+            .ok()
+            .and_then(|p| p.body.to_dnf_schedule(tree))
+            .expect("DNF queries always plan to a schedule")
     });
 
-    println!("calibrated probabilities : {:?}",
-        report.estimated_probs.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "calibrated probabilities : {:?}",
+        report
+            .estimated_probs
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     println!("chosen schedule          : {}", report.schedule);
     println!("energy per evaluation    : {:.4}", report.mean_cost);
-    println!("query TRUE rate          : {:.1}%", report.truth_rate * 100.0);
+    println!(
+        "query TRUE rate          : {:.1}%",
+        report.truth_rate * 100.0
+    );
     for (k, items) in report.items_pulled.iter().enumerate() {
         println!(
             "items pulled from {:<6} : {items}",
@@ -88,8 +106,9 @@ fn collect_thresholds(expr: &Expr, stream: &str) -> Vec<f64> {
     match expr {
         Expr::Pred(p) if p.stream == stream => vec![p.threshold],
         Expr::Pred(_) => Vec::new(),
-        Expr::And(cs) | Expr::Or(cs) => {
-            cs.iter().flat_map(|c| collect_thresholds(c, stream)).collect()
-        }
+        Expr::And(cs) | Expr::Or(cs) => cs
+            .iter()
+            .flat_map(|c| collect_thresholds(c, stream))
+            .collect(),
     }
 }

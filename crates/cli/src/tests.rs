@@ -1,7 +1,7 @@
 //! Unit tests for CLI argument handling.
 
-use crate::{heuristic_by_name, parse_common};
-use paotr_core::algo::heuristics::Heuristic;
+use crate::{parse_common, plan_by_name};
+use paotr_core::plan::Engine;
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
@@ -22,7 +22,10 @@ fn collects_unknown_flags_for_subcommands() {
     let a = args(&["A < 1", "--heuristic", "leaf-inc-c", "--all"]);
     let c = parse_common(&a).unwrap();
     assert_eq!(c.rest.len(), 2);
-    assert_eq!(c.rest[0], ("--heuristic".to_string(), Some("leaf-inc-c".to_string())));
+    assert_eq!(
+        c.rest[0],
+        ("--heuristic".to_string(), Some("leaf-inc-c".to_string()))
+    );
     assert_eq!(c.rest[1], ("--all".to_string(), None));
 }
 
@@ -39,26 +42,38 @@ fn rejects_malformed_costs() {
 }
 
 #[test]
-fn resolves_every_documented_heuristic_name() {
-    for name in [
-        "stream-ordered",
-        "leaf-random",
-        "leaf-dec-q",
-        "leaf-inc-c",
-        "leaf-inc-cq",
-        "and-dec-p",
-        "and-inc-c-stat",
-        "and-inc-cp-stat",
-        "and-inc-c-dyn",
-        "and-inc-cp-dyn",
-    ] {
-        assert!(heuristic_by_name(name, 1).is_ok(), "{name}");
+fn accepts_exactly_the_registry_names() {
+    let engine = Engine::new();
+    let query = paotr_qlang::compile_str("(A < 1 AND B < 2) OR A > 9").unwrap();
+    let dnf = query.tree.as_dnf().unwrap();
+    // every registry name is accepted (planners that do not support the
+    // query class report UnsupportedQuery, not an unknown-name error)
+    for name in engine.registry().names() {
+        match plan_by_name(&engine, name, 1, &dnf, &query.catalog) {
+            Ok(plan) => assert_eq!(plan.planner, name),
+            Err(e) => assert!(
+                e.contains("does not support"),
+                "`{name}` should be a known planner, got: {e}"
+            ),
+        }
     }
-    assert!(heuristic_by_name("bogus", 1).is_err());
-    assert!(matches!(
-        heuristic_by_name("and-inc-cp-dyn", 1).unwrap(),
-        Heuristic::AndIncCOverPDynamic
-    ));
+    // ...and nothing else is
+    let err = plan_by_name(&engine, "bogus", 1, &dnf, &query.catalog).unwrap_err();
+    assert!(err.contains("unknown planner"), "{err}");
+}
+
+#[test]
+fn seed_flag_reaches_the_random_heuristic() {
+    let engine = Engine::new();
+    let query = paotr_qlang::compile_str("(A < 1 AND B < 2) OR (C < 3 AND D < 4)").unwrap();
+    let dnf = query.tree.as_dnf().unwrap();
+    let a = plan_by_name(&engine, "leaf-random", 7, &dnf, &query.catalog).unwrap();
+    let b = plan_by_name(&engine, "leaf-random", 7, &dnf, &query.catalog).unwrap();
+    assert_eq!(a, b, "same seed, same plan");
+    let c = (0..32)
+        .map(|s| plan_by_name(&engine, "leaf-random", s, &dnf, &query.catalog).unwrap())
+        .any(|p| p != a);
+    assert!(c, "some seed must permute four leaves differently");
 }
 
 #[test]

@@ -31,9 +31,16 @@ pub const MAX_AND_EXHAUSTIVE: usize = 12;
 ///
 /// # Panics
 /// Panics when the tree has more than [`MAX_AND_EXHAUSTIVE`] leaves.
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::ExhaustivePlanner (or Engine::plan_with(\"exhaustive\", ..)) instead"
+)]
 pub fn and_all_permutations(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
     let m = tree.len();
-    assert!(m <= MAX_AND_EXHAUSTIVE, "exhaustive search over {m}! permutations is intractable");
+    assert!(
+        m <= MAX_AND_EXHAUSTIVE,
+        "exhaustive search over {m}! permutations is intractable"
+    );
 
     struct Ctx<'a> {
         tree: &'a AndTree,
@@ -143,6 +150,10 @@ pub struct SearchResult {
 
 /// Optimal DNF schedule over **depth-first** schedules (the paper's
 /// exhaustive baseline for Figure 5) with default pruning options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::ExhaustivePlanner (or Engine::plan_with(\"exhaustive\", ..)) instead"
+)]
 pub fn dnf_optimal(tree: &DnfTree, catalog: &StreamCatalog) -> (DnfSchedule, f64) {
     let r = dnf_search(tree, catalog, SearchOptions::default());
     (r.schedule, r.cost)
@@ -155,7 +166,11 @@ pub fn dnf_all_schedules(tree: &DnfTree, catalog: &StreamCatalog) -> (DnfSchedul
     let r = dnf_search(
         tree,
         catalog,
-        SearchOptions { depth_first_only: false, prop1_ordering: false, ..Default::default() },
+        SearchOptions {
+            depth_first_only: false,
+            prop1_ordering: false,
+            ..Default::default()
+        },
     );
     (r.schedule, r.cost)
 }
@@ -183,18 +198,16 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
 
     fn candidates(term: &TermState, prop1: bool) -> Vec<LeafRef> {
         if prop1 {
-            term.queues.iter().filter_map(|q| q.first().copied()).collect()
+            term.queues
+                .iter()
+                .filter_map(|q| q.first().copied())
+                .collect()
         } else {
             term.queues.iter().flatten().copied().collect()
         }
     }
 
-    fn rec(
-        ctx: &mut Ctx,
-        eval: &DnfCostEvaluator<'_>,
-        terms: &[TermState],
-        open: Option<usize>,
-    ) {
+    fn rec(ctx: &mut Ctx, eval: &DnfCostEvaluator<'_>, terms: &[TermState], open: Option<usize>) {
         if ctx.stats.nodes >= ctx.opts.node_limit {
             ctx.truncated = true;
             return;
@@ -212,7 +225,9 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
         }
         let term_choices: Vec<usize> = match open {
             Some(i) if ctx.opts.depth_first_only => vec![i],
-            _ => (0..terms.len()).filter(|&i| terms[i].remaining > 0).collect(),
+            _ => (0..terms.len())
+                .filter(|&i| terms[i].remaining > 0)
+                .collect(),
         };
         // Expand children cheapest-first: a good first descent gives a
         // near-optimal incumbent immediately, which makes the cost-bound
@@ -242,7 +257,11 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
                 .expect("candidate comes from a queue");
             q.retain(|&x| x != r);
             terms2[ti].remaining -= 1;
-            let open2 = if terms2[ti].remaining > 0 { Some(ti) } else { None };
+            let open2 = if terms2[ti].remaining > 0 {
+                Some(ti)
+            } else {
+                None
+            };
             ctx.prefix.push(r);
             rec(ctx, &eval2, &terms2, open2);
             ctx.prefix.pop();
@@ -254,15 +273,19 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
     let terms: Vec<TermState> = (0..tree.num_terms())
         .map(|i| {
             let mut queues: Vec<Vec<LeafRef>> = vec![Vec::new(); n_streams];
-            let mut refs: Vec<LeafRef> =
-                (0..tree.term(i).len()).map(|j| LeafRef::new(i, j)).collect();
+            let mut refs: Vec<LeafRef> = (0..tree.term(i).len())
+                .map(|j| LeafRef::new(i, j))
+                .collect();
             // increasing d, ties by leaf index: the Proposition 1 order
             refs.sort_by_key(|&r| (tree.leaf(r).items, r.leaf));
             for r in refs {
                 queues[tree.leaf(r).stream.0].push(r);
             }
             queues.retain(|q| !q.is_empty());
-            TermState { queues, remaining: tree.term(i).len() }
+            TermState {
+                queues,
+                remaining: tree.term(i).len(),
+            }
         })
         .collect();
 
@@ -282,7 +305,10 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
     // found, re-run once without an incumbent to recover a schedule.
     if ctx.best.is_empty() {
         let mut ctx2 = Ctx {
-            opts: SearchOptions { incumbent: f64::INFINITY, ..opts },
+            opts: SearchOptions {
+                incumbent: f64::INFINITY,
+                ..opts
+            },
             total_leaves,
             best_cost: f64::INFINITY,
             best: Vec::new(),
@@ -305,6 +331,10 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cost::dnf_eval;
     use crate::leaf::Leaf;
@@ -316,7 +346,11 @@ mod tests {
         Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
     }
 
-    fn random_instance(rng: &mut StdRng, max_terms: usize, max_leaves: usize) -> (DnfTree, StreamCatalog) {
+    fn random_instance(
+        rng: &mut StdRng,
+        max_terms: usize,
+        max_leaves: usize,
+    ) -> (DnfTree, StreamCatalog) {
         let n_streams = rng.gen_range(1..=3);
         let cat =
             StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
@@ -379,7 +413,10 @@ mod tests {
             let without = dnf_search(
                 &t,
                 &cat,
-                SearchOptions { prop1_ordering: false, ..Default::default() },
+                SearchOptions {
+                    prop1_ordering: false,
+                    ..Default::default()
+                },
             );
             assert!(
                 (with.cost - without.cost).abs() < 1e-9,
@@ -396,7 +433,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let (t, cat) = random_instance(&mut rng, 3, 8);
         let pruned = dnf_search(&t, &cat, SearchOptions::default());
-        let full = dnf_search(&t, &cat, SearchOptions { prune: false, ..Default::default() });
+        let full = dnf_search(
+            &t,
+            &cat,
+            SearchOptions {
+                prune: false,
+                ..Default::default()
+            },
+        );
         assert!((pruned.cost - full.cost).abs() < 1e-9);
         assert!(pruned.stats.nodes <= full.stats.nodes);
     }
@@ -412,7 +456,10 @@ mod tests {
             let r = dnf_search(
                 &t,
                 &cat,
-                SearchOptions { incumbent: base, ..Default::default() },
+                SearchOptions {
+                    incumbent: base,
+                    ..Default::default()
+                },
             );
             assert!(r.schedule.len() == t.num_leaves());
             let c = dnf_eval::expected_cost(&t, &cat, &r.schedule);

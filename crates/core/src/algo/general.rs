@@ -30,6 +30,10 @@ struct Plan {
 
 /// Computes a depth-first heuristic schedule for a general AND-OR tree,
 /// returned as an order over flat leaf indices (left-to-right numbering).
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::GeneralPlanner (or Engine::plan, the general-tree default) instead"
+)]
 pub fn schedule(tree: &QueryTree, catalog: &StreamCatalog) -> Vec<usize> {
     let mut next_leaf = 0usize;
     let plan = plan_node(tree.root(), catalog, &mut next_leaf);
@@ -48,8 +52,10 @@ fn plan_node(node: &Node, catalog: &StreamCatalog, next_leaf: &mut usize) -> Pla
             }
         }
         Node::And(children) => {
-            let mut plans: Vec<Plan> =
-                children.iter().map(|c| plan_node(c, catalog, next_leaf)).collect();
+            let mut plans: Vec<Plan> = children
+                .iter()
+                .map(|c| plan_node(c, catalog, next_leaf))
+                .collect();
             // Smith's rule: increasing C/q; q = 0 (certain subtrees) go
             // last unless free.
             plans.sort_by(|a, b| {
@@ -60,8 +66,10 @@ fn plan_node(node: &Node, catalog: &StreamCatalog, next_leaf: &mut usize) -> Pla
             combine(plans, /*and=*/ true)
         }
         Node::Or(children) => {
-            let mut plans: Vec<Plan> =
-                children.iter().map(|c| plan_node(c, catalog, next_leaf)).collect();
+            let mut plans: Vec<Plan> = children
+                .iter()
+                .map(|c| plan_node(c, catalog, next_leaf))
+                .collect();
             // The OR dual: increasing C/p.
             plans.sort_by(|a, b| {
                 ratio(a.cost, a.prob)
@@ -121,7 +129,10 @@ pub const MAX_GENERAL_EXHAUSTIVE: usize = 8;
 /// Panics when the tree has more than [`MAX_GENERAL_EXHAUSTIVE`] leaves.
 pub fn optimal(tree: &QueryTree, catalog: &StreamCatalog) -> (Vec<usize>, f64) {
     let l = tree.num_leaves();
-    assert!(l <= MAX_GENERAL_EXHAUSTIVE, "exhaustive search over {l}! orders is intractable");
+    assert!(
+        l <= MAX_GENERAL_EXHAUSTIVE,
+        "exhaustive search over {l}! orders is intractable"
+    );
     let mut order: Vec<usize> = (0..l).collect();
     let mut best_order = order.clone();
     let mut best = f64::INFINITY;
@@ -149,6 +160,10 @@ fn permute(arr: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::leaf::Leaf;
     use crate::prob::Prob;
@@ -161,7 +176,11 @@ mod tests {
 
     fn random_tree(rng: &mut StdRng, depth: usize, max_streams: usize) -> Node {
         if depth == 0 || rng.gen_bool(0.4) {
-            return leaf(rng.gen_range(0..max_streams), rng.gen_range(1..=3), rng.gen_range(0.05..0.95));
+            return leaf(
+                rng.gen_range(0..max_streams),
+                rng.gen_range(1..=3),
+                rng.gen_range(0.05..0.95),
+            );
         }
         let children: Vec<Node> = (0..rng.gen_range(2..=3))
             .map(|_| random_tree(rng, depth - 1, max_streams))
@@ -193,10 +212,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(62);
         for _ in 0..30 {
             let m = rng.gen_range(2..=5);
-            let cat =
-                StreamCatalog::from_costs((0..m).map(|_| rng.gen_range(0.5..8.0))).unwrap();
-            let children: Vec<Node> =
-                (0..m).map(|s| leaf(s, rng.gen_range(1..=4), rng.gen_range(0.05..0.95))).collect();
+            let cat = StreamCatalog::from_costs((0..m).map(|_| rng.gen_range(0.5..8.0))).unwrap();
+            let children: Vec<Node> = (0..m)
+                .map(|s| leaf(s, rng.gen_range(1..=4), rng.gen_range(0.05..0.95)))
+                .collect();
             let t = QueryTree::new(Node::And(children)).unwrap();
             let h = expected_cost(&t, &cat, &schedule(&t, &cat));
             let (_, opt) = optimal(&t, &cat);
@@ -221,13 +240,19 @@ mod tests {
             let h = expected_cost(&t, &cat, &schedule(&t, &cat));
             let (_, opt) = optimal(&t, &cat);
             assert!(h >= opt - 1e-9, "heuristic beat the optimum?");
-            assert!(h <= 2.0 * opt + 1e-9, "heuristic {h} too far from optimal {opt}");
+            assert!(
+                h <= 2.0 * opt + 1e-9,
+                "heuristic {h} too far from optimal {opt}"
+            );
             total_h += h;
             total_opt += opt;
             checked += 1;
         }
         assert!(checked >= 20, "not enough instances exercised");
-        assert!(total_h <= 1.25 * total_opt, "aggregate gap too large: {total_h} vs {total_opt}");
+        assert!(
+            total_h <= 1.25 * total_opt,
+            "aggregate gap too large: {total_h} vs {total_opt}"
+        );
     }
 
     /// On DNF-shaped general trees, the recursion must agree with the

@@ -34,6 +34,10 @@ struct Best {
 
 /// Computes an optimal schedule for a shared AND-tree — Algorithm 1,
 /// `O(m^2)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
+)]
 pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
     // L_k sets: remaining leaves per stream, sorted by increasing d
     // (Proposition 1: same-stream leaves are scheduled in increasing d).
@@ -74,7 +78,12 @@ pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
                 } else {
                     cost / (1.0 - proba)
                 };
-                let candidate = Best { ratio, stream: si, chain_end: ci, cost };
+                let candidate = Best {
+                    ratio,
+                    stream: si,
+                    chain_end: ci,
+                    cost,
+                };
                 let better = match &best {
                     None => true,
                     Some(b) => {
@@ -101,6 +110,11 @@ pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
 }
 
 /// Convenience: schedule and return the schedule's expected cost.
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
+)]
+#[allow(deprecated)] // shim calls its deprecated sibling
 pub fn schedule_with_cost(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
     let s = schedule(tree, catalog);
     let c = crate::cost::and_eval::expected_cost(tree, catalog, &s);
@@ -109,6 +123,10 @@ pub fn schedule_with_cost(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedu
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::algo::{exhaustive, smith};
     use crate::cost::and_eval;
@@ -144,10 +162,8 @@ mod tests {
         for trial in 0..300 {
             let n_streams = rng.gen_range(1..=4);
             let m = rng.gen_range(1..=7);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(1.0..10.0)),
-            )
-            .unwrap();
+            let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0)))
+                .unwrap();
             let leaves: Vec<Leaf> = (0..m)
                 .map(|_| {
                     leaf(
@@ -172,8 +188,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..100 {
             let m = rng.gen_range(1..=8);
-            let cat =
-                StreamCatalog::from_costs((0..m).map(|_| rng.gen_range(1.0..10.0))).unwrap();
+            let cat = StreamCatalog::from_costs((0..m).map(|_| rng.gen_range(1.0..10.0))).unwrap();
             let leaves: Vec<Leaf> = (0..m)
                 .map(|s| leaf(s, rng.gen_range(1..=5), rng.gen_range(0.0..0.999)))
                 .collect();
@@ -192,7 +207,11 @@ mod tests {
             let cat = StreamCatalog::from_costs([3.0, 1.0]).unwrap();
             let leaves: Vec<Leaf> = (0..m)
                 .map(|_| {
-                    leaf(rng.gen_range(0..2), rng.gen_range(1..=5), rng.gen_range(0.0..1.0))
+                    leaf(
+                        rng.gen_range(0..2),
+                        rng.gen_range(1..=5),
+                        rng.gen_range(0.0..1.0),
+                    )
                 })
                 .collect();
             let t = AndTree::new(leaves).unwrap();

@@ -69,6 +69,9 @@ struct TermPlan {
     prob: f64,
 }
 
+// Algorithm 1 is this heuristic's internal machinery for ordering the
+// leaves within one AND node, not a consumer-facing entry point.
+#[allow(deprecated)]
 fn plan_terms(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<TermPlan> {
     tree.terms()
         .iter()
@@ -78,7 +81,11 @@ fn plan_terms(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<TermPlan> {
             let s = crate::algo::greedy::schedule(&at, catalog);
             let (static_cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
             let refs = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
-            TermPlan { refs, static_cost, prob }
+            TermPlan {
+                refs,
+                static_cost,
+                prob,
+            }
         })
         .collect()
 }
@@ -97,10 +104,14 @@ pub fn schedule(
             idx.sort_by(|&a, &b| {
                 let ka = static_key(&plans[a], key);
                 let kb = static_key(&plans[b], key);
-                ka.partial_cmp(&kb).expect("keys are never NaN").then(a.cmp(&b))
+                ka.partial_cmp(&kb)
+                    .expect("keys are never NaN")
+                    .then(a.cmp(&b))
             });
-            let order: Vec<LeafRef> =
-                idx.into_iter().flat_map(|i| plans[i].refs.iter().copied()).collect();
+            let order: Vec<LeafRef> = idx
+                .into_iter()
+                .flat_map(|i| plans[i].refs.iter().copied())
+                .collect();
             DnfSchedule::from_order_unchecked(order)
         }
         CostMode::Dynamic => dynamic_schedule(tree, catalog, key, &plans),
@@ -160,6 +171,10 @@ fn dynamic_schedule(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cost::dnf_eval;
     use crate::leaf::Leaf;
@@ -186,7 +201,11 @@ mod tests {
     #[test]
     fn all_variants_produce_valid_depth_first_schedules() {
         let (t, cat) = shared_tree();
-        for key in [AndKey::DecreasingP, AndKey::IncreasingC, AndKey::IncreasingCOverP] {
+        for key in [
+            AndKey::DecreasingP,
+            AndKey::IncreasingC,
+            AndKey::IncreasingCOverP,
+        ] {
             for mode in [CostMode::Static, CostMode::Dynamic] {
                 let s = schedule(&t, &cat, key, mode);
                 assert!(DnfSchedule::new(s.order().to_vec(), &t).is_ok());
@@ -242,10 +261,8 @@ mod tests {
         let mut dyn_total = 0.0;
         for _ in 0..50 {
             let n_streams = rng.gen_range(1..=3);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(1.0..10.0)),
-            )
-            .unwrap();
+            let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0)))
+                .unwrap();
             let n_terms = rng.gen_range(2..=4);
             let terms: Vec<Vec<Leaf>> = (0..n_terms)
                 .map(|_| {

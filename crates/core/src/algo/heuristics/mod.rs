@@ -21,7 +21,7 @@ pub use leaf_ordered::LeafKey;
 pub use stream_ordered::{Config as StreamConfig, LeafOrder, StreamOrder};
 
 /// One of the paper's polynomial-time DNF scheduling heuristics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Heuristic {
     /// "Stream-ord." — Lim et al. [4], with the paper's Proposition-1 leaf
     /// order improvement by default.
@@ -70,6 +70,47 @@ impl Heuristic {
         }
     }
 
+    /// The stable kebab-case identifier, shared by [`FromStr`],
+    /// [`std::fmt::Display`], the CLI's `--heuristic` flag, and the
+    /// planner registry (`crate::plan::PlannerRegistry`).
+    ///
+    /// `LeafRandom` maps to `leaf-random` regardless of its seed; parsing
+    /// restores the default seed ([`Heuristic::DEFAULT_RANDOM_SEED`]),
+    /// which [`Heuristic::with_seed`] can override.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Heuristic::StreamOrdered(c) => match (c.stream_order, c.leaf_order) {
+                (StreamOrder::IncreasingR, LeafOrder::IncreasingD) => "stream-ordered",
+                (StreamOrder::IncreasingR, LeafOrder::DecreasingD) => "stream-ordered-dec-d",
+                (StreamOrder::DecreasingR, LeafOrder::IncreasingD) => "stream-ordered-dec-r",
+                (StreamOrder::DecreasingR, LeafOrder::DecreasingD) => "stream-ordered-dec-r-dec-d",
+            },
+            Heuristic::LeafRandom { .. } => "leaf-random",
+            Heuristic::LeafDecQ => "leaf-dec-q",
+            Heuristic::LeafIncC => "leaf-inc-c",
+            Heuristic::LeafIncCOverQ => "leaf-inc-cq",
+            Heuristic::AndDecP => "and-dec-p",
+            Heuristic::AndIncCStatic => "and-inc-c-stat",
+            Heuristic::AndIncCOverPStatic => "and-inc-cp-stat",
+            Heuristic::AndIncCDynamic => "and-inc-c-dyn",
+            Heuristic::AndIncCOverPDynamic => "and-inc-cp-dyn",
+        }
+    }
+
+    /// Seed that [`FromStr`] gives `leaf-random`.
+    pub const DEFAULT_RANDOM_SEED: u64 = 42;
+
+    /// Returns `self` with the RNG seed replaced, for the variants that
+    /// have one (currently only `leaf-random`); other heuristics are
+    /// returned unchanged.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Heuristic {
+        match self {
+            Heuristic::LeafRandom { .. } => Heuristic::LeafRandom { seed },
+            other => other,
+        }
+    }
+
     /// Computes the heuristic's schedule for an instance.
     pub fn schedule(&self, tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
         match *self {
@@ -111,6 +152,44 @@ impl Heuristic {
         let c = dnf_eval::expected_cost_fast(tree, catalog, &s);
         (s, c)
     }
+}
+
+impl std::fmt::Display for Heuristic {
+    /// Prints the stable kebab-case id (see [`Heuristic::id`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl std::str::FromStr for Heuristic {
+    type Err = crate::error::Error;
+
+    /// Parses a stable kebab-case id (see [`Heuristic::id`]); the inverse
+    /// of [`std::fmt::Display`] for every heuristic in [`all_variants`].
+    fn from_str(s: &str) -> crate::error::Result<Heuristic> {
+        all_variants()
+            .into_iter()
+            .find(|h| h.id() == s)
+            .ok_or_else(|| crate::error::Error::UnknownPlanner(s.to_string()))
+    }
+}
+
+/// Every heuristic variant with a distinct [`Heuristic::id`]: the paper's
+/// ten plus the three stream-ordered ablations.
+pub fn all_variants() -> Vec<Heuristic> {
+    let mut out = paper_set(Heuristic::DEFAULT_RANDOM_SEED);
+    for stream_order in [StreamOrder::IncreasingR, StreamOrder::DecreasingR] {
+        for leaf_order in [LeafOrder::IncreasingD, LeafOrder::DecreasingD] {
+            let config = StreamConfig {
+                stream_order,
+                leaf_order,
+            };
+            if config != StreamConfig::default() {
+                out.push(Heuristic::StreamOrdered(config));
+            }
+        }
+    }
+    out
 }
 
 /// The ten heuristics of the paper's Figures 5 and 6, in legend order.
@@ -180,7 +259,11 @@ mod tests {
         let (t, cat) = tree();
         for h in paper_set(7) {
             let (s, c) = h.schedule_with_cost(&t, &cat);
-            assert!(DnfSchedule::new(s.order().to_vec(), &t).is_ok(), "{}", h.name());
+            assert!(
+                DnfSchedule::new(s.order().to_vec(), &t).is_ok(),
+                "{}",
+                h.name()
+            );
             assert!(c.is_finite() && c >= 0.0, "{}", h.name());
         }
     }
@@ -207,6 +290,46 @@ mod tests {
         ] {
             assert!(h.schedule(&t, &cat).is_depth_first(&t), "{}", h.name());
         }
+    }
+
+    #[test]
+    fn ids_round_trip_through_fromstr_and_display() {
+        for h in all_variants() {
+            let id = h.id();
+            assert_eq!(h.to_string(), id);
+            let parsed: Heuristic = id.parse().unwrap();
+            assert_eq!(parsed.id(), id);
+            assert_eq!(parsed, h, "{id} must parse back to the same variant");
+        }
+        assert!("no-such-heuristic".parse::<Heuristic>().is_err());
+    }
+
+    #[test]
+    fn ids_are_distinct_and_kebab_case() {
+        let ids: Vec<&str> = all_variants().iter().map(|h| h.id()).collect();
+        let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate heuristic id");
+        for id in ids {
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "`{id}` is not kebab-case"
+            );
+        }
+    }
+
+    #[test]
+    fn with_seed_only_affects_leaf_random() {
+        let h = Heuristic::LeafRandom { seed: 1 }.with_seed(9);
+        assert_eq!(h, Heuristic::LeafRandom { seed: 9 });
+        assert_eq!(Heuristic::LeafDecQ.with_seed(9), Heuristic::LeafDecQ);
+        let parsed: Heuristic = "leaf-random".parse().unwrap();
+        assert_eq!(
+            parsed,
+            Heuristic::LeafRandom {
+                seed: Heuristic::DEFAULT_RANDOM_SEED
+            }
+        );
     }
 
     #[test]

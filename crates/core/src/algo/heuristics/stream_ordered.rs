@@ -34,7 +34,7 @@ use crate::stream::{StreamCatalog, StreamId};
 use crate::tree::DnfTree;
 
 /// Direction in which the `R(S)` metric orders the streams.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StreamOrder {
     /// Increasing `R` — the paper's literal prescription (default).
     #[default]
@@ -44,7 +44,7 @@ pub enum StreamOrder {
 }
 
 /// Order of a stream's leaves within its block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LeafOrder {
     /// Increasing `d` — the paper's Proposition-1-improved variant
     /// (default; used for the paper's experiments).
@@ -55,7 +55,7 @@ pub enum LeafOrder {
 }
 
 /// Configuration of the stream-ordered heuristic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Config {
     /// Stream ordering direction.
     pub stream_order: StreamOrder,
@@ -78,7 +78,11 @@ pub fn stream_metrics(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<(StreamId,
                 power += leaf.fail() * shortcut;
                 max_cost = max_cost.max(leaf.standalone_cost(catalog));
             }
-            let r_value = if max_cost <= 0.0 { 0.0 } else { power / max_cost };
+            let r_value = if max_cost <= 0.0 {
+                0.0
+            } else {
+                power / max_cost
+            };
             (k, r_value)
         })
         .collect()
@@ -100,12 +104,7 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog, config: Config) -> DnfS
         // groups are pre-sorted by increasing d (ties by address)
         let mut refs = groups[&k].clone();
         if config.leaf_order == LeafOrder::DecreasingD {
-            refs.sort_by(|&a, &b| {
-                tree.leaf(b)
-                    .items
-                    .cmp(&tree.leaf(a).items)
-                    .then(a.cmp(&b))
-            });
+            refs.sort_by(|&a, &b| tree.leaf(b).items.cmp(&tree.leaf(a).items).then(a.cmp(&b)));
         }
         order.extend(refs);
     }
@@ -169,7 +168,10 @@ mod tests {
         let s = schedule(
             &t,
             &cat,
-            Config { leaf_order: LeafOrder::DecreasingD, ..Default::default() },
+            Config {
+                leaf_order: LeafOrder::DecreasingD,
+                ..Default::default()
+            },
         );
         assert_eq!(s.order()[1], LeafRef::new(0, 2)); // d=3 first
         assert_eq!(s.order()[2], LeafRef::new(0, 1));
@@ -181,7 +183,10 @@ mod tests {
         let s = schedule(
             &t,
             &cat,
-            Config { stream_order: StreamOrder::DecreasingR, ..Default::default() },
+            Config {
+                stream_order: StreamOrder::DecreasingR,
+                ..Default::default()
+            },
         );
         let streams: Vec<usize> = s.order().iter().map(|&r| t.leaf(r).stream.0).collect();
         assert_eq!(streams, vec![0, 0, 1, 1, 2]);
@@ -196,10 +201,8 @@ mod tests {
         let mut losses = 0;
         for _ in 0..200 {
             let n_streams = rng.gen_range(1..=4);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(1.0..10.0)),
-            )
-            .unwrap();
+            let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0)))
+                .unwrap();
             let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(2..=4))
                 .map(|_| {
                     (0..rng.gen_range(1..=4))
@@ -214,18 +217,17 @@ mod tests {
                 })
                 .collect();
             let t = DnfTree::from_leaves(terms).unwrap();
-            let inc = dnf_eval::expected_cost(
-                &t,
-                &cat,
-                &schedule(&t, &cat, Config::default()),
-            );
+            let inc = dnf_eval::expected_cost(&t, &cat, &schedule(&t, &cat, Config::default()));
             let dec = dnf_eval::expected_cost(
                 &t,
                 &cat,
                 &schedule(
                     &t,
                     &cat,
-                    Config { leaf_order: LeafOrder::DecreasingD, ..Default::default() },
+                    Config {
+                        leaf_order: LeafOrder::DecreasingD,
+                        ..Default::default()
+                    },
                 ),
             );
             if inc < dec - 1e-12 {
@@ -242,7 +244,14 @@ mod tests {
         let (t, cat) = tree();
         for so in [StreamOrder::IncreasingR, StreamOrder::DecreasingR] {
             for lo in [LeafOrder::IncreasingD, LeafOrder::DecreasingD] {
-                let s = schedule(&t, &cat, Config { stream_order: so, leaf_order: lo });
+                let s = schedule(
+                    &t,
+                    &cat,
+                    Config {
+                        stream_order: so,
+                        leaf_order: lo,
+                    },
+                );
                 assert!(DnfSchedule::new(s.order().to_vec(), &t).is_ok());
             }
         }

@@ -19,4 +19,4 @@ pub mod nonlinear;
 pub mod read_once_dnf;
 pub mod smith;
 
-pub use heuristics::{Heuristic, paper_set};
+pub use heuristics::{paper_set, Heuristic};

@@ -51,7 +51,9 @@ impl Strategy {
     pub fn size(&self) -> usize {
         match self {
             Strategy::Done => 0,
-            Strategy::Probe { on_true, on_false, .. } => 1 + on_true.size() + on_false.size(),
+            Strategy::Probe {
+                on_true, on_false, ..
+            } => 1 + on_true.size() + on_false.size(),
         }
     }
 
@@ -59,9 +61,9 @@ impl Strategy {
     pub fn depth(&self) -> usize {
         match self {
             Strategy::Done => 0,
-            Strategy::Probe { on_true, on_false, .. } => {
-                1 + on_true.depth().max(on_false.depth())
-            }
+            Strategy::Probe {
+                on_true, on_false, ..
+            } => 1 + on_true.depth().max(on_false.depth()),
         }
     }
 
@@ -150,7 +152,11 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, strategy: &Strateg
     fn rec(tree: &DnfTree, catalog: &StreamCatalog, strategy: &Strategy, state: &State) -> f64 {
         match strategy {
             Strategy::Done => 0.0,
-            Strategy::Probe { leaf, on_true, on_false } => {
+            Strategy::Probe {
+                leaf,
+                on_true,
+                on_false,
+            } => {
                 if state.resolved(tree) {
                     return 0.0;
                 }
@@ -208,9 +214,13 @@ pub fn optimal_strategy(tree: &DnfTree, catalog: &StreamCatalog) -> (Strategy, f
     let mut memo: HashMap<State, f64> = HashMap::new();
 
     /// Expands one probe: returns `(pay, true-state, false-state)`.
-    fn step(tree: &DnfTree, catalog: &StreamCatalog, state: &State, r: LeafRef, mask: u32)
-        -> (f64, State, State)
-    {
+    fn step(
+        tree: &DnfTree,
+        catalog: &StreamCatalog,
+        state: &State,
+        r: LeafRef,
+        mask: u32,
+    ) -> (f64, State, State) {
         let l = tree.leaf(r);
         let have = state.acquired[l.stream.0];
         let pay = if l.items > have {
@@ -363,10 +373,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4711);
         for _ in 0..30 {
             let n_streams = rng.gen_range(1..=3);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(0.5..8.0)),
-            )
-            .unwrap();
+            let cat =
+                StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(0.5..8.0))).unwrap();
             let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(1..=3))
                 .map(|_| {
                     (0..rng.gen_range(1..=3))
@@ -442,10 +450,8 @@ mod tests {
         let mut found = false;
         for _ in 0..500 {
             let n_streams = rng.gen_range(2..=3);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(1.0..10.0)),
-            )
-            .unwrap();
+            let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0)))
+                .unwrap();
             let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(2..=3))
                 .map(|_| {
                     (0..rng.gen_range(1..=2))
@@ -470,7 +476,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "no shared instance with a strict linearity gap found");
+        assert!(
+            found,
+            "no shared instance with a strict linearity gap found"
+        );
     }
 
     #[test]
@@ -478,10 +487,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(52);
         for _ in 0..20 {
             let n_streams = rng.gen_range(1..=3);
-            let cat = StreamCatalog::from_costs(
-                (0..n_streams).map(|_| rng.gen_range(1.0..10.0)),
-            )
-            .unwrap();
+            let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0)))
+                .unwrap();
             let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(1..=3))
                 .map(|_| {
                     (0..rng.gen_range(1..=2))

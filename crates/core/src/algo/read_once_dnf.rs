@@ -33,6 +33,11 @@ pub fn or_ratio(cost: f64, success: f64) -> f64 {
 /// Optimal schedule for a read-once DNF tree. The function does not check
 /// the read-once property; on shared trees it degrades into a (reasonable)
 /// heuristic — the paper's static AND-ordered family refines it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::ReadOnceDnfPlanner (or Engine::plan_with(\"read-once-dnf\", ..)) instead"
+)]
+#[allow(deprecated)] // Smith's greedy is this algorithm's internal machinery
 pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
     // Order each AND node with Smith's greedy and summarize it.
     let mut summaries: Vec<(usize, Vec<LeafRef>, f64, f64)> = tree
@@ -43,8 +48,7 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
             let at = term.as_and_tree();
             let s = crate::algo::smith::schedule(&at, catalog);
             let (cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
-            let refs: Vec<LeafRef> =
-                s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
+            let refs: Vec<LeafRef> = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
             (i, refs, cost, prob)
         })
         .collect();
@@ -55,12 +59,19 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
             .expect("ratios are never NaN")
             .then(a.0.cmp(&b.0))
     });
-    let order: Vec<LeafRef> = summaries.into_iter().flat_map(|(_, refs, _, _)| refs).collect();
+    let order: Vec<LeafRef> = summaries
+        .into_iter()
+        .flat_map(|(_, refs, _, _)| refs)
+        .collect();
     DnfSchedule::from_order_unchecked(order)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::algo::exhaustive;
     use crate::cost::dnf_eval;
@@ -88,7 +99,10 @@ mod tests {
             }
             terms.push(t);
         }
-        (DnfTree::from_leaves(terms).unwrap(), StreamCatalog::from_costs(costs).unwrap())
+        (
+            DnfTree::from_leaves(terms).unwrap(),
+            StreamCatalog::from_costs(costs).unwrap(),
+        )
     }
 
     #[test]
@@ -129,11 +143,7 @@ mod tests {
     #[test]
     fn prefers_cheap_likely_and_nodes() {
         // AND1: cost 10, p 0.5 (ratio 20); AND2: cost 1, p 0.9 (ratio ~1.1)
-        let t = DnfTree::from_leaves(vec![
-            vec![leaf(0, 10, 0.5)],
-            vec![leaf(1, 1, 0.9)],
-        ])
-        .unwrap();
+        let t = DnfTree::from_leaves(vec![vec![leaf(0, 10, 0.5)], vec![leaf(1, 1, 0.9)]]).unwrap();
         let cat = StreamCatalog::unit(2);
         let s = schedule(&t, &cat);
         assert_eq!(s.order()[0].term, 1);

@@ -29,6 +29,10 @@ pub fn smith_ratio(items: u32, unit_cost: f64, fail_prob: f64) -> f64 {
 
 /// Schedules an AND-tree by non-decreasing `d*c/q` (ties broken by leaf
 /// index, making the result deterministic).
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::SmithPlanner (or Engine::plan_with(\"smith\", ..)) instead"
+)]
 pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
     let mut order: Vec<usize> = (0..tree.len()).collect();
     order.sort_by(|&a, &b| {
@@ -36,13 +40,19 @@ pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
         let lb = tree.leaf(b);
         let ra = smith_ratio(la.items, catalog.cost(la.stream), la.fail());
         let rb = smith_ratio(lb.items, catalog.cost(lb.stream), lb.fail());
-        ra.partial_cmp(&rb).expect("ratios are never NaN").then(a.cmp(&b))
+        ra.partial_cmp(&rb)
+            .expect("ratios are never NaN")
+            .then(a.cmp(&b))
     });
     AndSchedule::from_order_unchecked(order)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions are this module's subject under
+    // test; the planner-facade equivalents are tested in `plan`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cost::and_eval;
     use crate::leaf::Leaf;
@@ -72,7 +82,10 @@ mod tests {
         let smith_cost = and_eval::expected_cost(&t, &cat, &s);
         let best = AndSchedule::new(vec![0, 1, 2], &t).unwrap();
         let best_cost = and_eval::expected_cost(&t, &cat, &best);
-        assert!(smith_cost > best_cost, "smith {smith_cost} vs best {best_cost}");
+        assert!(
+            smith_cost > best_cost,
+            "smith {smith_cost} vs best {best_cost}"
+        );
         assert!((smith_cost - 2.0).abs() < 1e-12);
         assert!((best_cost - 1.825).abs() < 1e-12);
     }

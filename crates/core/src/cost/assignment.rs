@@ -26,7 +26,10 @@ pub fn and_tree_expected_cost(
     schedule: &AndSchedule,
 ) -> f64 {
     let m = tree.len();
-    assert!(m <= MAX_ENUM_LEAVES, "enumeration over {m} leaves is intractable");
+    assert!(
+        m <= MAX_ENUM_LEAVES,
+        "enumeration over {m} leaves is intractable"
+    );
     let probs: Vec<f64> = tree.leaves().iter().map(|l| l.prob.value()).collect();
     expected_over_assignments(&probs, |assignment| {
         execute_and_tree(tree, catalog, schedule, assignment).cost
@@ -40,7 +43,10 @@ pub fn and_tree_expected_cost(
 /// Panics if the tree has more than [`MAX_ENUM_LEAVES`] leaves.
 pub fn dnf_expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSchedule) -> f64 {
     let m = tree.num_leaves();
-    assert!(m <= MAX_ENUM_LEAVES, "enumeration over {m} leaves is intractable");
+    assert!(
+        m <= MAX_ENUM_LEAVES,
+        "enumeration over {m} leaves is intractable"
+    );
     let probs: Vec<f64> = tree.leaves().map(|(_, l)| l.prob.value()).collect();
     expected_over_assignments(&probs, |assignment| {
         execute_dnf(tree, catalog, schedule, assignment).cost
@@ -58,7 +64,10 @@ pub fn query_tree_expected_cost(
     schedule: &[usize],
 ) -> f64 {
     let m = tree.num_leaves();
-    assert!(m <= MAX_ENUM_LEAVES, "enumeration over {m} leaves is intractable");
+    assert!(
+        m <= MAX_ENUM_LEAVES,
+        "enumeration over {m} leaves is intractable"
+    );
     let probs: Vec<f64> = tree.leaves().iter().map(|l| l.prob.value()).collect();
     expected_over_assignments(&probs, |assignment| {
         execute_query_tree(tree, catalog, schedule, assignment).cost
@@ -69,7 +78,10 @@ pub fn query_tree_expected_cost(
 /// a sanity check for the closed-form `success_prob` methods.
 pub fn dnf_truth_probability(tree: &DnfTree, catalog: &StreamCatalog) -> f64 {
     let m = tree.num_leaves();
-    assert!(m <= MAX_ENUM_LEAVES, "enumeration over {m} leaves is intractable");
+    assert!(
+        m <= MAX_ENUM_LEAVES,
+        "enumeration over {m} leaves is intractable"
+    );
     let probs: Vec<f64> = tree.leaves().map(|(_, l)| l.prob.value()).collect();
     let schedule = DnfSchedule::declaration_order(tree);
     expected_over_assignments(&probs, |assignment| {
@@ -159,10 +171,8 @@ mod tests {
             &t,
         )
         .unwrap();
-        let expect = 1.0
-            + 1.0
-            + (p1 + (1.0 - p1) * p2)
-            + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
+        let expect =
+            1.0 + 1.0 + (p1 + (1.0 - p1) * p2) + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
         let got = dnf_expected_cost(&t, &cat, &s);
         assert!((got - expect).abs() < 1e-12, "got {got}, expected {expect}");
     }

@@ -72,8 +72,11 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
     let completed_pos: Vec<usize> = (0..n_terms)
         .map(|i| pos[i].iter().copied().max().expect("terms are non-empty"))
         .collect();
-    let term_success: Vec<f64> =
-        tree.terms().iter().map(|t| t.success_prob().value()).collect();
+    let term_success: Vec<f64> = tree
+        .terms()
+        .iter()
+        .map(|t| t.success_prob().value())
+        .collect();
 
     // Materialize L_{k,t}: members[k][t-1] = the first leaf of each AND
     // node (in schedule order) requiring the t-th item of stream k.
@@ -81,8 +84,7 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
     for (i, term) in tree.terms().iter().enumerate() {
         // leaves of term i grouped by stream, in schedule order
         let mut by_stream: Vec<Vec<LeafRef>> = vec![Vec::new(); n_streams];
-        let mut refs: Vec<LeafRef> =
-            (0..term.len()).map(|j| LeafRef::new(i, j)).collect();
+        let mut refs: Vec<LeafRef> = (0..term.len()).map(|j| LeafRef::new(i, j)).collect();
         refs.sort_by_key(|r| pos[r.term][r.leaf]);
         for r in refs {
             by_stream[tree.leaf(r).stream.0].push(r);
@@ -116,9 +118,7 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
             // First case of Proposition 2: a same-term leaf in L_{k,t}
             // precedes l_{i,j} -> the item is free (either already in
             // memory, or l_{i,j} is short-circuited).
-            let same_term_earlier = set
-                .iter()
-                .any(|m| m.term == r.term && m.pos < my_pos);
+            let same_term_earlier = set.iter().any(|m| m.term == r.term && m.pos < my_pos);
             if same_term_earlier {
                 continue;
             }
@@ -143,11 +143,7 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
 
 /// Expected cost via the incremental evaluator (same semantics, faster).
 /// See [`crate::cost::incremental::DnfCostEvaluator`].
-pub fn expected_cost_fast(
-    tree: &DnfTree,
-    catalog: &StreamCatalog,
-    schedule: &DnfSchedule,
-) -> f64 {
+pub fn expected_cost_fast(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSchedule) -> f64 {
     let mut eval = crate::cost::incremental::DnfCostEvaluator::new(tree, catalog);
     for &r in schedule.order() {
         eval.push(r);
@@ -201,10 +197,8 @@ mod tests {
         let (t, cat) = fig3(p);
         let s = fig3_schedule(&t);
         let (p1, p2, p3, _p4, p5, p6, _p7) = (p[0], p[1], p[2], p[3], p[4], p[5], p[6]);
-        let expect = 1.0
-            + 1.0
-            + (p1 + (1.0 - p1) * p2)
-            + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
+        let expect =
+            1.0 + 1.0 + (p1 + (1.0 - p1) * p2) + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
         let got = expected_cost(&t, &cat, &s);
         assert!((got - expect).abs() < 1e-12, "got {got} expected {expect}");
     }
@@ -267,12 +261,9 @@ mod tests {
 
     #[test]
     fn single_term_dnf_matches_and_tree_evaluator() {
-        let at = crate::tree::AndTree::new(vec![
-            leaf(0, 1, 0.75),
-            leaf(0, 2, 0.1),
-            leaf(1, 1, 0.5),
-        ])
-        .unwrap();
+        let at =
+            crate::tree::AndTree::new(vec![leaf(0, 1, 0.75), leaf(0, 2, 0.1), leaf(1, 1, 0.5)])
+                .unwrap();
         let cat = StreamCatalog::unit(2);
         let dnf = DnfTree::from_and_tree(&at);
         let ds = DnfSchedule::declaration_order(&dnf);

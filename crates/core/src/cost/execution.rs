@@ -15,8 +15,8 @@
 //! analytic evaluators of this crate are all validated against expectations
 //! of this interpreter (see [`crate::cost::assignment`]).
 
-use crate::stream::StreamCatalog;
 use crate::schedule::{AndSchedule, DnfSchedule};
+use crate::stream::StreamCatalog;
 use crate::tree::general::{Node, QueryTree};
 use crate::tree::{AndTree, DnfTree};
 
@@ -62,7 +62,12 @@ pub fn execute_and_tree(
             break; // AND is FALSE: remaining leaves short-circuited
         }
     }
-    Execution { cost, value, evaluated, items_pulled: acquired }
+    Execution {
+        cost,
+        value,
+        evaluated,
+        items_pulled: acquired,
+    }
 }
 
 /// Executes a DNF schedule under a truth assignment
@@ -73,7 +78,10 @@ pub fn execute_dnf(
     schedule: &DnfSchedule,
     assignment: &[bool],
 ) -> Execution {
-    assert!(assignment.len() >= tree.num_leaves(), "assignment too short");
+    assert!(
+        assignment.len() >= tree.num_leaves(),
+        "assignment too short"
+    );
     let n = tree.num_terms();
     // Per-term state: None = still alive, Some(v) = resolved to v.
     let mut term_value: Vec<Option<bool>> = vec![None; n];
@@ -113,7 +121,12 @@ pub fn execute_dnf(
             }
         }
     }
-    Execution { cost, value, evaluated, items_pulled: acquired }
+    Execution {
+        cost,
+        value,
+        evaluated,
+        items_pulled: acquired,
+    }
 }
 
 /// Maps `(term, leaf)` addresses of a DNF tree to flat indices
@@ -133,7 +146,10 @@ impl LeafIndexer {
             offsets.push(acc);
             acc += t.len();
         }
-        LeafIndexer { offsets, total: acc }
+        LeafIndexer {
+            offsets,
+            total: acc,
+        }
     }
 
     /// Flat index of address `r`.
@@ -169,8 +185,15 @@ pub fn execute_query_tree(
     assignment: &[bool],
 ) -> Execution {
     let arena = Arena::build(tree);
-    assert_eq!(schedule.len(), arena.leaves.len(), "schedule/leaf count mismatch");
-    assert!(assignment.len() >= arena.leaves.len(), "assignment too short");
+    assert_eq!(
+        schedule.len(),
+        arena.leaves.len(),
+        "schedule/leaf count mismatch"
+    );
+    assert!(
+        assignment.len() >= arena.leaves.len(),
+        "assignment too short"
+    );
 
     let mut status: Vec<Option<bool>> = vec![None; arena.nodes.len()];
     let mut pending: Vec<usize> = arena.nodes.iter().map(|n| n.num_children).collect();
@@ -238,7 +261,11 @@ struct Arena {
 
 impl Arena {
     fn build(tree: &QueryTree) -> Arena {
-        let mut arena = Arena { nodes: Vec::new(), leaves: Vec::new(), root: 0 };
+        let mut arena = Arena {
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+            root: 0,
+        };
         let root = arena.add(tree.root(), None);
         arena.root = root;
         arena
@@ -248,17 +275,29 @@ impl Arena {
         let id = self.nodes.len();
         match node {
             Node::Leaf(l) => {
-                self.nodes.push(ArenaNode { kind: Kind::Leaf(*l), parent, num_children: 0 });
+                self.nodes.push(ArenaNode {
+                    kind: Kind::Leaf(*l),
+                    parent,
+                    num_children: 0,
+                });
                 self.leaves.push(id);
             }
             Node::And(cs) => {
-                self.nodes.push(ArenaNode { kind: Kind::And, parent, num_children: cs.len() });
+                self.nodes.push(ArenaNode {
+                    kind: Kind::And,
+                    parent,
+                    num_children: cs.len(),
+                });
                 for c in cs {
                     self.add(c, Some(id));
                 }
             }
             Node::Or(cs) => {
-                self.nodes.push(ArenaNode { kind: Kind::Or, parent, num_children: cs.len() });
+                self.nodes.push(ArenaNode {
+                    kind: Kind::Or,
+                    parent,
+                    num_children: cs.len(),
+                });
                 for c in cs {
                     self.add(c, Some(id));
                 }
@@ -463,7 +502,10 @@ mod tests {
     fn nested_tree_shortcircuits_inner_or() {
         // AND(OR(a, b), c): if a true, b is irrelevant.
         let qt = QueryTree::new(Node::and(vec![
-            Node::or(vec![Node::Leaf(leaf(0, 1, 0.5)), Node::Leaf(leaf(1, 5, 0.5))]),
+            Node::or(vec![
+                Node::Leaf(leaf(0, 1, 0.5)),
+                Node::Leaf(leaf(1, 5, 0.5)),
+            ]),
             Node::Leaf(leaf(2, 1, 0.5)),
         ]))
         .unwrap();

@@ -149,7 +149,8 @@ impl<'a> DnfCostEvaluator<'a> {
             "leaf pushed twice or term over-filled"
         );
         if self.seen[r.term] as usize == self.tree.term(r.term).len() {
-            self.completed.push((r.term as u32, self.prefix_prob[r.term]));
+            self.completed
+                .push((r.term as u32, self.prefix_prob[r.term]));
         }
         self.scheduled += 1;
         marginal

@@ -19,6 +19,12 @@ pub enum Error {
     InvalidSchedule(String),
     /// A strategy (decision tree) is malformed.
     InvalidStrategy(String),
+    /// A planner name that is not registered (see
+    /// [`crate::plan::PlannerRegistry::names`]).
+    UnknownPlanner(String),
+    /// A planner was asked to plan a query class it does not support
+    /// (e.g. the read-once DNF planner on a general AND-OR tree).
+    UnsupportedQuery { planner: String, query: String },
 }
 
 impl fmt::Display for Error {
@@ -29,13 +35,22 @@ impl fmt::Display for Error {
             }
             Error::InvalidCost(c) => write!(f, "stream cost {c} is not a finite value >= 0"),
             Error::ZeroItems => write!(f, "a leaf must require at least one data item"),
-            Error::UnknownStream { stream, catalog_len } => write!(
+            Error::UnknownStream {
+                stream,
+                catalog_len,
+            } => write!(
                 f,
                 "leaf references stream {stream} but the catalog has only {catalog_len} streams"
             ),
             Error::EmptyTree => write!(f, "query trees must contain at least one leaf"),
             Error::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
             Error::InvalidStrategy(msg) => write!(f, "invalid strategy: {msg}"),
+            Error::UnknownPlanner(name) => {
+                write!(f, "unknown planner `{name}` (see PlannerRegistry::names)")
+            }
+            Error::UnsupportedQuery { planner, query } => {
+                write!(f, "planner `{planner}` does not support {query} queries")
+            }
         }
     }
 }
@@ -53,7 +68,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = Error::InvalidProbability(1.5);
         assert!(e.to_string().contains("1.5"));
-        let e = Error::UnknownStream { stream: 7, catalog_len: 3 };
+        let e = Error::UnknownStream {
+            stream: 7,
+            catalog_len: 3,
+        };
         let s = e.to_string();
         assert!(s.contains('7') && s.contains('3'));
         let e = Error::InvalidSchedule("duplicate leaf".into());

@@ -26,7 +26,11 @@ impl Leaf {
         if items == 0 {
             return Err(Error::ZeroItems);
         }
-        Ok(Leaf { stream, items, prob })
+        Ok(Leaf {
+            stream,
+            items,
+            prob,
+        })
     }
 
     /// Unvalidated constructor for trusted call sites (e.g. generators that
@@ -36,7 +40,11 @@ impl Leaf {
     /// Debug-asserts `items >= 1`.
     pub fn raw(stream: StreamId, items: u32, prob: Prob) -> Leaf {
         debug_assert!(items >= 1, "leaves need at least one data item");
-        Leaf { stream, items, prob }
+        Leaf {
+            stream,
+            items,
+            prob,
+        }
     }
 
     /// Failure probability `q_j = 1 - p_j`.
@@ -61,7 +69,10 @@ impl Leaf {
             return Err(Error::ZeroItems);
         }
         if self.stream.0 >= catalog.len() {
-            return Err(Error::UnknownStream { stream: self.stream.0, catalog_len: catalog.len() });
+            return Err(Error::UnknownStream {
+                stream: self.stream.0,
+                catalog_len: catalog.len(),
+            });
         }
         Ok(())
     }
@@ -128,7 +139,10 @@ mod tests {
         let ok = Leaf::new(StreamId(0), 2, p(0.5)).unwrap();
         let bad = Leaf::new(StreamId(5), 2, p(0.5)).unwrap();
         assert!(ok.validate(&cat).is_ok());
-        assert!(matches!(bad.validate(&cat), Err(Error::UnknownStream { .. })));
+        assert!(matches!(
+            bad.validate(&cat),
+            Err(Error::UnknownStream { .. })
+        ));
     }
 
     #[test]

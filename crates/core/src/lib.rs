@@ -20,10 +20,16 @@
 //! | schedules | [`schedule`] |
 //! | cost evaluation (interpreter, enumeration, closed forms, Prop. 2, Monte-Carlo) | [`cost`] |
 //! | optimal algorithms & heuristics | [`algo`] |
+//! | unified planning surface (trait, registry, caching engine) | [`plan`] |
 //!
 //! ## Quick start
 //!
+//! All algorithms are served through one polymorphic surface: wrap a
+//! query in a [`plan::QueryRef`] (or pass the tree directly) and let the
+//! [`plan::Engine`] dispatch to the optimal planner for its class.
+//!
 //! ```
+//! use paotr_core::plan::Engine;
 //! use paotr_core::prelude::*;
 //!
 //! // The paper's Figure 2 AND-tree: two streams, three leaves.
@@ -35,17 +41,28 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // Algorithm 1 (optimal for shared AND-trees):
+//! // AND-trees dispatch to Algorithm 1 (optimal, Theorem 1):
+//! let engine = Engine::new();
 //! let and_tree = inst.tree.term(0).as_and_tree();
-//! let (schedule, cost) = paotr_core::algo::greedy::schedule_with_cost(&and_tree, &inst.catalog);
-//! assert_eq!(schedule.order(), &[0, 1, 2]);
-//! assert!((cost - 1.825).abs() < 1e-12);
+//! let plan = engine.plan(&and_tree, &inst.catalog).unwrap();
+//! assert_eq!(plan.planner, "greedy");
+//! assert_eq!(plan.body.as_and().unwrap().order(), &[0, 1, 2]);
+//! assert!((plan.expected_cost.unwrap() - 1.825).abs() < 1e-12);
+//!
+//! // Any registered algorithm is one name away:
+//! let smith = engine.plan_with("smith", &and_tree, &inst.catalog).unwrap();
+//! assert!(smith.expected_cost.unwrap() >= plan.expected_cost.unwrap());
 //! ```
+//!
+//! The pre-`plan` per-algorithm entry points
+//! (`algo::greedy::schedule_with_cost` and friends) still exist but are
+//! deprecated shims; new code should go through [`plan`].
 
 pub mod algo;
 pub mod cost;
 pub mod error;
 pub mod leaf;
+pub mod plan;
 pub mod prob;
 pub mod schedule;
 pub mod stream;
@@ -56,8 +73,11 @@ pub mod prelude {
     pub use crate::algo::heuristics::{paper_set, Heuristic};
     pub use crate::error::{Error, Result};
     pub use crate::leaf::{Leaf, LeafRef};
+    pub use crate::plan::{Engine, Plan, PlanBody, Planner, PlannerRegistry, QueryClass, QueryRef};
     pub use crate::prob::Prob;
     pub use crate::schedule::{AndSchedule, DnfSchedule};
     pub use crate::stream::{StreamCatalog, StreamId};
-    pub use crate::tree::{AndTerm, AndTree, DnfInstance, DnfTree, InstanceBuilder, Node, QueryTree};
+    pub use crate::tree::{
+        AndTerm, AndTree, DnfInstance, DnfTree, InstanceBuilder, Node, QueryTree,
+    };
 }

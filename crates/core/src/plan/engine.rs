@@ -1,0 +1,438 @@
+//! The serving facade: registry dispatch + an LRU plan cache.
+//!
+//! A production deployment re-plans the same queries constantly (every
+//! device evaluation wave, every calibration refresh), so the [`Engine`]
+//! memoizes [`Plan`]s keyed by `(query fingerprint, catalog fingerprint,
+//! planner name)`. Planning runs outside the cache lock; the cache is a
+//! `Mutex`-protected map, so one `Engine` can be shared across threads
+//! (`Engine: Send + Sync`).
+
+use super::fingerprint::catalog_fingerprint;
+use super::registry::PlannerRegistry;
+use super::{Plan, QueryRef};
+use crate::error::Result;
+use crate::stream::StreamCatalog;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of cached plans; the least-recently-used entry is
+    /// evicted on overflow. `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Cache effectiveness counters (monotonic since construction or the
+/// last [`Engine::clear_cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans computed by a planner.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type CacheKey = (u64, u64, String);
+
+/// A small LRU map: `HashMap` plus a monotone recency stamp per entry.
+/// Eviction scans for the minimum stamp — O(capacity), which is fine for
+/// the few-thousand-entry caches the engine uses (no pointer-chasing
+/// list to maintain, trivially correct).
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, (Plan, u64)>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Plan> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(plan, stamp)| {
+            *stamp = tick;
+            plan.clone()
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, plan: Plan) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (plan, self.tick));
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The unified planning entry point: looks planners up in a
+/// [`PlannerRegistry`], dispatches [`QueryRef`]s to the right algorithm,
+/// and memoizes results.
+///
+/// ```
+/// use paotr_core::plan::Engine;
+/// use paotr_core::prelude::*;
+///
+/// let engine = Engine::new();
+/// let mut b = InstanceBuilder::new();
+/// let a = b.stream("A", 2.0);
+/// let c = b.stream("C", 0.5);
+/// let inst = b
+///     .term(|t| t.leaf(a, 3, 0.4).leaf(c, 1, 0.7))
+///     .term(|t| t.leaf(a, 5, 0.6))
+///     .build()
+///     .unwrap();
+///
+/// let first = engine.plan(&inst.tree, &inst.catalog).unwrap();
+/// let again = engine.plan(&inst.tree, &inst.catalog).unwrap();
+/// assert_eq!(first, again);
+/// assert_eq!(engine.cache_stats().hits, 1);
+/// ```
+pub struct Engine {
+    registry: PlannerRegistry,
+    cache: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// Engine over [`PlannerRegistry::with_defaults`] with the default
+    /// cache size.
+    pub fn new() -> Engine {
+        Engine::with_registry(PlannerRegistry::with_defaults(), EngineConfig::default())
+    }
+
+    /// Engine over a custom registry and configuration.
+    pub fn with_registry(registry: PlannerRegistry, config: EngineConfig) -> Engine {
+        Engine {
+            registry,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry backing this engine.
+    pub fn registry(&self) -> &PlannerRegistry {
+        &self.registry
+    }
+
+    /// Plans with the registry's default planner for the query class
+    /// (see [`PlannerRegistry::default_for`]).
+    pub fn plan<'a>(
+        &self,
+        query: impl Into<QueryRef<'a>>,
+        catalog: &StreamCatalog,
+    ) -> Result<Plan> {
+        let query = query.into();
+        let planner_name = self.registry.default_for(&query)?.name().to_string();
+        self.plan_cached(&planner_name, &query, catalog, catalog_fingerprint(catalog))
+    }
+
+    /// Plans with a specific planner by registry name.
+    pub fn plan_with<'a>(
+        &self,
+        planner: &str,
+        query: impl Into<QueryRef<'a>>,
+        catalog: &StreamCatalog,
+    ) -> Result<Plan> {
+        let query = query.into();
+        self.registry.get_required(planner)?;
+        self.plan_cached(planner, &query, catalog, catalog_fingerprint(catalog))
+    }
+
+    /// Plans many queries against one catalog (the shared-stream serving
+    /// shape: hundreds of queries over the same sensor fleet). The
+    /// catalog is fingerprinted once; each query still gets its
+    /// class-appropriate default planner, and the cache carries repeated
+    /// queries across the batch.
+    pub fn plan_batch(
+        &self,
+        queries: &[QueryRef<'_>],
+        catalog: &StreamCatalog,
+    ) -> Result<Vec<Plan>> {
+        let catalog_fp = catalog_fingerprint(catalog);
+        queries
+            .iter()
+            .map(|query| {
+                let name = self.registry.default_for(query)?.name().to_string();
+                self.plan_cached(&name, query, catalog, catalog_fp)
+            })
+            .collect()
+    }
+
+    /// [`Engine::plan_batch`] with one explicit planner for every query.
+    pub fn plan_batch_with(
+        &self,
+        planner: &str,
+        queries: &[QueryRef<'_>],
+        catalog: &StreamCatalog,
+    ) -> Result<Vec<Plan>> {
+        self.registry.get_required(planner)?;
+        let catalog_fp = catalog_fingerprint(catalog);
+        queries
+            .iter()
+            .map(|query| self.plan_cached(planner, query, catalog, catalog_fp))
+            .collect()
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.lock_cache();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity,
+        }
+    }
+
+    /// Drops every cached plan and resets the counters.
+    pub fn clear_cache(&self) {
+        self.lock_cache().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn plan_cached(
+        &self,
+        planner_name: &str,
+        query: &QueryRef<'_>,
+        catalog: &StreamCatalog,
+        catalog_fp: u64,
+    ) -> Result<Plan> {
+        let key = (query.fingerprint(), catalog_fp, planner_name.to_string());
+        if let Some(plan) = self.lock_cache().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
+        }
+        // Plan outside the lock: planning can be orders of magnitude
+        // slower than a lookup, and concurrent planners must not serialize
+        // on the cache. Racing threads may duplicate work; last insert
+        // wins, which is harmless (plans for one key are deterministic).
+        let planner = self.registry.get_required(planner_name)?;
+        let plan = planner.plan(query, catalog)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.lock_cache().insert(key, plan.clone());
+        Ok(plan)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("registry", &self.registry)
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf::Leaf;
+    use crate::prob::Prob;
+    use crate::stream::StreamId;
+    use crate::tree::{AndTree, DnfTree};
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn shared_dnf(seed: usize) -> DnfTree {
+        DnfTree::from_leaves(vec![
+            vec![leaf(0, 1 + (seed as u32 % 3), 0.4), leaf(1, 1, 0.7)],
+            vec![leaf(0, 5, 0.6)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_plan() {
+        let engine = Engine::new();
+        let tree = shared_dnf(0);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let cold = engine.plan(&tree, &cat).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+        let warm = engine.plan(&tree, &cat).unwrap();
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(cold, warm);
+        assert_eq!(
+            cold.planning_time, warm.planning_time,
+            "hits report original time"
+        );
+    }
+
+    #[test]
+    fn cache_distinguishes_planner_catalog_and_query() {
+        let engine = Engine::new();
+        let tree = shared_dnf(0);
+        let cat_a = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let cat_b = StreamCatalog::from_costs([2.0, 4.0]).unwrap();
+        engine.plan(&tree, &cat_a).unwrap();
+        engine.plan_with("leaf-dec-q", &tree, &cat_a).unwrap();
+        engine.plan(&tree, &cat_b).unwrap();
+        engine.plan(&shared_dnf(1), &cat_a).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "four distinct keys");
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 4);
+    }
+
+    #[test]
+    fn plan_batch_shares_the_cache() {
+        let engine = Engine::new();
+        let trees: Vec<DnfTree> = (0..6).map(|i| shared_dnf(i % 2)).collect();
+        let queries: Vec<QueryRef<'_>> = trees.iter().map(QueryRef::from).collect();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let plans = engine.plan_batch(&queries, &cat).unwrap();
+        assert_eq!(plans.len(), 6);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct trees");
+        assert_eq!(stats.hits, 4);
+        // batch output matches per-query planning
+        for (q, p) in queries.iter().zip(&plans) {
+            assert_eq!(&engine.plan(*q, &cat).unwrap(), p);
+        }
+        assert!(engine.cache_stats().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let engine = Engine::with_registry(
+            PlannerRegistry::with_defaults(),
+            EngineConfig { cache_capacity: 2 },
+        );
+        let t0 = shared_dnf(0);
+        let t1 = shared_dnf(1);
+        let t2 = shared_dnf(2);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        engine.plan(&t0, &cat).unwrap(); // {t0}
+        engine.plan(&t1, &cat).unwrap(); // {t0, t1}
+        engine.plan(&t0, &cat).unwrap(); // hit; t0 freshened
+        engine.plan(&t2, &cat).unwrap(); // evicts t1
+        engine.plan(&t0, &cat).unwrap(); // still a hit
+        engine.plan(&t1, &cat).unwrap(); // miss: was evicted
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = Engine::with_registry(
+            PlannerRegistry::with_defaults(),
+            EngineConfig { cache_capacity: 0 },
+        );
+        let tree = shared_dnf(0);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        engine.plan(&tree, &cat).unwrap();
+        engine.plan(&tree, &cat).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn unknown_planner_name_errors() {
+        let engine = Engine::new();
+        let tree = shared_dnf(0);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        assert!(matches!(
+            engine.plan_with("nope", &tree, &cat),
+            Err(crate::error::Error::UnknownPlanner(_))
+        ));
+    }
+
+    #[test]
+    fn and_tree_defaults_to_algorithm_1() {
+        let engine = Engine::new();
+        let tree = AndTree::new(vec![leaf(0, 1, 0.75), leaf(0, 2, 0.1), leaf(1, 1, 0.5)]).unwrap();
+        let plan = engine.plan(&tree, &StreamCatalog::unit(2)).unwrap();
+        assert_eq!(plan.planner, "greedy");
+        assert!((plan.expected_cost.unwrap() - 1.825).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = Engine::new();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let trees: Vec<DnfTree> = (0..4).map(shared_dnf).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for t in &trees {
+                        engine.plan(t, &cat).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 16);
+        assert_eq!(stats.entries, 3, "seeds 0 and 3 build the same tree");
+    }
+}

@@ -30,10 +30,14 @@ impl AndSchedule {
         let mut seen = vec![false; m];
         for &j in &order {
             if j >= m {
-                return Err(Error::InvalidSchedule(format!("leaf index {j} out of range")));
+                return Err(Error::InvalidSchedule(format!(
+                    "leaf index {j} out of range"
+                )));
             }
             if seen[j] {
-                return Err(Error::InvalidSchedule(format!("leaf index {j} appears twice")));
+                return Err(Error::InvalidSchedule(format!(
+                    "leaf index {j} appears twice"
+                )));
             }
             seen[j] = true;
         }
@@ -148,7 +152,11 @@ impl DnfSchedule {
                 _ => {}
             }
             remaining[r.term] -= 1;
-            open = if remaining[r.term] == 0 { None } else { Some(r.term) };
+            open = if remaining[r.term] == 0 {
+                None
+            } else {
+                Some(r.term)
+            };
         }
         true
     }

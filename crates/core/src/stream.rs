@@ -69,7 +69,13 @@ impl StreamCatalog {
     /// Catalog of `n` streams that all have unit per-item cost.
     pub fn unit(n: usize) -> StreamCatalog {
         StreamCatalog {
-            streams: vec![StreamInfo { cost: 1.0, name: None }; n],
+            streams: vec![
+                StreamInfo {
+                    cost: 1.0,
+                    name: None
+                };
+                n
+            ],
         }
     }
 
@@ -126,7 +132,10 @@ impl StreamCatalog {
         self.streams
             .get(id.0)
             .map(|s| s.cost)
-            .ok_or(Error::UnknownStream { stream: id.0, catalog_len: self.len() })
+            .ok_or(Error::UnknownStream {
+                stream: id.0,
+                catalog_len: self.len(),
+            })
     }
 
     /// Display name for stream `id` (falls back to `A`, `B`, ...).
@@ -147,7 +156,10 @@ impl StreamCatalog {
 
     /// Iterator over `(StreamId, &StreamInfo)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StreamId, &StreamInfo)> {
-        self.streams.iter().enumerate().map(|(i, s)| (StreamId(i), s))
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StreamId(i), s))
     }
 
     /// Replaces the cost of an existing stream.
@@ -160,7 +172,10 @@ impl StreamCatalog {
                 s.cost = cost;
                 Ok(())
             }
-            None => Err(Error::UnknownStream { stream: id.0, catalog_len: self.len() }),
+            None => Err(Error::UnknownStream {
+                stream: id.0,
+                catalog_len: self.len(),
+            }),
         }
     }
 }
@@ -215,7 +230,10 @@ mod tests {
         assert!(cat.get_cost(StreamId(1)).is_ok());
         assert_eq!(
             cat.get_cost(StreamId(2)),
-            Err(Error::UnknownStream { stream: 2, catalog_len: 2 })
+            Err(Error::UnknownStream {
+                stream: 2,
+                catalog_len: 2
+            })
         );
     }
 

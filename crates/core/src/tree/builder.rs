@@ -39,7 +39,8 @@ impl TermBuilder {
     /// builders are for literal, hand-written trees where this is a bug.
     pub fn leaf(mut self, stream: StreamId, items: u32, prob: f64) -> TermBuilder {
         let prob = Prob::new(prob).expect("builder leaf probability must be in [0,1]");
-        self.leaves.push(Leaf::new(stream, items, prob).expect("builder leaf needs items >= 1"));
+        self.leaves
+            .push(Leaf::new(stream, items, prob).expect("builder leaf needs items >= 1"));
         self
     }
 }
@@ -62,7 +63,9 @@ impl InstanceBuilder {
     /// # Panics
     /// Panics on invalid (negative/NaN) costs.
     pub fn stream(&mut self, name: &str, cost: f64) -> StreamId {
-        self.catalog.add_named(name, cost).expect("builder stream cost must be finite and >= 0")
+        self.catalog
+            .add_named(name, cost)
+            .expect("builder stream cost must be finite and >= 0")
     }
 
     /// Adds an AND term described by a closure over a [`TermBuilder`].

@@ -33,11 +33,19 @@ pub fn render_dnf_named(tree: &DnfTree, catalog: &StreamCatalog) -> String {
     let _ = writeln!(out, "or");
     let n = tree.num_terms();
     for (i, term) in tree.terms().iter().enumerate() {
-        let (branch, pad) = if i + 1 == n { ("└── ", "    ") } else { ("├── ", "│   ") };
+        let (branch, pad) = if i + 1 == n {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
         let _ = writeln!(out, "{branch}and{}", i + 1);
         let m = term.len();
         for (j, l) in term.leaves().iter().enumerate() {
-            let leaf_branch = if j + 1 == m { "└── " } else { "├── " };
+            let leaf_branch = if j + 1 == m {
+                "└── "
+            } else {
+                "├── "
+            };
             let _ = writeln!(
                 out,
                 "{pad}{leaf_branch}{}[{}] p={}",
@@ -117,7 +125,10 @@ mod tests {
         let t = QueryTree::new(Node::or(vec![
             Node::and(vec![
                 Node::Leaf(leaf(0, 1, 0.5)),
-                Node::or(vec![Node::Leaf(leaf(1, 1, 0.5)), Node::Leaf(leaf(2, 1, 0.5))]),
+                Node::or(vec![
+                    Node::Leaf(leaf(1, 1, 0.5)),
+                    Node::Leaf(leaf(2, 1, 0.5)),
+                ]),
             ]),
             Node::Leaf(leaf(3, 1, 0.5)),
         ]))

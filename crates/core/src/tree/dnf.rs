@@ -81,13 +81,18 @@ impl DnfTree {
 
     /// Builds a DNF tree from nested leaf vectors.
     pub fn from_leaves(terms: Vec<Vec<Leaf>>) -> Result<DnfTree> {
-        let terms = terms.into_iter().map(AndTerm::new).collect::<Result<Vec<_>>>()?;
+        let terms = terms
+            .into_iter()
+            .map(AndTerm::new)
+            .collect::<Result<Vec<_>>>()?;
         DnfTree::new(terms)
     }
 
     /// Wraps a single AND-tree as a one-term DNF.
     pub fn from_and_tree(tree: &AndTree) -> DnfTree {
-        DnfTree { terms: vec![AndTerm::from(tree.leaves().to_vec())] }
+        DnfTree {
+            terms: vec![AndTerm::from(tree.leaves().to_vec())],
+        }
     }
 
     /// The AND nodes.
@@ -121,15 +126,19 @@ impl DnfTree {
 
     /// Iterator over all leaf addresses in `(term, leaf)` order.
     pub fn leaf_refs(&self) -> impl Iterator<Item = LeafRef> + '_ {
-        self.terms.iter().enumerate().flat_map(|(i, t)| {
-            (0..t.len()).map(move |j| LeafRef::new(i, j))
-        })
+        self.terms
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| (0..t.len()).map(move |j| LeafRef::new(i, j)))
     }
 
     /// Iterator over `(LeafRef, &Leaf)` pairs.
     pub fn leaves(&self) -> impl Iterator<Item = (LeafRef, &Leaf)> {
         self.terms.iter().enumerate().flat_map(|(i, t)| {
-            t.leaves().iter().enumerate().map(move |(j, l)| (LeafRef::new(i, j), l))
+            t.leaves()
+                .iter()
+                .enumerate()
+                .map(move |(j, l)| (LeafRef::new(i, j), l))
         })
     }
 

@@ -54,9 +54,7 @@ impl Node {
     pub fn depth(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::And(cs) | Node::Or(cs) => {
-                1 + cs.iter().map(Node::depth).max().unwrap_or(0)
-            }
+            Node::And(cs) | Node::Or(cs) => 1 + cs.iter().map(Node::depth).max().unwrap_or(0),
         }
     }
 
@@ -77,8 +75,12 @@ impl Node {
     pub fn success_prob(&self) -> Prob {
         match self {
             Node::Leaf(l) => l.prob,
-            Node::And(cs) => cs.iter().fold(Prob::ONE, |acc, c| acc.and(c.success_prob())),
-            Node::Or(cs) => cs.iter().fold(Prob::ZERO, |acc, c| acc.or(c.success_prob())),
+            Node::And(cs) => cs
+                .iter()
+                .fold(Prob::ONE, |acc, c| acc.and(c.success_prob())),
+            Node::Or(cs) => cs
+                .iter()
+                .fold(Prob::ZERO, |acc, c| acc.or(c.success_prob())),
         }
     }
 
@@ -173,7 +175,9 @@ impl QueryTree {
     /// logically (and cost-wise) equivalent: evaluation order and
     /// short-circuit semantics only depend on the alternation structure.
     pub fn normalized(&self) -> QueryTree {
-        QueryTree { root: normalize(&self.root) }
+        QueryTree {
+            root: normalize(&self.root),
+        }
     }
 
     /// Attempts to view the tree as a single-level AND-tree
@@ -228,7 +232,9 @@ impl From<DnfTree> for QueryTree {
             .iter()
             .map(|t| Node::And(t.leaves().iter().copied().map(Node::Leaf).collect()))
             .collect();
-        QueryTree { root: Node::Or(terms) }
+        QueryTree {
+            root: Node::Or(terms),
+        }
     }
 }
 

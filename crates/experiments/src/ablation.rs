@@ -17,7 +17,7 @@ use paotr_core::algo::heuristics::{
 };
 use paotr_core::algo::heuristics::{LeafOrder, StreamOrder};
 use paotr_core::cost::dnf_eval;
-use paotr_gen::{fig5_instance, fig5_grid};
+use paotr_gen::{fig5_grid, fig5_instance};
 use paotr_stats::Table;
 
 /// Win/tie/loss counts of one variant against another.
@@ -74,36 +74,76 @@ pub fn run(opts: &Options, per_config: usize) -> Table {
             |s: &paotr_core::schedule::DnfSchedule| dnf_eval::expected_cost_fast(tree, cat, s);
 
         // 1a: stream-ordered, increasing vs decreasing d.
-        let inc_d = cost(&stream_ordered::schedule(tree, cat, StreamConfig::default()));
+        let inc_d = cost(&stream_ordered::schedule(
+            tree,
+            cat,
+            StreamConfig::default(),
+        ));
         let dec_d = cost(&stream_ordered::schedule(
             tree,
             cat,
-            StreamConfig { leaf_order: LeafOrder::DecreasingD, ..Default::default() },
+            StreamConfig {
+                leaf_order: LeafOrder::DecreasingD,
+                ..Default::default()
+            },
         ));
         // 1b: increasing vs decreasing R.
         let dec_r = cost(&stream_ordered::schedule(
             tree,
             cat,
-            StreamConfig { stream_order: StreamOrder::DecreasingR, ..Default::default() },
+            StreamConfig {
+                stream_order: StreamOrder::DecreasingR,
+                ..Default::default()
+            },
         ));
 
         // 2: dynamic vs static C/p.
-        let stat = cost(&and_ordered::schedule(tree, cat, AndKey::IncreasingCOverP, CostMode::Static));
-        let dynamic =
-            cost(&and_ordered::schedule(tree, cat, AndKey::IncreasingCOverP, CostMode::Dynamic));
+        let stat = cost(&and_ordered::schedule(
+            tree,
+            cat,
+            AndKey::IncreasingCOverP,
+            CostMode::Static,
+        ));
+        let dynamic = cost(&and_ordered::schedule(
+            tree,
+            cat,
+            AndKey::IncreasingCOverP,
+            CostMode::Dynamic,
+        ));
 
         // 3: search-effort comparison on small instances only.
         let search_stats = if tree.num_leaves() <= 12 {
-            let incumbent = Heuristic::AndIncCOverPDynamic.schedule_with_cost(tree, cat).1;
+            let incumbent = Heuristic::AndIncCOverPDynamic
+                .schedule_with_cost(tree, cat)
+                .1;
             let base = SearchOptions {
                 incumbent: incumbent * (1.0 + 1e-9),
                 node_limit: 10_000_000,
                 ..Default::default()
             };
             let with = dnf_search(tree, cat, base);
-            let without_prop1 = dnf_search(tree, cat, SearchOptions { prop1_ordering: false, ..base });
-            let without_pruning = dnf_search(tree, cat, SearchOptions { prune: false, node_limit: 10_000_000, ..base });
-            Some((with.stats.nodes, without_prop1.stats.nodes, without_pruning.stats.nodes))
+            let without_prop1 = dnf_search(
+                tree,
+                cat,
+                SearchOptions {
+                    prop1_ordering: false,
+                    ..base
+                },
+            );
+            let without_pruning = dnf_search(
+                tree,
+                cat,
+                SearchOptions {
+                    prune: false,
+                    node_limit: 10_000_000,
+                    ..base
+                },
+            );
+            Some((
+                with.stats.nodes,
+                without_prop1.stats.nodes,
+                without_pruning.stats.nodes,
+            ))
         } else {
             None
         };
@@ -127,13 +167,29 @@ pub fn run(opts: &Options, per_config: usize) -> Table {
     table.push_row(inc_vs_dec_d.row("stream-ord.: increasing d vs decreasing d ([4])"));
     table.push_row(inc_vs_dec_r.row("stream-ord.: increasing R vs decreasing R"));
     table.push_row(dyn_vs_stat.row("AND-ord. inc C/p: dynamic vs static"));
-    table.write_csv(opts.path("ablation_duels.csv")).expect("write ablation_duels.csv");
+    table
+        .write_csv(opts.path("ablation_duels.csv"))
+        .expect("write ablation_duels.csv");
 
     let mut effort = Table::new(["search variant", "total nodes", "instances"]);
-    effort.push_row(["B&B + Prop.1 + pruning".to_string(), nodes_prop1.to_string(), searched.to_string()]);
-    effort.push_row(["B&B + pruning (no Prop.1)".to_string(), nodes_plain.to_string(), searched.to_string()]);
-    effort.push_row(["B&B + Prop.1 (no pruning)".to_string(), nodes_nopruning.to_string(), searched.to_string()]);
-    effort.write_csv(opts.path("ablation_search.csv")).expect("write ablation_search.csv");
+    effort.push_row([
+        "B&B + Prop.1 + pruning".to_string(),
+        nodes_prop1.to_string(),
+        searched.to_string(),
+    ]);
+    effort.push_row([
+        "B&B + pruning (no Prop.1)".to_string(),
+        nodes_plain.to_string(),
+        searched.to_string(),
+    ]);
+    effort.push_row([
+        "B&B + Prop.1 (no pruning)".to_string(),
+        nodes_nopruning.to_string(),
+        searched.to_string(),
+    ]);
+    effort
+        .write_csv(opts.path("ablation_search.csv"))
+        .expect("write ablation_search.csv");
 
     let md = format!(
         "# Ablations\n\n## Heuristic variants (win/tie/loss on cost)\n\n{}\n\

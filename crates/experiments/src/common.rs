@@ -52,7 +52,10 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Prints a progress line that overwrites itself.
 pub fn progress_line(done: usize, total: usize, label: &str) {
     if done.is_multiple_of((total / 100).max(1)) || done == total {
-        eprint!("\r  {label}: {done}/{total} ({:.0}%)", done as f64 / total as f64 * 100.0);
+        eprint!(
+            "\r  {label}: {done}/{total} ({:.0}%)",
+            done as f64 / total as f64 * 100.0
+        );
         if done == total {
             eprintln!();
         }
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn scaled_counts_clamp() {
-        let mut o = Options { scale: 0.5, ..Default::default() };
+        let mut o = Options {
+            scale: 0.5,
+            ..Default::default()
+        };
         assert_eq!(o.scaled(100), 50);
         o.scale = 0.0001;
         assert_eq!(o.scaled(100), 1);

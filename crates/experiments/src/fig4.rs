@@ -8,10 +8,12 @@
 //! 60.20%, ties on 11.29%.
 
 use crate::common::{progress_line, timed, Options};
-use paotr_core::algo::{exhaustive, greedy, smith};
-use paotr_core::cost::and_eval;
-use paotr_gen::{fig4_grid, instance_seed, random_and_instance, Experiment,
-                ParamDistributions, FIG4_INSTANCES_PER_CONFIG};
+use paotr_core::plan::planners::{ExhaustivePlanner, GreedyPlanner, SmithPlanner};
+use paotr_core::plan::{Planner, QueryRef};
+use paotr_gen::{
+    fig4_grid, instance_seed, random_and_instance, Experiment, ParamDistributions,
+    FIG4_INSTANCES_PER_CONFIG,
+};
 use paotr_stats::{ratios, Chart, RatioSummary, Series, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +38,10 @@ pub fn run(opts: &Options) -> Vec<Row> {
     let grid = fig4_grid();
     let per_config = opts.scaled(FIG4_INSTANCES_PER_CONFIG);
     let total = grid.len() * per_config;
-    eprintln!("FIG4: {} configs x {per_config} instances = {total} AND-trees", grid.len());
+    eprintln!(
+        "FIG4: {} configs x {per_config} instances = {total} AND-trees",
+        grid.len()
+    );
     let dist = ParamDistributions::paper();
 
     let (rows, secs) = timed(|| {
@@ -49,10 +54,17 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 let seed = instance_seed(Experiment::Fig4, config, instance);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let (tree, catalog) = random_and_instance(grid[config], &dist, &mut rng);
-                let opt_cost =
-                    and_eval::expected_cost(&tree, &catalog, &greedy::schedule(&tree, &catalog));
-                let ro_cost =
-                    and_eval::expected_cost(&tree, &catalog, &smith::schedule(&tree, &catalog));
+                let query = QueryRef::from(&tree);
+                let opt_cost = GreedyPlanner
+                    .plan(&query, &catalog)
+                    .expect("AND-trees always plan")
+                    .expected_cost
+                    .expect("AND planners price their schedules");
+                let ro_cost = SmithPlanner
+                    .plan(&query, &catalog)
+                    .expect("AND-trees always plan")
+                    .expected_cost
+                    .expect("AND planners price their schedules");
                 Row {
                     config,
                     leaves: grid[config].leaves,
@@ -75,7 +87,14 @@ pub fn report(rows: &[Row], opts: &Options) -> RatioSummary {
     sorted.sort_by(|a, b| a.optimal.partial_cmp(&b.optimal).expect("finite costs"));
 
     // CSV with every instance.
-    let mut table = Table::new(["config", "leaves", "rho", "optimal_cost", "read_once_cost", "ratio"]);
+    let mut table = Table::new([
+        "config",
+        "leaves",
+        "rho",
+        "optimal_cost",
+        "read_once_cost",
+        "ratio",
+    ]);
     for r in &sorted {
         table.push_row([
             r.config.to_string(),
@@ -86,7 +105,9 @@ pub fn report(rows: &[Row], opts: &Options) -> RatioSummary {
             paotr_stats::fmt_f64(r.read_once / r.optimal.max(1e-300)),
         ]);
     }
-    table.write_csv(opts.path("fig4.csv")).expect("write fig4.csv");
+    table
+        .write_csv(opts.path("fig4.csv"))
+        .expect("write fig4.csv");
 
     // Figure: both cost series against instance rank (downsampled to keep
     // the SVG tractable).
@@ -110,7 +131,9 @@ pub fn report(rows: &[Row], opts: &Options) -> RatioSummary {
     );
     chart.push(Series::dots("Algorithm in [7]", ro_pts, 1));
     chart.push(Series::line("Optimal algorithm", opt_pts, 0));
-    chart.write_svg(opts.path("fig4.svg")).expect("write fig4.svg");
+    chart
+        .write_svg(opts.path("fig4.svg"))
+        .expect("write fig4.svg");
 
     // Inline statistics.
     let opt: Vec<f64> = sorted.iter().map(|r| r.optimal).collect();
@@ -140,17 +163,22 @@ pub fn report(rows: &[Row], opts: &Options) -> RatioSummary {
 /// of instances checked.
 pub fn verify_optimality(opts: &Options, samples: usize) -> usize {
     let grid = fig4_grid();
-    let small: Vec<usize> =
-        (0..grid.len()).filter(|&c| grid[c].leaves <= 9).collect();
+    let small: Vec<usize> = (0..grid.len()).filter(|&c| grid[c].leaves <= 9).collect();
     let dist = ParamDistributions::paper();
     let checked = paotr_par::par_tasks(samples, opts.threads, |i| {
         let config = small[i % small.len()];
         let seed = instance_seed(Experiment::Fig4, config, 10_000 + i);
         let mut rng = StdRng::seed_from_u64(seed);
         let (tree, catalog) = random_and_instance(grid[config], &dist, &mut rng);
-        let greedy_cost =
-            and_eval::expected_cost(&tree, &catalog, &greedy::schedule(&tree, &catalog));
-        let (_, best) = exhaustive::and_all_permutations(&tree, &catalog);
+        let query = QueryRef::from(&tree);
+        let greedy_cost = GreedyPlanner
+            .plan(&query, &catalog)
+            .expect("plans")
+            .cost_or_nan();
+        let best = ExhaustivePlanner
+            .plan(&query, &catalog)
+            .expect("<= 9 leaves")
+            .cost_or_nan();
         assert!(
             greedy_cost <= best + 1e-9,
             "Algorithm 1 not optimal: {greedy_cost} > {best} on config {config}"

@@ -11,6 +11,8 @@
 use crate::common::{progress_line, timed, Options};
 use paotr_core::algo::exhaustive::{dnf_search, SearchOptions};
 use paotr_core::algo::heuristics::{paper_set, Heuristic};
+use paotr_core::plan::planners::HeuristicPlanner;
+use paotr_core::plan::{Planner as _, QueryRef};
 use paotr_gen::{fig5_grid, fig5_instance, DNF_INSTANCES_PER_CONFIG};
 use paotr_stats::{best_counts, Chart, Profile, Series, Table};
 
@@ -36,7 +38,10 @@ pub fn run(opts: &Options) -> Vec<Row> {
     let grid = fig5_grid();
     let per_config = opts.scaled(DNF_INSTANCES_PER_CONFIG);
     let total = grid.len() * per_config;
-    eprintln!("FIG5: {} configs x {per_config} instances = {total} small DNF trees", grid.len());
+    eprintln!(
+        "FIG5: {} configs x {per_config} instances = {total} small DNF trees",
+        grid.len()
+    );
     let heuristics = paper_set(opts.seed);
 
     let (rows, secs) = timed(|| {
@@ -47,9 +52,15 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 let config = i / per_config;
                 let instance = i % per_config;
                 let inst = fig5_instance(config, instance);
+                let query = QueryRef::from(&inst);
                 let costs: Vec<f64> = heuristics
                     .iter()
-                    .map(|h| h.schedule_with_cost(&inst.tree, &inst.catalog).1)
+                    .map(|&h| {
+                        HeuristicPlanner::new(h)
+                            .plan(&query, &inst.catalog)
+                            .expect("heuristics plan every DNF")
+                            .cost_or_nan()
+                    })
                     .collect();
                 let incumbent = costs.iter().copied().fold(f64::INFINITY, f64::min);
                 let result = dnf_search(
@@ -123,7 +134,9 @@ pub fn report(rows: &[Row], opts: &Options) -> (Vec<Profile>, f64, f64) {
             std::iter::once(r.config.to_string())
                 .chain(r.heuristic_costs.iter().map(|&c| paotr_stats::fmt_f64(c)))
                 .chain(std::iter::once(
-                    r.optimal.map(paotr_stats::fmt_f64).unwrap_or_else(|| "timeout".into()),
+                    r.optimal
+                        .map(paotr_stats::fmt_f64)
+                        .unwrap_or_else(|| "timeout".into()),
                 ))
                 .collect::<Vec<_>>(),
         );
@@ -143,7 +156,9 @@ pub fn report(rows: &[Row], opts: &Options) -> (Vec<Profile>, f64, f64) {
             format!("{:.4}", p.auc(201)),
         ]);
     }
-    table.write_csv(opts.path("fig5_wins.csv")).expect("write fig5_wins.csv");
+    table
+        .write_csv(opts.path("fig5_wins.csv"))
+        .expect("write fig5_wins.csv");
 
     let best_idx = heuristics
         .iter()
@@ -177,11 +192,7 @@ pub fn write_profile_artifacts(
     y_label: &str,
 ) {
     let points = 201;
-    let mut chart = Chart::new(
-        title,
-        "Percentage of instances",
-        y_label,
-    );
+    let mut chart = Chart::new(title, "Percentage of instances", y_label);
     chart.x_range = Some((0.0, 100.0));
     chart.y_range = Some((1.0, 10.0));
     let mut table_headers = vec!["percentage".to_string()];
@@ -197,9 +208,13 @@ pub fn write_profile_artifacts(
         }
         table.push_row(row);
     }
-    table.write_csv(opts.path(&format!("{stem}.csv"))).expect("write profile csv");
+    table
+        .write_csv(opts.path(&format!("{stem}.csv")))
+        .expect("write profile csv");
     for (i, p) in profiles.iter().enumerate() {
         chart.push(Series::line(p.name.clone(), curves[i].clone(), i));
     }
-    chart.write_svg(opts.path(&format!("{stem}.svg"))).expect("write profile svg");
+    chart
+        .write_svg(opts.path(&format!("{stem}.svg")))
+        .expect("write profile svg");
 }

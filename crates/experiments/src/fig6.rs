@@ -10,6 +10,8 @@
 use crate::common::{progress_line, timed, Options};
 use crate::fig5::write_profile_artifacts;
 use paotr_core::algo::heuristics::{paper_set, Heuristic};
+use paotr_core::plan::planners::HeuristicPlanner;
+use paotr_core::plan::{Planner as _, QueryRef};
 use paotr_gen::{fig6_grid, fig6_instance, DNF_INSTANCES_PER_CONFIG};
 use paotr_stats::{best_counts, best_counts_with_tolerance, Profile, Table};
 use std::time::Instant;
@@ -28,7 +30,10 @@ pub fn run(opts: &Options) -> Vec<Row> {
     let grid = fig6_grid();
     let per_config = opts.scaled(DNF_INSTANCES_PER_CONFIG);
     let total = grid.len() * per_config;
-    eprintln!("FIG6: {} configs x {per_config} instances = {total} large DNF trees", grid.len());
+    eprintln!(
+        "FIG6: {} configs x {per_config} instances = {total} large DNF trees",
+        grid.len()
+    );
     let heuristics = paper_set(opts.seed);
 
     let (rows, secs) = timed(|| {
@@ -39,11 +44,20 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 let config = i / per_config;
                 let instance = i % per_config;
                 let inst = fig6_instance(config, instance);
+                let query = QueryRef::from(&inst);
                 let costs: Vec<f64> = heuristics
                     .iter()
-                    .map(|h| h.schedule_with_cost(&inst.tree, &inst.catalog).1)
+                    .map(|&h| {
+                        HeuristicPlanner::new(h)
+                            .plan(&query, &inst.catalog)
+                            .expect("heuristics plan every DNF")
+                            .cost_or_nan()
+                    })
                     .collect();
-                Row { config, heuristic_costs: costs }
+                Row {
+                    config,
+                    heuristic_costs: costs,
+                }
             },
             |done| progress_line(done, total, "fig6"),
         )
@@ -123,7 +137,9 @@ pub fn report(rows: &[Row], opts: &Options) -> (Vec<Profile>, f64) {
             format!("{:.1}", wt as f64 / rows.len() as f64 * 100.0),
         ]);
     }
-    table.write_csv(opts.path("fig6_wins.csv")).expect("write fig6_wins.csv");
+    table
+        .write_csv(opts.path("fig6_wins.csv"))
+        .expect("write fig6_wins.csv");
     let best_frac = wins[reference] as f64 / rows.len() as f64;
     let best_frac_tol = wins_tol[reference] as f64 / rows.len() as f64;
 

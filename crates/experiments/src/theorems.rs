@@ -5,8 +5,10 @@
 //! sample size and with a human-readable report.
 
 use crate::common::Options;
-use paotr_core::algo::{exhaustive, greedy, nonlinear};
+use paotr_core::algo::{exhaustive, nonlinear};
 use paotr_core::cost::and_eval;
+use paotr_core::plan::planners::{ExhaustivePlanner, GreedyPlanner};
+use paotr_core::plan::Planner as _;
 use paotr_core::prelude::*;
 use rand::prelude::*;
 
@@ -28,8 +30,7 @@ pub struct TheoremReport {
 fn random_and(rng: &mut StdRng) -> (AndTree, StreamCatalog) {
     let n_streams = rng.gen_range(1..=4);
     let m = rng.gen_range(2..=7);
-    let cat =
-        StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
+    let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
     let leaves = (0..m)
         .map(|_| {
             Leaf::raw(
@@ -44,13 +45,14 @@ fn random_and(rng: &mut StdRng) -> (AndTree, StreamCatalog) {
 
 fn random_dnf(rng: &mut StdRng, max_leaves: usize) -> DnfInstance {
     let n_streams = rng.gen_range(1..=3);
-    let cat =
-        StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
+    let cat = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(1.0..10.0))).unwrap();
     let n_terms = rng.gen_range(2..=3);
     let mut total = 0;
     let mut terms = Vec::new();
     for _ in 0..n_terms {
-        let m = rng.gen_range(1..=3).min(max_leaves.saturating_sub(total).max(1));
+        let m = rng
+            .gen_range(1usize..=3)
+            .min(max_leaves.saturating_sub(total).max(1));
         total += m;
         terms.push(
             (0..m)
@@ -73,8 +75,15 @@ pub fn run(opts: &Options, samples: usize) -> TheoremReport {
     let thm1 = paotr_par::par_tasks(samples, opts.threads, |i| {
         let mut rng = StdRng::seed_from_u64(0x7410 + i as u64);
         let (tree, cat) = random_and(&mut rng);
-        let (_, g) = greedy::schedule_with_cost(&tree, &cat);
-        let (_, best) = exhaustive::and_all_permutations(&tree, &cat);
+        let query = QueryRef::from(&tree);
+        let g = GreedyPlanner
+            .plan(&query, &cat)
+            .expect("plans")
+            .cost_or_nan();
+        let best = ExhaustivePlanner
+            .plan(&query, &cat)
+            .expect("<= 7 leaves")
+            .cost_or_nan();
         assert!(
             g <= best + 1e-9,
             "THM1 violated: Algorithm 1 cost {g} vs optimal {best} (sample {i})"
@@ -87,7 +96,10 @@ pub fn run(opts: &Options, samples: usize) -> TheoremReport {
     let thm2 = paotr_par::par_tasks(samples, opts.threads, |i| {
         let mut rng = StdRng::seed_from_u64(0x7420 + i as u64);
         let inst = random_dnf(&mut rng, 7);
-        let (_, df) = exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+        let df = ExhaustivePlanner
+            .plan(&QueryRef::from(&inst), &inst.catalog)
+            .expect("small DNF")
+            .cost_or_nan();
         let (_, all) = exhaustive::dnf_all_schedules(&inst.tree, &inst.catalog);
         assert!(
             (df - all).abs() < 1e-9,
@@ -105,7 +117,10 @@ pub fn run(opts: &Options, samples: usize) -> TheoremReport {
             return (false, 0.0);
         }
         let (linear, non_linear) = nonlinear::linearity_gap(&inst.tree, &inst.catalog);
-        assert!(non_linear <= linear + 1e-9, "strategies include all schedules");
+        assert!(
+            non_linear <= linear + 1e-9,
+            "strategies include all schedules"
+        );
         let gap = (linear - non_linear) / linear.max(1e-300);
         (gap > 1e-9, gap)
     });
@@ -118,8 +133,11 @@ pub fn run(opts: &Options, samples: usize) -> TheoremReport {
     for i in 0..samples {
         let mut rng = StdRng::seed_from_u64(0x7440 + i as u64);
         let (tree, cat) = random_and(&mut rng);
-        let (sched, base) = greedy::schedule_with_cost(&tree, &cat);
-        let order = sched.order().to_vec();
+        let plan = GreedyPlanner
+            .plan(&QueryRef::from(&tree), &cat)
+            .expect("plans");
+        let base = plan.cost_or_nan();
+        let order = plan.body.as_and().expect("AND plan").order().to_vec();
         for a in 0..order.len() {
             for b in (a + 1)..order.len() {
                 let (la, lb) = (tree.leaf(order[a]), tree.leaf(order[b]));

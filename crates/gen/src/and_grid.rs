@@ -14,8 +14,7 @@ use paotr_core::prelude::*;
 use rand::Rng;
 
 /// The paper's nine sharing-ratio values.
-pub const SHARING_RATIOS: [f64; 9] =
-    [1.0, 1.25, 4.0 / 3.0, 1.5, 2.0, 3.0, 4.0, 5.0, 10.0];
+pub const SHARING_RATIOS: [f64; 9] = [1.0, 1.25, 4.0 / 3.0, 1.5, 2.0, 3.0, 4.0, 5.0, 10.0];
 
 /// The paper's leaf-count range `m = 2..=20`.
 pub const LEAF_COUNTS: std::ops::RangeInclusive<usize> = 2..=20;
@@ -93,11 +92,20 @@ mod tests {
 
     #[test]
     fn stream_count_matches_ratio() {
-        let cfg = AndConfig { leaves: 20, rho: 10.0 };
+        let cfg = AndConfig {
+            leaves: 20,
+            rho: 10.0,
+        };
         assert_eq!(cfg.num_streams(), 2);
-        let cfg = AndConfig { leaves: 20, rho: 1.0 };
+        let cfg = AndConfig {
+            leaves: 20,
+            rho: 1.0,
+        };
         assert_eq!(cfg.num_streams(), 20);
-        let cfg = AndConfig { leaves: 10, rho: 4.0 / 3.0 };
+        let cfg = AndConfig {
+            leaves: 10,
+            rho: 4.0 / 3.0,
+        };
         assert_eq!(cfg.num_streams(), 8); // round(7.5)
     }
 
@@ -116,7 +124,10 @@ mod tests {
     fn realized_sharing_ratio_is_close_on_average() {
         let mut rng = StdRng::seed_from_u64(8);
         let dist = ParamDistributions::paper();
-        let cfg = AndConfig { leaves: 20, rho: 2.0 };
+        let cfg = AndConfig {
+            leaves: 20,
+            rho: 2.0,
+        };
         let mut total = 0.0;
         let n = 200;
         for _ in 0..n {

@@ -25,12 +25,19 @@ pub struct ParamDistributions {
 impl ParamDistributions {
     /// The paper's Section III-B distributions.
     pub fn paper() -> ParamDistributions {
-        ParamDistributions { prob: (0.0, 1.0), items: (1, 5), cost: (1.0, 10.0) }
+        ParamDistributions {
+            prob: (0.0, 1.0),
+            items: (1, 5),
+            cost: (1.0, 10.0),
+        }
     }
 
     /// All leaves require exactly one item (the paper's Figure 3 shape).
     pub fn unit_items() -> ParamDistributions {
-        ParamDistributions { items: (1, 1), ..ParamDistributions::paper() }
+        ParamDistributions {
+            items: (1, 1),
+            ..ParamDistributions::paper()
+        }
     }
 
     /// Samples a success probability.

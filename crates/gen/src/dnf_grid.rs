@@ -102,7 +102,11 @@ pub fn fig6_grid() -> Vec<DnfConfig> {
     for n in 2..=10 {
         for m in [5usize, 10, 15, 20] {
             for &rho in SHARING_RATIOS.iter() {
-                grid.push(DnfConfig { terms: n, shape: Shape::PerTerm(m), rho });
+                grid.push(DnfConfig {
+                    terms: n,
+                    shape: Shape::PerTerm(m),
+                    rho,
+                });
             }
         }
     }
@@ -153,9 +157,9 @@ pub fn random_dnf_instance<R: Rng + ?Sized>(
         .map(|&m| {
             (0..m)
                 .map(|_| {
-            let stream = StreamId(rng.gen_range(0..s));
-            dist.sample_leaf(rng, stream)
-        })
+                    let stream = StreamId(rng.gen_range(0..s));
+                    dist.sample_leaf(rng, stream)
+                })
                 .collect()
         })
         .collect();
@@ -195,7 +199,11 @@ mod tests {
         // sampled totals across the whole range are reachable
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..500 {
-            let cfg = DnfConfig { terms: 2, shape: Shape::TotalWithCap { total: 20, cap: 8 }, rho: 2.0 };
+            let cfg = DnfConfig {
+                terms: 2,
+                shape: Shape::TotalWithCap { total: 20, cap: 8 },
+                rho: 2.0,
+            };
             let dist = crate::distributions::ParamDistributions::paper();
             let inst = random_dnf_instance(cfg, &dist, &mut rng);
             seen.insert(inst.num_leaves());
@@ -222,7 +230,11 @@ mod tests {
     fn large_instances_have_exact_term_sizes() {
         let mut rng = StdRng::seed_from_u64(11);
         let dist = ParamDistributions::paper();
-        let cfg = DnfConfig { terms: 10, shape: Shape::PerTerm(20), rho: 5.0 };
+        let cfg = DnfConfig {
+            terms: 10,
+            shape: Shape::PerTerm(20),
+            rho: 5.0,
+        };
         let inst = random_dnf_instance(cfg, &dist, &mut rng);
         assert_eq!(inst.num_terms(), 10);
         assert!(inst.tree.terms().iter().all(|t| t.len() == 20));
@@ -233,7 +245,11 @@ mod tests {
     #[test]
     fn generation_is_seed_deterministic() {
         let dist = ParamDistributions::paper();
-        let cfg = DnfConfig { terms: 4, shape: Shape::TotalWithCap { total: 10, cap: 8 }, rho: 2.0 };
+        let cfg = DnfConfig {
+            terms: 4,
+            shape: Shape::TotalWithCap { total: 10, cap: 8 },
+            rho: 2.0,
+        };
         let a = random_dnf_instance(cfg, &dist, &mut StdRng::seed_from_u64(77));
         let b = random_dnf_instance(cfg, &dist, &mut StdRng::seed_from_u64(77));
         assert_eq!(a, b);

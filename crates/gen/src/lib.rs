@@ -19,11 +19,14 @@ pub mod distributions;
 pub mod dnf_grid;
 pub mod seeds;
 
-pub use and_grid::{fig4_grid, random_and_instance, AndConfig, FIG4_INSTANCES_PER_CONFIG,
-                   LEAF_COUNTS, SHARING_RATIOS};
+pub use and_grid::{
+    fig4_grid, random_and_instance, AndConfig, FIG4_INSTANCES_PER_CONFIG, LEAF_COUNTS,
+    SHARING_RATIOS,
+};
 pub use distributions::ParamDistributions;
-pub use dnf_grid::{fig5_grid, fig6_grid, random_dnf_instance, DnfConfig, Shape,
-                   DNF_INSTANCES_PER_CONFIG};
+pub use dnf_grid::{
+    fig5_grid, fig6_grid, random_dnf_instance, DnfConfig, Shape, DNF_INSTANCES_PER_CONFIG,
+};
 pub use seeds::{instance_seed, Experiment};
 
 use paotr_core::prelude::DnfInstance;

@@ -108,7 +108,13 @@ impl Expr {
 impl fmt::Display for PredicateAst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.agg == Agg::Last && self.window == 1 {
-            write!(f, "{} {} {}", self.stream, self.cmp.symbol(), self.threshold)?;
+            write!(
+                f,
+                "{} {} {}",
+                self.stream,
+                self.cmp.symbol(),
+                self.threshold
+            )?;
         } else {
             write!(
                 f,

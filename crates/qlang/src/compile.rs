@@ -29,11 +29,17 @@ pub struct Compiled {
 /// Compiles an expression with per-stream costs (by name; absent names
 /// cost 1.0).
 pub fn compile(expr: &Expr, costs: &HashMap<String, f64>) -> Result<Compiled> {
-    let mut ctx = Ctx { catalog: StreamCatalog::new(), costs };
+    let mut ctx = Ctx {
+        catalog: StreamCatalog::new(),
+        costs,
+    };
     let root = ctx.node(expr)?;
     let tree = QueryTree::new(root)
         .map_err(|e| ParseError::new(format!("invalid query shape: {e}"), 0))?;
-    Ok(Compiled { tree, catalog: ctx.catalog })
+    Ok(Compiled {
+        tree,
+        catalog: ctx.catalog,
+    })
 }
 
 /// Parses and compiles in one step with default costs.
@@ -60,20 +66,24 @@ impl Ctx<'_> {
 
     fn leaf(&mut self, p: &PredicateAst) -> Result<Leaf> {
         let stream = self.stream_id(&p.stream)?;
-        let prob = Prob::new(p.prob.unwrap_or(0.5))
-            .map_err(|e| ParseError::new(e.to_string(), 0))?;
+        let prob =
+            Prob::new(p.prob.unwrap_or(0.5)).map_err(|e| ParseError::new(e.to_string(), 0))?;
         Leaf::new(stream, p.window, prob).map_err(|e| ParseError::new(e.to_string(), 0))
     }
 
     fn node(&mut self, e: &Expr) -> Result<Node> {
         Ok(match e {
             Expr::Pred(p) => Node::Leaf(self.leaf(p)?),
-            Expr::And(cs) => {
-                Node::And(cs.iter().map(|c| self.node(c)).collect::<Result<Vec<_>>>()?)
-            }
-            Expr::Or(cs) => {
-                Node::Or(cs.iter().map(|c| self.node(c)).collect::<Result<Vec<_>>>()?)
-            }
+            Expr::And(cs) => Node::And(
+                cs.iter()
+                    .map(|c| self.node(c))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            Expr::Or(cs) => Node::Or(
+                cs.iter()
+                    .map(|c| self.node(c))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
         })
     }
 }
@@ -158,10 +168,8 @@ mod tests {
 
     #[test]
     fn compiles_figure_1b_shared_query() {
-        let c = compile_str(
-            "(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A,10) > 80)",
-        )
-        .unwrap();
+        let c = compile_str("(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A,10) > 80)")
+            .unwrap();
         assert!(!c.tree.is_read_once());
         assert_eq!(c.catalog.len(), 3);
         let a = c.catalog.find("A").unwrap();

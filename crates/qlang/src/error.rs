@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates an error.
     pub fn new(message: impl Into<String>, offset: usize) -> ParseError {
-        ParseError { message: message.into(), offset }
+        ParseError {
+            message: message.into(),
+            offset,
+        }
     }
 
     /// Renders a one-line caret diagnostic against the source text.

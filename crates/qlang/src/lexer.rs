@@ -16,46 +16,76 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '@' => {
-                tokens.push(Token { kind: TokenKind::At, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::At,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::And, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::And,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new("expected `&&`", start));
@@ -63,7 +93,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::Or, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Or,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new("expected `||`", start));
@@ -72,7 +105,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             '0'..='9' | '.' => {
                 let mut j = i;
                 while j < bytes.len()
-                    && (bytes[j].is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e'
+                    && (bytes[j].is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
                         || bytes[j] == b'E'
                         || ((bytes[j] == b'+' || bytes[j] == b'-')
                             && j > i
@@ -84,7 +119,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| ParseError::new(format!("invalid number `{text}`"), start))?;
-                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -100,15 +138,24 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     "OR" => TokenKind::Or,
                     _ => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
-                return Err(ParseError::new(format!("unexpected character `{other}`"), start));
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ));
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: source.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: source.len(),
+    });
     Ok(tokens)
 }
 
@@ -178,14 +225,17 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("and or AND OR And"), vec![
-            TokenKind::And,
-            TokenKind::Or,
-            TokenKind::And,
-            TokenKind::Or,
-            TokenKind::And,
-            TokenKind::Eof,
-        ]);
+        assert_eq!(
+            kinds("and or AND OR And"),
+            vec![
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::And,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

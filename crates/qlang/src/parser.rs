@@ -74,7 +74,11 @@ impl Parser {
             self.bump();
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("non-empty") } else { Expr::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Expr::Or(parts)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr> {
@@ -84,7 +88,11 @@ impl Parser {
             self.bump();
             parts.push(self.atom()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("non-empty") } else { Expr::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Expr::And(parts)
+        })
     }
 
     fn atom(&mut self) -> Result<Expr> {
@@ -138,7 +146,14 @@ impl Parser {
         let cmp = self.cmp()?;
         let threshold = self.number("a threshold")?;
         let prob = self.annotation()?;
-        Ok(Expr::Pred(PredicateAst { agg, stream, window, cmp, threshold, prob }))
+        Ok(Expr::Pred(PredicateAst {
+            agg,
+            stream,
+            window,
+            cmp,
+            threshold,
+            prob,
+        }))
     }
 
     /// `stream cmp threshold [@ p]` — sugar for `LAST(stream, 1)`.
@@ -192,9 +207,10 @@ impl Parser {
         let t = self.bump();
         match t.kind {
             TokenKind::Number(n) => Ok(if negative { -n } else { n }),
-            other => {
-                Err(ParseError::new(format!("expected {what}, found {other}"), t.offset))
-            }
+            other => Err(ParseError::new(
+                format!("expected {what}, found {other}"),
+                t.offset,
+            )),
         }
     }
 
@@ -244,10 +260,7 @@ mod tests {
 
     #[test]
     fn parses_figure_1b() {
-        let e = parse(
-            "(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A, 10) > 80)",
-        )
-        .unwrap();
+        let e = parse("(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A, 10) > 80)").unwrap();
         assert_eq!(e.num_predicates(), 4);
     }
 

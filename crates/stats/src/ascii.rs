@@ -21,9 +21,17 @@ pub const GLYPHS: [char; 10] = ['*', '+', 'o', 'x', '#', '@', '%', '&', '=', '~'
 impl AsciiChart {
     /// Creates an empty chart of `width x height` character cells mapped
     /// onto the given data ranges.
-    pub fn new(width: usize, height: usize, x_range: (f64, f64), y_range: (f64, f64)) -> AsciiChart {
+    pub fn new(
+        width: usize,
+        height: usize,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> AsciiChart {
         assert!(width >= 10 && height >= 4, "chart too small to be legible");
-        assert!(x_range.0 < x_range.1 && y_range.0 < y_range.1, "empty axis range");
+        assert!(
+            x_range.0 < x_range.1 && y_range.0 < y_range.1,
+            "empty axis range"
+        );
         AsciiChart {
             width,
             height,
@@ -59,7 +67,11 @@ impl AsciiChart {
     /// Renders the chart with a frame, y-range annotations and legend.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:>8.3} ┌{}┐\n", self.y_range.1, "─".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>8.3} ┌{}┐\n",
+            self.y_range.1,
+            "─".repeat(self.width)
+        ));
         for (i, row) in self.grid.iter().enumerate() {
             let label = if i + 1 == self.height {
                 format!("{:>8.3} ", self.y_range.0)

@@ -25,10 +25,16 @@ impl Profile {
     /// Panics on empty or non-finite input.
     pub fn new(name: impl Into<String>, ratios: &[f64]) -> Profile {
         assert!(!ratios.is_empty(), "profile of zero instances");
-        assert!(ratios.iter().all(|r| r.is_finite()), "ratios must be finite");
+        assert!(
+            ratios.iter().all(|r| r.is_finite()),
+            "ratios must be finite"
+        );
         let mut sorted = ratios.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        Profile { name: name.into(), sorted_ratios: sorted }
+        Profile {
+            name: name.into(),
+            sorted_ratios: sorted,
+        }
     }
 
     /// Number of instances behind the curve.

@@ -42,7 +42,10 @@ impl RatioSummary {
     /// Panics on an empty list or non-finite ratios.
     pub fn from_ratios(ratios: &[f64]) -> RatioSummary {
         assert!(!ratios.is_empty(), "cannot summarize zero ratios");
-        assert!(ratios.iter().all(|r| r.is_finite()), "ratios must be finite");
+        assert!(
+            ratios.iter().all(|r| r.is_finite()),
+            "ratios must be finite"
+        );
         let n = ratios.len() as f64;
         let mut sorted = ratios.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -57,7 +60,10 @@ impl RatioSummary {
             geometric_mean,
             frac_over_10pct: count_over(1.10),
             frac_over_1pct: count_over(1.01),
-            frac_ties: ratios.iter().filter(|&&r| (r - 1.0).abs() <= TIE_EPSILON).count() as f64
+            frac_ties: ratios
+                .iter()
+                .filter(|&&r| (r - 1.0).abs() <= TIE_EPSILON)
+                .count() as f64
                 / n,
             median: percentile(&sorted, 50.0),
             p99: percentile(&sorted, 99.0),

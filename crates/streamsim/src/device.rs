@@ -32,7 +32,9 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Creates memory for `n_streams` streams.
     pub fn new(n_streams: usize) -> DeviceMemory {
-        DeviceMemory { held: vec![BTreeSet::new(); n_streams] }
+        DeviceMemory {
+            held: vec![BTreeSet::new(); n_streams],
+        }
     }
 
     /// First existing timestamp of a `window`-item request ending at
@@ -99,7 +101,7 @@ mod tests {
         m.insert_window(A, 100, 5); // holds 96..=100
         assert_eq!(m.missing(A, 100, 5), 0);
         assert_eq!(m.missing(A, 100, 10), 5); // needs 91..=100, has 5
-        // next tick: window shifts by one
+                                              // next tick: window shifts by one
         assert_eq!(m.missing(A, 101, 5), 1);
     }
 

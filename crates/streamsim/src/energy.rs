@@ -29,7 +29,10 @@ impl EnergyModel {
 
     /// Adds a per-contact wake-up surcharge.
     pub fn with_wakeup(mut self, wakeup: f64) -> EnergyModel {
-        assert!(wakeup >= 0.0 && wakeup.is_finite(), "wake-up cost must be finite and >= 0");
+        assert!(
+            wakeup >= 0.0 && wakeup.is_finite(),
+            "wake-up cost must be finite and >= 0"
+        );
         self.wakeup_cost = wakeup;
         self
     }

@@ -41,7 +41,11 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine over `n_streams` streams.
     pub fn new(n_streams: usize, policy: MemoryPolicy, energy: EnergyModel) -> Engine {
-        assert_eq!(energy.len(), n_streams, "energy model must cover every stream");
+        assert_eq!(
+            energy.len(),
+            n_streams,
+            "energy model must cover every stream"
+        );
         Engine {
             memory: DeviceMemory::new(n_streams),
             policy,
@@ -149,7 +153,12 @@ impl Engine {
 
         self.total_cost += cost;
         self.evaluations += 1;
-        QueryOutcome { value, cost, evaluated, items_pulled }
+        QueryOutcome {
+            value,
+            cost,
+            evaluated,
+            items_pulled,
+        }
     }
 }
 
@@ -178,7 +187,11 @@ mod tests {
 
     fn engine(costs: &[f64]) -> Engine {
         let cat = StreamCatalog::from_costs(costs.iter().copied()).unwrap();
-        Engine::new(costs.len(), MemoryPolicy::ClearEachQuery, EnergyModel::from_catalog(&cat))
+        Engine::new(
+            costs.len(),
+            MemoryPolicy::ClearEachQuery,
+            EnergyModel::from_catalog(&cat),
+        )
     }
 
     #[test]
@@ -219,7 +232,10 @@ mod tests {
     #[test]
     fn false_leaf_kills_term_and_skips_its_leaves() {
         let q = SimQuery::new(vec![
-            vec![leaf(0, 2, Comparator::Gt, 100.0), leaf(1, 6, Comparator::Lt, 70.0)],
+            vec![
+                leaf(0, 2, Comparator::Gt, 100.0),
+                leaf(1, 6, Comparator::Lt, 70.0),
+            ],
             vec![leaf(1, 3, Comparator::Lt, 70.0)],
         ])
         .unwrap();

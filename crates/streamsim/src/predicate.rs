@@ -104,7 +104,12 @@ impl Predicate {
     /// Builds a predicate; window must be at least 1.
     pub fn new(op: WindowOp, window: u32, cmp: Comparator, threshold: f64) -> Predicate {
         assert!(window >= 1, "predicates need a window of at least one item");
-        Predicate { op, window, cmp, threshold }
+        Predicate {
+            op,
+            window,
+            cmp,
+            threshold,
+        }
     }
 
     /// Evaluates the predicate on a pulled window (newest first). The

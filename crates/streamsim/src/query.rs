@@ -110,10 +110,19 @@ mod tests {
     fn query() -> SimQuery {
         SimQuery::new(vec![
             vec![
-                SimLeaf { stream: StreamId(0), predicate: pred(5) },
-                SimLeaf { stream: StreamId(1), predicate: pred(4) },
+                SimLeaf {
+                    stream: StreamId(0),
+                    predicate: pred(5),
+                },
+                SimLeaf {
+                    stream: StreamId(1),
+                    predicate: pred(4),
+                },
             ],
-            vec![SimLeaf { stream: StreamId(0), predicate: pred(10) }],
+            vec![SimLeaf {
+                stream: StreamId(0),
+                predicate: pred(10),
+            }],
         ])
         .unwrap()
     }

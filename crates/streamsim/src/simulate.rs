@@ -7,8 +7,9 @@
 //!    schedule, recording a trace;
 //! 2. **calibrate**: estimate leaf probabilities from the trace and build
 //!    the scheduling skeleton;
-//! 3. **schedule**: apply any scheduling policy (a heuristic from
-//!    [`paotr_core::algo::heuristics`], the exhaustive optimum, ...);
+//! 3. **schedule**: apply any scheduling policy — typically a
+//!    [`paotr_core::plan::Engine`] plan or one planner from the
+//!    [`paotr_core::plan::PlannerRegistry`];
 //! 4. **measure**: run the query with the optimized schedule and report
 //!    energy statistics.
 //!
@@ -159,8 +160,18 @@ mod tests {
 
     /// Heart-rate-style scenario: HR sine around 80 bpm, SPO2 walk ~0.97.
     fn telehealth_query() -> (SimQuery, Vec<SensorSource>, StreamCatalog) {
-        let hr = SensorModel::Sine { offset: 80.0, amplitude: 25.0, period: 97.0, noise: 3.0 };
-        let spo2 = SensorModel::RandomWalk { start: 0.97, step: 0.004, min: 0.85, max: 1.0 };
+        let hr = SensorModel::Sine {
+            offset: 80.0,
+            amplitude: 25.0,
+            period: 97.0,
+            noise: 3.0,
+        };
+        let spo2 = SensorModel::RandomWalk {
+            start: 0.97,
+            step: 0.004,
+            min: 0.85,
+            max: 1.0,
+        };
         let q = SimQuery::new(vec![
             vec![SimLeaf {
                 stream: StreamId(0),
@@ -185,12 +196,25 @@ mod tests {
     #[test]
     fn pipeline_produces_calibrated_schedule_and_stats() {
         let (q, models, cat) = telehealth_query();
+        // Plan through the engine facade: the calibrated skeleton is a
+        // shared DNF tree, so the default planner is the paper's best
+        // heuristic.
+        let engine = paotr_core::plan::Engine::new();
         let report = run_pipeline(
             &q,
             models,
             &cat,
-            PipelineConfig { warmup_evaluations: 100, measure_evaluations: 200, ..Default::default() },
-            |tree, cat| Heuristic::AndIncCOverPDynamic.schedule(tree, cat),
+            PipelineConfig {
+                warmup_evaluations: 100,
+                measure_evaluations: 200,
+                ..Default::default()
+            },
+            |tree, cat| {
+                let plan = engine.plan(tree, cat).expect("DNF skeletons always plan");
+                plan.body
+                    .to_dnf_schedule(tree)
+                    .expect("schedule-shaped plan")
+            },
         );
         assert!(report.mean_cost > 0.0);
         assert!((0.0..=1.0).contains(&report.truth_rate));
@@ -228,7 +252,11 @@ mod tests {
     #[test]
     fn retain_policy_is_cheaper_than_clearing() {
         let (q, models, cat) = telehealth_query();
-        let base = PipelineConfig { warmup_evaluations: 50, measure_evaluations: 300, ..Default::default() };
+        let base = PipelineConfig {
+            warmup_evaluations: 50,
+            measure_evaluations: 300,
+            ..Default::default()
+        };
         let cleared = run_pipeline(&q, models.clone(), &cat, base, |tree, cat| {
             Heuristic::AndIncCStatic.schedule(tree, cat)
         });
@@ -236,7 +264,10 @@ mod tests {
             &q,
             models,
             &cat,
-            PipelineConfig { policy: MemoryPolicy::Retain, ..base },
+            PipelineConfig {
+                policy: MemoryPolicy::Retain,
+                ..base
+            },
             |tree, cat| Heuristic::AndIncCStatic.schedule(tree, cat),
         );
         assert!(

@@ -75,7 +75,11 @@ impl SensorSource {
             SensorModel::RandomWalk { start, .. } => start,
             _ => 0.0,
         };
-        SensorSource { model, tick: 0, walk_level }
+        SensorSource {
+            model,
+            tick: 0,
+            walk_level,
+        }
     }
 
     /// The number of values generated so far.
@@ -89,16 +93,30 @@ impl SensorSource {
         self.tick += 1;
         match self.model {
             SensorModel::Constant(v) => v,
-            SensorModel::Sine { offset, amplitude, period, noise } => {
+            SensorModel::Sine {
+                offset,
+                amplitude,
+                period,
+                noise,
+            } => {
                 let phase = 2.0 * std::f64::consts::PI * t as f64 / period;
-                let n = if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 };
+                let n = if noise > 0.0 {
+                    rng.gen_range(-noise..noise)
+                } else {
+                    0.0
+                };
                 offset + amplitude * phase.sin() + n
             }
             SensorModel::RandomWalk { step, min, max, .. } => {
                 self.walk_level = (self.walk_level + gaussian(rng) * step).clamp(min, max);
                 self.walk_level
             }
-            SensorModel::Spiky { base, spike, spike_prob, noise } => {
+            SensorModel::Spiky {
+                base,
+                spike,
+                spike_prob,
+                noise,
+            } => {
                 if rng.gen::<f64>() < spike_prob {
                     spike
                 } else if noise > 0.0 {
@@ -175,7 +193,9 @@ mod tests {
             noise: 0.0,
         });
         let mut rng = StdRng::seed_from_u64(4);
-        let spikes = (0..10_000).filter(|_| s.next_value(&mut rng) == 100.0).count();
+        let spikes = (0..10_000)
+            .filter(|_| s.next_value(&mut rng) == 100.0)
+            .count();
         assert!((800..1200).contains(&spikes), "spikes {spikes}");
     }
 
@@ -192,7 +212,10 @@ mod tests {
 
     #[test]
     fn generation_is_seed_deterministic() {
-        let model = SensorModel::Gaussian { mean: 0.0, std_dev: 1.0 };
+        let model = SensorModel::Gaussian {
+            mean: 0.0,
+            std_dev: 1.0,
+        };
         let run = |seed| {
             let mut s = SensorSource::new(model.clone());
             let mut rng = StdRng::seed_from_u64(seed);

@@ -65,7 +65,9 @@ impl TraceLog {
 pub fn estimate_probabilities(log: &TraceLog, query: &SimQuery) -> Vec<f64> {
     let refs = query.leaf_refs();
     let index_of = |r: LeafRef| -> usize {
-        refs.iter().position(|&x| x == r).expect("trace references a query leaf")
+        refs.iter()
+            .position(|&x| x == r)
+            .expect("trace references a query leaf")
     };
     let mut successes = vec![0u64; refs.len()];
     let mut totals = vec![0u64; refs.len()];
@@ -102,7 +104,13 @@ mod tests {
     }
 
     fn rec(leaf: LeafRef, value: bool) -> LeafRecord {
-        LeafRecord { tick: 0, leaf, value, items_paid: 1, cost: 1.0 }
+        LeafRecord {
+            tick: 0,
+            leaf,
+            value,
+            items_paid: 1,
+            cost: 1.0,
+        }
     }
 
     #[test]
@@ -128,7 +136,9 @@ mod tests {
         assert_eq!(t.num_leaves(), 3);
         assert_eq!(t.leaf(LeafRef::new(0, 1)).items, 4);
         // uninformed prior everywhere
-        assert!(t.leaves().all(|(_, l)| (l.prob.value() - 0.5).abs() < 1e-12));
+        assert!(t
+            .leaves()
+            .all(|(_, l)| (l.prob.value() - 0.5).abs() < 1e-12));
     }
 
     #[test]

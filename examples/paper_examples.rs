@@ -14,7 +14,7 @@
 //! cargo run --example paper_examples
 //! ```
 
-use paotr::core::algo::{greedy, smith};
+use paotr::core::algo::smith;
 use paotr::core::cost::{and_eval, assignment, dnf_eval};
 use paotr::core::prelude::*;
 use paotr::core::stream::StreamId;
@@ -41,7 +41,10 @@ fn figure_1() {
     let fig1b = "(MAX(B,4) > 100 AND C < 3) OR (AVG(A,5) < 70 AND MAX(A,10) > 80)";
     let compiled_b = qlang::compile_str(fig1b).expect("Figure 1(b) parses");
     println!("(b) {fig1b}");
-    println!("    read-once: {} (stream A occurs twice)", compiled_b.tree.is_read_once());
+    println!(
+        "    read-once: {} (stream A occurs twice)",
+        compiled_b.tree.is_read_once()
+    );
     assert!(!compiled_b.tree.is_read_once());
 
     // Section I example: evaluating AVG(A,5) first pulls 5 items; then
@@ -54,7 +57,10 @@ fn figure_1() {
         .map(|(_, l)| l.items)
         .collect();
     assert_eq!(items, vec![5, 10]);
-    println!("    after AVG(A,5) pulls 5 items, MAX(A,10) pays only {} more\n", 10 - 5);
+    println!(
+        "    after AVG(A,5) pulls 5 items, MAX(A,10) pays only {} more\n",
+        10 - 5
+    );
 
     // Section II cost walk-through on Figure 1(a) with schedule l2,l3,l1:
     // cost = 4 c(B) + q2 c(C) + (1 - q2 q3) * 5 c(A).
@@ -64,8 +70,8 @@ fn figure_1() {
     let l2 = Node::leaf(StreamId(1), 4, Prob::new(p2).expect("valid")).expect("valid");
     let l3 = Node::leaf(StreamId(2), 1, Prob::new(p3).expect("valid")).expect("valid");
     // flat leaf numbering is left-to-right: l2 = 0, l3 = 1, l1 = 2
-    let tree = QueryTree::new(Node::and(vec![Node::or(vec![l2, l3]), l1]))
-        .expect("Figure 1(a) shape");
+    let tree =
+        QueryTree::new(Node::and(vec![Node::or(vec![l2, l3]), l1])).expect("Figure 1(a) shape");
     let catalog = StreamCatalog::unit(3);
     let got = assignment::query_tree_expected_cost(&tree, &catalog, &[0, 1, 2]);
     let expected = 4.0 + q2 * 1.0 + (1.0 - q2 * q3) * 5.0;
@@ -91,7 +97,10 @@ fn section_ii_a() {
         .iter()
         .map(|l| smith::smith_ratio(l.items, inst.catalog.cost(l.stream), l.fail()))
         .collect();
-    println!("Smith ratios d*c/q: {:.2} {:.2} {:.2} (paper: 4, 2.22, 2)", ratios[0], ratios[1], ratios[2]);
+    println!(
+        "Smith ratios d*c/q: {:.2} {:.2} {:.2} (paper: 4, 2.22, 2)",
+        ratios[0], ratios[1], ratios[2]
+    );
     assert!((ratios[0] - 4.0).abs() < 1e-9);
     assert!((ratios[1] - 2.0 / 0.9).abs() < 1e-9);
     assert!((ratios[2] - 2.0).abs() < 1e-9);
@@ -109,7 +118,11 @@ fn section_ii_a() {
         assert!((exact - expect).abs() < 1e-12);
     }
 
-    let (best, cost) = greedy::schedule_with_cost(&tree, &inst.catalog);
+    let plan = paotr::core::plan::Engine::new()
+        .plan(&tree, &inst.catalog)
+        .expect("AND-trees always plan");
+    let best = plan.body.as_and().expect("AND plan");
+    let cost = plan.cost_or_nan();
     println!("Algorithm 1 picks {best} with cost {cost:.4} — the read-once greedy pays 2.0\n");
     assert!((cost - 1.825).abs() < 1e-12);
 }
@@ -143,10 +156,8 @@ fn section_ii_b() {
     )
     .expect("the paper's leaf numbering");
     let (p1, p2, p3, p5, p6) = (p[0], p[1], p[2], p[4], p[5]);
-    let closed_form = 1.0
-        + 1.0
-        + (p1 + (1.0 - p1) * p2)
-        + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
+    let closed_form =
+        1.0 + 1.0 + (p1 + (1.0 - p1) * p2) + (p1 * p3 + (1.0 - p1 * p3) * (1.0 - p2 * p5) * p6);
     let evaluator = dnf_eval::expected_cost(&inst.tree, &inst.catalog, &schedule);
     let enumeration = assignment::dnf_expected_cost(&inst.tree, &inst.catalog, &schedule);
     println!("closed form : {closed_form:.6}");

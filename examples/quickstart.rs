@@ -1,15 +1,18 @@
-//! Quickstart: build a shared query, schedule it every way the library
-//! knows, and compare expected costs.
+//! Quickstart: build a shared query, plan it every way the library
+//! knows through the unified [`Engine`] facade, and compare expected
+//! costs.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use paotr::core::algo::{exhaustive, greedy, heuristics, smith};
-use paotr::core::cost::{and_eval, dnf_eval};
+use paotr::core::cost::dnf_eval;
+use paotr::core::plan::Engine;
 use paotr::core::prelude::*;
 
 fn main() {
+    let engine = Engine::new();
+
     // ------------------------------------------------------------------
     // 1. AND-trees: the paper's Figure 2 instance.
     //    Streams A and B (unit cost); leaf l2 re-reads stream A.
@@ -24,21 +27,29 @@ fn main() {
     let and_tree = inst.tree.term(0).as_and_tree();
 
     println!("Query (AND-tree, shared stream A):");
-    println!("{}", paotr::core::tree::display::render_dnf_named(&inst.tree, &inst.catalog));
+    println!(
+        "{}",
+        paotr::core::tree::display::render_dnf_named(&inst.tree, &inst.catalog)
+    );
 
-    let smith_schedule = smith::schedule(&and_tree, &inst.catalog);
-    let smith_cost = and_eval::expected_cost(&and_tree, &inst.catalog, &smith_schedule);
-    let (greedy_schedule, greedy_cost) = greedy::schedule_with_cost(&and_tree, &inst.catalog);
-    let (exhaustive_schedule, exhaustive_cost) =
-        exhaustive::and_all_permutations(&and_tree, &inst.catalog);
+    // One surface for every algorithm: pick planners by registry name.
+    let smith = engine
+        .plan_with("smith", &and_tree, &inst.catalog)
+        .expect("plans");
+    let greedy = engine.plan(&and_tree, &inst.catalog).expect("plans"); // default = Algorithm 1
+    let exhaustive = engine
+        .plan_with("exhaustive", &and_tree, &inst.catalog)
+        .expect("plans");
 
-    println!("read-once greedy [7]  : {smith_schedule}  expected cost {smith_cost:.4}");
-    println!("Algorithm 1 (optimal) : {greedy_schedule}  expected cost {greedy_cost:.4}");
-    println!("exhaustive search     : {exhaustive_schedule}  expected cost {exhaustive_cost:.4}");
-    assert!((greedy_cost - exhaustive_cost).abs() < 1e-9);
+    println!("read-once greedy [7]  : {smith}");
+    println!("Algorithm 1 (optimal) : {greedy}");
+    println!("exhaustive search     : {exhaustive}");
+    assert_eq!(greedy.planner, "greedy");
+    assert!((greedy.cost_or_nan() - exhaustive.cost_or_nan()).abs() < 1e-9);
 
     // ------------------------------------------------------------------
-    // 2. DNF trees: schedule with all ten heuristics + exact optimum.
+    // 2. DNF trees: plan with all ten heuristics + exact optimum, by
+    //    iterating the registry's paper-set view.
     // ------------------------------------------------------------------
     let mut b = InstanceBuilder::new();
     let hr = b.stream("heart_rate", 1.0);
@@ -57,16 +68,46 @@ fn main() {
         paotr::core::tree::display::render_dnf_named(&alert.tree, &alert.catalog)
     );
 
-    println!("{:<28} {:>12}  schedule", "heuristic", "E[cost]");
-    for h in heuristics::paper_set(7) {
-        let (s, c) = h.schedule_with_cost(&alert.tree, &alert.catalog);
-        println!("{:<28} {:>12.4}  {}", h.name(), c, s);
+    println!("{:<28} {:>12}  schedule", "planner", "E[cost]");
+    let names: Vec<String> = engine
+        .registry()
+        .paper_set()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for name in &names {
+        let plan = engine
+            .plan_with(name, &alert.tree, &alert.catalog)
+            .expect("plans");
+        println!(
+            "{:<28} {:>12.4}  {}",
+            name,
+            plan.cost_or_nan(),
+            plan.body_display()
+        );
     }
-    let (opt_schedule, opt_cost) = exhaustive::dnf_optimal(&alert.tree, &alert.catalog);
-    println!("{:<28} {:>12.4}  {}", "OPTIMAL (exhaustive DF)", opt_cost, opt_schedule);
+    let optimal = engine
+        .plan_with("exhaustive", &alert.tree, &alert.catalog)
+        .expect("plans");
+    println!(
+        "{:<28} {:>12.4}  {}",
+        "OPTIMAL (exhaustive DF)",
+        optimal.cost_or_nan(),
+        optimal.body_display()
+    );
 
-    // Sanity: the evaluator agrees with the reported optimal cost.
-    let check = dnf_eval::expected_cost(&alert.tree, &alert.catalog, &opt_schedule);
-    assert!((check - opt_cost).abs() < 1e-9);
-    println!("\nDone: every schedule validated against the Proposition 2 evaluator.");
+    // Sanity: the evaluator agrees with the reported optimal cost, and a
+    // replan is a cache hit returning the identical plan.
+    let opt_schedule = optimal.body.as_dnf().expect("DNF plan");
+    let check = dnf_eval::expected_cost(&alert.tree, &alert.catalog, opt_schedule);
+    assert!((check - optimal.cost_or_nan()).abs() < 1e-9);
+    let again = engine
+        .plan_with("exhaustive", &alert.tree, &alert.catalog)
+        .expect("plans");
+    assert_eq!(again, optimal);
+    let stats = engine.cache_stats();
+    println!(
+        "\nDone: every plan validated; cache {} hits / {} misses.",
+        stats.hits, stats.misses
+    );
 }

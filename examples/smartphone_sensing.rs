@@ -12,8 +12,8 @@
 //! cargo run --release --example smartphone_sensing
 //! ```
 
-use paotr::core::algo::heuristics::{paper_set, Heuristic};
-use paotr::core::cost::dnf_eval;
+use paotr::core::algo::heuristics::Heuristic;
+use paotr::core::plan::Engine;
 use paotr::core::prelude::*;
 use paotr::gen::instance_seed;
 use paotr::sim::{run_pipeline, PipelineConfig, SensorModel, SensorSource};
@@ -29,11 +29,7 @@ fn main() {
     // 40 random DNF context rules over 3 sensor streams: GPS (expensive),
     // accelerometer (cheap), microphone (moderate).
     let catalog = StreamCatalog::from_costs([8.0, 1.0, 3.0]).expect("three streams");
-    let mut rng = StdRng::seed_from_u64(instance_seed(
-        paotr::gen::Experiment::Custom(1),
-        0,
-        0,
-    ));
+    let mut rng = StdRng::seed_from_u64(instance_seed(paotr::gen::Experiment::Custom(1), 0, 0));
     let queries: Vec<DnfTree> = (0..40)
         .map(|_| {
             let n_terms = rng.gen_range(2..=4);
@@ -59,15 +55,31 @@ fn main() {
         "{:<28} {:>14} {:>18}",
         "heuristic", "E[cost] total", "battery evals"
     );
-    for h in paper_set(11) {
-        let total: f64 = queries
-            .iter()
-            .map(|q| dnf_eval::expected_cost_fast(q, &catalog, &h.schedule(q, &catalog)))
-            .sum();
+    // The serving shape: one engine, many queries, one catalog. Each
+    // heuristic plans the whole fleet in a batch (plans are cached, so a
+    // production loop re-planning every wave hits the cache).
+    let engine = Engine::new();
+    let query_refs: Vec<QueryRef<'_>> = queries.iter().map(QueryRef::from).collect();
+    let names: Vec<String> = engine
+        .registry()
+        .paper_set()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for name in &names {
+        let plans = engine
+            .plan_batch_with(name, &query_refs, &catalog)
+            .expect("every heuristic plans every DNF rule");
+        let total: f64 = plans.iter().map(Plan::cost_or_nan).sum();
         // How many rounds of evaluating all 40 rules fit in the battery?
         let rounds = BATTERY / total;
-        println!("{:<28} {:>14.2} {:>18.0}", h.name(), total, rounds);
+        println!("{:<28} {:>14.2} {:>18.0}", name, total, rounds);
     }
+    let stats = engine.cache_stats();
+    println!(
+        "\n(engine cache: {} plans computed, {} served from cache)\n",
+        stats.misses, stats.hits
+    );
 
     // ------------------------------------------------------------------
     // Part 2: one rule end-to-end on simulated sensors.
@@ -130,9 +142,22 @@ fn main() {
 
     let sensors = || {
         vec![
-            SensorSource::new(SensorModel::RandomWalk { start: 1.0, step: 0.6, min: 0.0, max: 6.0 }),
-            SensorSource::new(SensorModel::Gaussian { mean: 1.0, std_dev: 0.5 }),
-            SensorSource::new(SensorModel::Spiky { base: 0.3, spike: 0.9, spike_prob: 0.2, noise: 0.1 }),
+            SensorSource::new(SensorModel::RandomWalk {
+                start: 1.0,
+                step: 0.6,
+                min: 0.0,
+                max: 6.0,
+            }),
+            SensorSource::new(SensorModel::Gaussian {
+                mean: 1.0,
+                std_dev: 0.5,
+            }),
+            SensorSource::new(SensorModel::Spiky {
+                base: 0.3,
+                spike: 0.9,
+                spike_prob: 0.2,
+                noise: 0.1,
+            }),
         ]
     };
     let config = PipelineConfig {
@@ -143,9 +168,15 @@ fn main() {
 
     println!("\n\"running outside\" rule on simulated sensors (energy per evaluation):");
     for (name, h) in [
-        ("stream-ordered (Lim et al.)", Heuristic::StreamOrdered(Default::default())),
+        (
+            "stream-ordered (Lim et al.)",
+            Heuristic::StreamOrdered(Default::default()),
+        ),
         ("leaf-ord., inc. C", Heuristic::LeafIncC),
-        ("AND-ord., inc. C/p, dynamic", Heuristic::AndIncCOverPDynamic),
+        (
+            "AND-ord., inc. C/p, dynamic",
+            Heuristic::AndIncCOverPDynamic,
+        ),
     ] {
         let report = run_pipeline(&query, sensors(), &rule.catalog, config, |t, c| {
             h.schedule(t, c)

@@ -19,9 +19,7 @@
 use paotr::core::algo::heuristics::Heuristic;
 use paotr::core::prelude::*;
 use paotr::qlang;
-use paotr::sim::{
-    run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource,
-};
+use paotr::sim::{run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource};
 use std::collections::HashMap;
 
 fn main() {
@@ -103,9 +101,7 @@ fn main() {
         ),
         (
             "AND-ord., inc. C/p, static",
-            Box::new(|t: &DnfTree, c: &StreamCatalog| {
-                Heuristic::AndIncCOverPStatic.schedule(t, c)
-            }),
+            Box::new(|t: &DnfTree, c: &StreamCatalog| Heuristic::AndIncCOverPStatic.schedule(t, c)),
         ),
         (
             "AND-ord., inc. C/p, dynamic",
@@ -116,7 +112,13 @@ fn main() {
         (
             "exhaustive optimum",
             Box::new(|t: &DnfTree, c: &StreamCatalog| {
-                paotr::core::algo::exhaustive::dnf_optimal(t, c).0
+                use paotr::core::plan::{planners::ExhaustivePlanner, Planner, QueryRef};
+                ExhaustivePlanner
+                    .plan(&QueryRef::from(t), c)
+                    .expect("small DNF")
+                    .body
+                    .to_dnf_schedule(t)
+                    .expect("DNF plan")
             }),
         ),
     ];

@@ -1,0 +1,40 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! PAOTR only uses `crossbeam::channel::unbounded`; `std::sync::mpsc`
+//! provides the same semantics for that shape (multi-producer via cloned
+//! senders, a single consumer draining until every sender is dropped), so
+//! the shim is a thin re-export.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Unbounded MPSC channel; matches `crossbeam_channel::unbounded`
+    /// for the clone-senders/drain-receiver pattern.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_delivers_everything() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..400).collect::<Vec<_>>());
+        });
+    }
+}

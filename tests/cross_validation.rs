@@ -8,8 +8,6 @@
 use paotr::core::cost::{and_eval, assignment, dnf_eval, montecarlo, DnfCostEvaluator};
 use paotr::core::prelude::*;
 use proptest::prelude::*;
-use rand::Rng as _;
-use rand::SeedableRng as _;
 use rand::prelude::*;
 
 /// Strategy: a random shared DNF instance with at most `max_leaves`
@@ -30,9 +28,7 @@ fn dnf_instance(
                 .into_iter()
                 .map(|t| {
                     t.into_iter()
-                        .map(|(s, d, p)| {
-                            Leaf::raw(StreamId(s), d, Prob::new(p).expect("in range"))
-                        })
+                        .map(|(s, d, p)| Leaf::raw(StreamId(s), d, Prob::new(p).expect("in range")))
                         .collect()
                 })
                 .collect(),
@@ -143,10 +139,9 @@ fn montecarlo_confirms_analytic_costs() {
     let mut seed_rng = StdRng::seed_from_u64(99);
     for trial in 0..10 {
         let n_streams = seed_rng.gen_range(1..=3);
-        let catalog = StreamCatalog::from_costs(
-            (0..n_streams).map(|_| seed_rng.gen_range(0.5..5.0)),
-        )
-        .expect("valid costs");
+        let catalog =
+            StreamCatalog::from_costs((0..n_streams).map(|_| seed_rng.gen_range(0.5..5.0)))
+                .expect("valid costs");
         let terms: Vec<Vec<Leaf>> = (0..seed_rng.gen_range(1..=3))
             .map(|_| {
                 (0..seed_rng.gen_range(1..=3))

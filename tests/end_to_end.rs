@@ -1,12 +1,10 @@
 //! End-to-end integration: query language -> scheduling -> simulated
 //! execution, the full pipeline a deployment would run.
 
-use paotr::core::algo::heuristics::Heuristic;
 use paotr::core::cost::dnf_eval;
+use paotr::core::plan::Engine;
 use paotr::qlang;
-use paotr::sim::{
-    run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource,
-};
+use paotr::sim::{run_pipeline, MemoryPolicy, PipelineConfig, SensorModel, SensorSource};
 use std::collections::HashMap;
 
 /// Figure 1(b) of the paper, from source text to an optimized schedule.
@@ -17,13 +15,18 @@ fn figure_1b_parses_schedules_and_costs() {
     assert!(!compiled.tree.is_read_once());
     let dnf = compiled.tree.as_dnf().expect("DNF shape");
 
-    for h in paotr::core::algo::heuristics::paper_set(3) {
-        let (s, c) = h.schedule_with_cost(&dnf, &compiled.catalog);
-        assert_eq!(s.len(), 4, "{}", h.name());
-        assert!(c.is_finite() && c > 0.0, "{}", h.name());
+    let engine = Engine::new();
+    for planner in engine.registry().paper_set() {
+        let plan = engine
+            .plan_with(planner.name(), &dnf, &compiled.catalog)
+            .unwrap();
+        let s = plan.body.as_dnf().unwrap();
+        let c = plan.expected_cost.unwrap();
+        assert_eq!(s.len(), 4, "{}", plan.planner);
+        assert!(c.is_finite() && c > 0.0, "{}", plan.planner);
         // every heuristic's reported cost must match the evaluator
-        let check = dnf_eval::expected_cost(&dnf, &compiled.catalog, &s);
-        assert!((c - check).abs() < 1e-9, "{}: {c} vs {check}", h.name());
+        let check = dnf_eval::expected_cost(&dnf, &compiled.catalog, s);
+        assert!((c - check).abs() < 1e-9, "{}: {c} vs {check}", plan.planner);
     }
 }
 
@@ -36,10 +39,15 @@ fn shared_stream_reduces_optimal_cost() {
     let split = qlang::compile_str("AVG(A,5) < 70 @0.6 AND MAX(B,10) > 80 @0.7").unwrap();
     let shared_tree = shared.tree.as_dnf().unwrap();
     let split_tree = split.tree.as_dnf().unwrap();
-    let (_, shared_cost) =
-        paotr::core::algo::exhaustive::dnf_optimal(&shared_tree, &shared.catalog);
-    let (_, split_cost) =
-        paotr::core::algo::exhaustive::dnf_optimal(&split_tree, &split.catalog);
+    let engine = Engine::new();
+    let shared_cost = engine
+        .plan_with("exhaustive", &shared_tree, &shared.catalog)
+        .unwrap()
+        .cost_or_nan();
+    let split_cost = engine
+        .plan_with("exhaustive", &split_tree, &split.catalog)
+        .unwrap()
+        .cost_or_nan();
     assert!(
         shared_cost < split_cost,
         "sharing must be cheaper: {shared_cost} vs {split_cost}"
@@ -83,14 +91,19 @@ fn calibrated_prediction_matches_measured_energy() {
         policy: MemoryPolicy::ClearEachQuery,
         seed: 7,
     };
+    let engine = Engine::new();
     let report = run_pipeline(&query, hr_sensors(), &compiled.catalog, config, |t, c| {
-        Heuristic::AndIncCOverPDynamic.schedule(t, c)
+        engine
+            .plan_with("and-inc-cp-dyn", t, c)
+            .unwrap()
+            .body
+            .to_dnf_schedule(t)
+            .unwrap()
     });
 
     // Predicted expected cost of the chosen schedule on the calibrated
     // skeleton.
-    let predicted =
-        dnf_eval::expected_cost(&report.skeleton, &compiled.catalog, &report.schedule);
+    let predicted = dnf_eval::expected_cost(&report.skeleton, &compiled.catalog, &report.schedule);
     let measured = report.mean_cost;
     // Leaf outcomes are *not* independent in the simulator (windows
     // overlap, signals autocorrelate), so we only require coarse
@@ -117,15 +130,25 @@ fn retention_only_helps() {
         policy: MemoryPolicy::ClearEachQuery,
         seed: 11,
     };
-    let clear = run_pipeline(&query, hr_sensors(), &compiled.catalog, base, |t, c| {
-        Heuristic::AndIncCOverPStatic.schedule(t, c)
-    });
+    let engine = Engine::new();
+    let plan_static = |t: &paotr::core::tree::DnfTree, c: &paotr::core::stream::StreamCatalog| {
+        engine
+            .plan_with("and-inc-cp-stat", t, c)
+            .unwrap()
+            .body
+            .to_dnf_schedule(t)
+            .unwrap()
+    };
+    let clear = run_pipeline(&query, hr_sensors(), &compiled.catalog, base, plan_static);
     let retain = run_pipeline(
         &query,
         hr_sensors(),
         &compiled.catalog,
-        PipelineConfig { policy: MemoryPolicy::Retain, ..base },
-        |t, c| Heuristic::AndIncCOverPStatic.schedule(t, c),
+        PipelineConfig {
+            policy: MemoryPolicy::Retain,
+            ..base
+        },
+        plan_static,
     );
     assert!(retain.mean_cost <= clear.mean_cost + 1e-9);
     assert!(retain.items_pulled.iter().sum::<u64>() <= clear.items_pulled.iter().sum::<u64>());
@@ -136,19 +159,32 @@ fn retention_only_helps() {
 #[test]
 fn experiment_stack_smoke() {
     use paotr_stats::{best_counts, Profile};
-    let heuristics = paotr::core::algo::heuristics::paper_set(5);
+    let engine = Engine::new();
+    let heuristic_names: Vec<String> = engine
+        .registry()
+        .paper_set()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
     let mut costs_matrix = Vec::new();
     let mut optimal = Vec::new();
     for config in (0..216).step_by(36) {
         for instance in 0..3 {
             let inst = paotr::gen::fig5_instance(config, instance);
-            let costs: Vec<f64> = heuristics
+            let costs: Vec<f64> = heuristic_names
                 .iter()
-                .map(|h| h.schedule_with_cost(&inst.tree, &inst.catalog).1)
+                .map(|name| {
+                    engine
+                        .plan_with(name, &inst.tree, &inst.catalog)
+                        .unwrap()
+                        .cost_or_nan()
+                })
                 .collect();
             if inst.num_leaves() <= 10 {
-                let (_, opt) =
-                    paotr::core::algo::exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+                let opt = engine
+                    .plan_with("exhaustive", &inst.tree, &inst.catalog)
+                    .unwrap()
+                    .cost_or_nan();
                 for &c in &costs {
                     assert!(c >= opt - 1e-9, "heuristic beat the optimum: {c} < {opt}");
                 }
@@ -158,10 +194,13 @@ fn experiment_stack_smoke() {
         }
     }
     let wins = best_counts(&costs_matrix);
-    assert_eq!(wins.len(), heuristics.len());
+    assert_eq!(wins.len(), heuristic_names.len());
     assert!(wins.iter().sum::<usize>() >= costs_matrix.len());
     // Profiles built from these ratios are monotone by construction.
-    let ratios: Vec<f64> = costs_matrix.iter().map(|row| row[9] / row[8].max(1e-12)).collect();
+    let ratios: Vec<f64> = costs_matrix
+        .iter()
+        .map(|row| row[9] / row[8].max(1e-12))
+        .collect();
     let p = Profile::new("dyn C/p vs dyn C", &ratios);
     assert!(p.ratio_at(0.0) <= p.ratio_at(100.0));
 }

@@ -15,7 +15,12 @@ fn agg_strategy() -> impl Strategy<Value = Agg> {
 }
 
 fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)]
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge)
+    ]
 }
 
 fn pred_strategy() -> impl Strategy<Value = PredicateAst> {

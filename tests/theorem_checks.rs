@@ -9,12 +9,18 @@
 //! * Section V — non-linear strategies never lose to schedules, and tie
 //!   exactly on read-once instances.
 
-use paotr::core::algo::{exhaustive, greedy, nonlinear, read_once_dnf, smith};
-use paotr::core::cost::{and_eval, dnf_eval};
+use paotr::core::algo::{exhaustive, nonlinear};
+use paotr::core::cost::dnf_eval;
+use paotr::core::plan::planners::{
+    ExhaustivePlanner, GreedyPlanner, ReadOnceDnfPlanner, SmithPlanner,
+};
 use paotr::core::prelude::*;
 use proptest::prelude::*;
 
-fn and_tree(max_leaves: usize, max_streams: usize) -> impl Strategy<Value = (AndTree, StreamCatalog)> {
+fn and_tree(
+    max_leaves: usize,
+    max_streams: usize,
+) -> impl Strategy<Value = (AndTree, StreamCatalog)> {
     let leaf = (0..max_streams, 1u32..=5, 0.0f64..=1.0);
     let leaves = prop::collection::vec(leaf, 1..=max_leaves);
     let costs = prop::collection::vec(0.1f64..10.0, max_streams);
@@ -31,7 +37,11 @@ fn and_tree(max_leaves: usize, max_streams: usize) -> impl Strategy<Value = (And
     })
 }
 
-fn dnf(max_terms: usize, max_per_term: usize, max_streams: usize) -> impl Strategy<Value = DnfInstance> {
+fn dnf(
+    max_terms: usize,
+    max_per_term: usize,
+    max_streams: usize,
+) -> impl Strategy<Value = DnfInstance> {
     let leaf = (0..max_streams, 1u32..=3, 0.0f64..=1.0);
     let term = prop::collection::vec(leaf, 1..=max_per_term);
     let terms = prop::collection::vec(term, 1..=max_terms);
@@ -60,8 +70,9 @@ proptest! {
     /// permutations.
     #[test]
     fn algorithm_1_is_optimal((tree, catalog) in and_tree(7, 4)) {
-        let (_, greedy_cost) = greedy::schedule_with_cost(&tree, &catalog);
-        let (_, best) = exhaustive::and_all_permutations(&tree, &catalog);
+        let q = QueryRef::from(&tree);
+        let greedy_cost = GreedyPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
+        let best = ExhaustivePlanner.plan(&q, &catalog).unwrap().cost_or_nan();
         prop_assert!(greedy_cost <= best + 1e-9 * (1.0 + best.abs()),
             "greedy {greedy_cost} vs exhaustive {best}");
     }
@@ -70,7 +81,8 @@ proptest! {
     /// in non-decreasing item order.
     #[test]
     fn same_stream_leaves_increasing((tree, catalog) in and_tree(10, 3)) {
-        let s = greedy::schedule(&tree, &catalog);
+        let plan = GreedyPlanner.plan(&QueryRef::from(&tree), &catalog).unwrap();
+        let s = plan.body.as_and().unwrap();
         let mut high = vec![0u32; catalog.len()];
         for &j in s.order() {
             let l = tree.leaf(j);
@@ -84,7 +96,8 @@ proptest! {
     #[test]
     fn depth_first_dominance(inst in dnf(3, 2, 3)) {
         prop_assume!(inst.num_leaves() <= 6);
-        let (_, df) = exhaustive::dnf_optimal(&inst.tree, &inst.catalog);
+        let df = ExhaustivePlanner.plan(&QueryRef::from(&inst), &inst.catalog)
+            .unwrap().cost_or_nan();
         let (_, all) = exhaustive::dnf_all_schedules(&inst.tree, &inst.catalog);
         prop_assert!((df - all).abs() < 1e-9 * (1.0 + all.abs()),
             "depth-first {df} vs unrestricted {all}");
@@ -101,8 +114,9 @@ proptest! {
                 .map(|(s, &(d, p))| Leaf::raw(StreamId(s), d, Prob::new(p).expect("valid")))
                 .collect(),
         ).expect("non-empty");
-        let a = and_eval::expected_cost(&tree, &catalog, &greedy::schedule(&tree, &catalog));
-        let b = and_eval::expected_cost(&tree, &catalog, &smith::schedule(&tree, &catalog));
+        let q = QueryRef::from(&tree);
+        let a = GreedyPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
+        let b = SmithPlanner.plan(&q, &catalog).unwrap().cost_or_nan();
         prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
     }
 
@@ -126,8 +140,10 @@ proptest! {
         let catalog = StreamCatalog::from_costs(costs).expect("valid");
         prop_assume!(tree.num_leaves() <= 6);
 
+        let greiner_plan =
+            ReadOnceDnfPlanner.plan(&QueryRef::from(&tree), &catalog).unwrap();
         let greiner = dnf_eval::expected_cost(&tree, &catalog,
-            &read_once_dnf::schedule(&tree, &catalog));
+            greiner_plan.body.as_dnf().unwrap());
         let heuristic = Heuristic::AndIncCOverPStatic.schedule_with_cost(&tree, &catalog).1;
         let (_, optimal) = exhaustive::dnf_all_schedules(&tree, &catalog);
         prop_assert!(greiner <= optimal + 1e-9 * (1.0 + optimal.abs()),
@@ -158,10 +174,8 @@ fn search_reductions_are_lossless() {
     let mut rng = StdRng::seed_from_u64(2718);
     for _ in 0..25 {
         let n_streams = rng.gen_range(1..=3);
-        let catalog = StreamCatalog::from_costs(
-            (0..n_streams).map(|_| rng.gen_range(0.5..8.0)),
-        )
-        .expect("valid");
+        let catalog = StreamCatalog::from_costs((0..n_streams).map(|_| rng.gen_range(0.5..8.0)))
+            .expect("valid");
         let terms: Vec<Vec<Leaf>> = (0..rng.gen_range(2..=3))
             .map(|_| {
                 (0..rng.gen_range(1..=3))
@@ -179,12 +193,22 @@ fn search_reductions_are_lossless() {
         let full = dnf_search(
             &tree,
             &catalog,
-            SearchOptions { prune: false, prop1_ordering: false, ..Default::default() },
+            SearchOptions {
+                prune: false,
+                prop1_ordering: false,
+                ..Default::default()
+            },
         );
         for opts in [
             SearchOptions::default(),
-            SearchOptions { prop1_ordering: false, ..Default::default() },
-            SearchOptions { prune: false, ..Default::default() },
+            SearchOptions {
+                prop1_ordering: false,
+                ..Default::default()
+            },
+            SearchOptions {
+                prune: false,
+                ..Default::default()
+            },
         ] {
             let r = dnf_search(&tree, &catalog, opts);
             assert!(
