@@ -1,0 +1,74 @@
+//! Multi-query workload benchmarks: joint planning cost and the
+//! predicted benefit of sharing, across workload sizes and overlap
+//! degrees. This is the `BENCH_workload.json` source in CI
+//! (`cargo bench --bench workload -- --smoke`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_core::plan::Engine;
+use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_multi::{planner_by_name, simulate, SimConfig, Workload};
+
+fn workload(queries: usize, overlap: f64, seed: usize) -> Workload {
+    let (trees, catalog) = workload_instance(WorkloadConfig::with_overlap(queries, overlap), seed);
+    Workload::from_trees(trees, catalog).expect("generated workloads validate")
+}
+
+/// Planning wall-time of every workload planner, across sizes.
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_plan");
+    group.sample_size(10);
+    for &queries in &[4usize, 16, 64] {
+        let w = workload(queries, 0.6, 0);
+        for name in paotr_multi::planner_names() {
+            let planner = planner_by_name(name).expect("built-in");
+            group.bench_with_input(BenchmarkId::new(name, queries), &w, |b, w| {
+                b.iter(|| {
+                    // fresh engine: measure real planning, not cache hits
+                    let engine = Engine::new();
+                    planner.plan(w, &engine).expect("workloads plan")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Shared-tick simulation throughput: joint vs. independent execution.
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_sim");
+    group.sample_size(10);
+    let engine = Engine::new();
+    let w = workload(16, 0.6, 0);
+    let cfg = SimConfig {
+        ticks: 50,
+        seed: 1,
+        ticks_between: 1,
+    };
+    for name in ["independent", "shared-greedy"] {
+        let joint = planner_by_name(name)
+            .expect("built-in")
+            .plan(&w, &engine)
+            .expect("workloads plan");
+        group.bench_function(BenchmarkId::new("16q_50ticks", name), |b| {
+            b.iter(|| simulate(&w, &joint, cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Interference analysis cost (the pre-planning pass serving dashboards).
+fn bench_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_interference");
+    group.sample_size(10);
+    let engine = Engine::new();
+    for &queries in &[16usize, 64] {
+        let w = workload(queries, 0.5, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &w, |b, w| {
+            b.iter(|| w.interference(&engine).expect("analysis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_execution, bench_interference);
+criterion_main!(benches);

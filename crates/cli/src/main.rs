@@ -5,6 +5,7 @@
 //!       [--costs A=1,B=2.5,C=8] [--heuristic NAME | --all | --optimal]
 //! paotr explain  "<query>" [--costs ...]      # heuristic metrics per leaf/AND/stream
 //! paotr simulate "<query>" [--costs ...] [--evals N] [--retain]
+//! paotr workload [--queries N] [--overlap F] [--seed S] [--planner NAME | --compare]
 //! ```
 //!
 //! Probabilities come from `@` annotations (default 0.5). Stream costs
@@ -15,6 +16,7 @@ mod schedule_cmd;
 mod simulate_cmd;
 #[cfg(test)]
 mod tests;
+mod workload_cmd;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "schedule" => schedule_cmd::run(rest),
         "explain" => explain::run(rest),
         "simulate" => simulate_cmd::run(rest),
+        "workload" => workload_cmd::run(rest),
         "--help" | "-h" | "help" => {
             print_help();
             Ok(())
@@ -50,7 +53,9 @@ fn print_help() {
          usage:\n\
          \x20 paotr schedule \"<query>\" [--costs A=1,B=2] [--heuristic NAME | --all | --optimal]\n\
          \x20 paotr explain  \"<query>\" [--costs A=1,B=2]\n\
-         \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\n\
+         \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\
+         \x20 paotr workload [--queries N] [--overlap F] [--seed S] [--evals N]\n\
+         \x20                [--planner independent|shared-greedy|batch-aware | --compare] [--no-sim]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
          planner names (for --heuristic; default and-inc-cp-dyn):"

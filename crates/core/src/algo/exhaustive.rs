@@ -6,7 +6,7 @@
 //!   against (Figure 5 uses an exhaustive search over depth-first
 //!   schedules, justified by Theorem 2);
 //! * they are the **test oracles** for the polynomial algorithms
-//!   (Algorithm 1 must match [`and_all_permutations`] on every small
+//!   (Algorithm 1 must match `and_all_permutations_impl` on every small
 //!   instance).
 //!
 //! The DNF search is a branch-and-bound: partial expected costs only grow
@@ -28,14 +28,17 @@ pub const MAX_AND_EXHAUSTIVE: usize = 12;
 
 /// Optimal AND-tree schedule by enumerating all `m!` permutations with
 /// cost-based pruning. Returns the schedule and its expected cost.
+/// Crate-internal workhorse behind
+/// [`ExhaustivePlanner`](crate::plan::planners::ExhaustivePlanner); the
+/// `legacy-api` feature re-exports it as the deprecated
+/// [`and_all_permutations`].
 ///
 /// # Panics
 /// Panics when the tree has more than [`MAX_AND_EXHAUSTIVE`] leaves.
-#[deprecated(
-    since = "0.2.0",
-    note = "use plan::planners::ExhaustivePlanner (or Engine::plan_with(\"exhaustive\", ..)) instead"
-)]
-pub fn and_all_permutations(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
+pub(crate) fn and_all_permutations_impl(
+    tree: &AndTree,
+    catalog: &StreamCatalog,
+) -> (AndSchedule, f64) {
     let m = tree.len();
     assert!(
         m <= MAX_AND_EXHAUSTIVE,
@@ -150,13 +153,31 @@ pub struct SearchResult {
 
 /// Optimal DNF schedule over **depth-first** schedules (the paper's
 /// exhaustive baseline for Figure 5) with default pruning options.
+/// Crate-internal; the `legacy-api` feature re-exports it as the
+/// deprecated [`dnf_optimal`].
+pub(crate) fn dnf_optimal_impl(tree: &DnfTree, catalog: &StreamCatalog) -> (DnfSchedule, f64) {
+    let r = dnf_search(tree, catalog, SearchOptions::default());
+    (r.schedule, r.cost)
+}
+
+/// Optimal AND-tree schedule by enumerating all `m!` permutations.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::ExhaustivePlanner (or Engine::plan_with(\"exhaustive\", ..)) instead"
+)]
+pub fn and_all_permutations(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
+    and_all_permutations_impl(tree, catalog)
+}
+
+/// Optimal DNF schedule over **depth-first** schedules.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use plan::planners::ExhaustivePlanner (or Engine::plan_with(\"exhaustive\", ..)) instead"
 )]
 pub fn dnf_optimal(tree: &DnfTree, catalog: &StreamCatalog) -> (DnfSchedule, f64) {
-    let r = dnf_search(tree, catalog, SearchOptions::default());
-    (r.schedule, r.cost)
+    dnf_optimal_impl(tree, catalog)
 }
 
 /// Optimal DNF schedule over **all** leaf permutations — exponentially
@@ -331,10 +352,6 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
 
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::cost::dnf_eval;
     use crate::leaf::Leaf;
@@ -382,7 +399,7 @@ mod tests {
     fn and_exhaustive_finds_figure_2_optimum() {
         let t = AndTree::new(vec![leaf(0, 1, 0.75), leaf(0, 2, 0.1), leaf(1, 1, 0.5)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let (s, c) = and_all_permutations(&t, &cat);
+        let (s, c) = and_all_permutations_impl(&t, &cat);
         assert!((c - 1.825).abs() < 1e-12);
         assert_eq!(s.order(), &[0, 1, 2]);
     }
@@ -394,7 +411,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for trial in 0..60 {
             let (t, cat) = random_instance(&mut rng, 3, 7);
-            let (_, df_cost) = dnf_optimal(&t, &cat);
+            let (_, df_cost) = dnf_optimal_impl(&t, &cat);
             let (_, all_cost) = dnf_all_schedules(&t, &cat);
             assert!(
                 (df_cost - all_cost).abs() < 1e-9,
@@ -450,7 +467,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         for _ in 0..20 {
             let (t, cat) = random_instance(&mut rng, 3, 6);
-            let base = dnf_optimal(&t, &cat).1;
+            let base = dnf_optimal_impl(&t, &cat).1;
             // Deliberately pass the *exact* optimum as incumbent: search
             // must still return a schedule achieving it.
             let r = dnf_search(
@@ -472,7 +489,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(15);
         for _ in 0..30 {
             let (t, cat) = random_instance(&mut rng, 3, 7);
-            let (s, c) = dnf_optimal(&t, &cat);
+            let (s, c) = dnf_optimal_impl(&t, &cat);
             let check = dnf_eval::expected_cost(&t, &cat, &s);
             assert!((c - check).abs() < 1e-9);
             assert!(s.is_depth_first(&t));

@@ -4,7 +4,10 @@
 //! open (it is open even in the read-once model, as the paper notes in
 //! Section I). This module provides:
 //!
-//! * [`schedule`] — a recursive depth-first heuristic generalizing the
+//! * `schedule_impl` (surfaced as
+//!   [`GeneralPlanner`](crate::plan::planners::GeneralPlanner), or as the
+//!   deprecated `schedule` under the `legacy-api` feature) — a recursive
+//!   depth-first heuristic generalizing the
 //!   paper's winning ideas: every operator node summarizes its subtree as
 //!   a macro-leaf `(expected cost, success probability)` and orders its
 //!   children by Smith's ratio `C/q` under AND (shortcut on failure) and
@@ -30,14 +33,23 @@ struct Plan {
 
 /// Computes a depth-first heuristic schedule for a general AND-OR tree,
 /// returned as an order over flat leaf indices (left-to-right numbering).
+/// Crate-internal workhorse behind
+/// [`GeneralPlanner`](crate::plan::planners::GeneralPlanner); the
+/// `legacy-api` feature re-exports it as the deprecated [`schedule`].
+pub(crate) fn schedule_impl(tree: &QueryTree, catalog: &StreamCatalog) -> Vec<usize> {
+    let mut next_leaf = 0usize;
+    let plan = plan_node(tree.root(), catalog, &mut next_leaf);
+    plan.order
+}
+
+/// Computes a depth-first heuristic schedule for a general AND-OR tree.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use plan::planners::GeneralPlanner (or Engine::plan, the general-tree default) instead"
 )]
 pub fn schedule(tree: &QueryTree, catalog: &StreamCatalog) -> Vec<usize> {
-    let mut next_leaf = 0usize;
-    let plan = plan_node(tree.root(), catalog, &mut next_leaf);
-    plan.order
+    schedule_impl(tree, catalog)
 }
 
 fn plan_node(node: &Node, catalog: &StreamCatalog, next_leaf: &mut usize) -> Plan {
@@ -160,10 +172,6 @@ fn permute(arr: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::leaf::Leaf;
     use crate::prob::Prob;
@@ -198,7 +206,7 @@ mod tests {
         for _ in 0..40 {
             let t = QueryTree::new(random_tree(&mut rng, 3, 3)).unwrap();
             let cat = StreamCatalog::unit(3);
-            let order = schedule(&t, &cat);
+            let order = schedule_impl(&t, &cat);
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, (0..t.num_leaves()).collect::<Vec<_>>());
@@ -217,7 +225,7 @@ mod tests {
                 .map(|s| leaf(s, rng.gen_range(1..=4), rng.gen_range(0.05..0.95)))
                 .collect();
             let t = QueryTree::new(Node::And(children)).unwrap();
-            let h = expected_cost(&t, &cat, &schedule(&t, &cat));
+            let h = expected_cost(&t, &cat, &schedule_impl(&t, &cat));
             let (_, opt) = optimal(&t, &cat);
             assert!(h <= opt + 1e-9, "heuristic {h} vs optimal {opt}");
         }
@@ -237,7 +245,7 @@ mod tests {
                 continue;
             }
             let cat = StreamCatalog::from_costs([1.5, 4.0]).unwrap();
-            let h = expected_cost(&t, &cat, &schedule(&t, &cat));
+            let h = expected_cost(&t, &cat, &schedule_impl(&t, &cat));
             let (_, opt) = optimal(&t, &cat);
             assert!(h >= opt - 1e-9, "heuristic beat the optimum?");
             assert!(
@@ -281,7 +289,7 @@ mod tests {
             let dnf = crate::tree::DnfTree::from_leaves(terms).unwrap();
             let cat = StreamCatalog::from_costs(costs).unwrap();
             let qt = QueryTree::from(dnf.clone());
-            let general_cost = expected_cost(&qt, &cat, &schedule(&qt, &cat));
+            let general_cost = expected_cost(&qt, &cat, &schedule_impl(&qt, &cat));
             let (_, dnf_cost_) = crate::algo::heuristics::Heuristic::AndIncCOverPStatic
                 .schedule_with_cost(&dnf, &cat);
             assert!(

@@ -33,12 +33,10 @@ struct Best {
 }
 
 /// Computes an optimal schedule for a shared AND-tree — Algorithm 1,
-/// `O(m^2)`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
-)]
-pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
+/// `O(m^2)`. Crate-internal workhorse behind
+/// [`GreedyPlanner`](crate::plan::planners::GreedyPlanner); the
+/// `legacy-api` feature re-exports it as the deprecated [`schedule`].
+pub(crate) fn schedule_impl(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
     // L_k sets: remaining leaves per stream, sorted by increasing d
     // (Proposition 1: same-stream leaves are scheduled in increasing d).
     let groups = tree.leaves_by_stream();
@@ -110,23 +108,37 @@ pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
 }
 
 /// Convenience: schedule and return the schedule's expected cost.
-#[deprecated(
-    since = "0.2.0",
-    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
-)]
-#[allow(deprecated)] // shim calls its deprecated sibling
-pub fn schedule_with_cost(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
-    let s = schedule(tree, catalog);
+pub(crate) fn schedule_with_cost_impl(
+    tree: &AndTree,
+    catalog: &StreamCatalog,
+) -> (AndSchedule, f64) {
+    let s = schedule_impl(tree, catalog);
     let c = crate::cost::and_eval::expected_cost(tree, catalog, &s);
     (s, c)
 }
 
+/// Computes an optimal schedule for a shared AND-tree — Algorithm 1.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
+)]
+pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
+    schedule_impl(tree, catalog)
+}
+
+/// Convenience: schedule and return the schedule's expected cost.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::GreedyPlanner (or Engine::plan, the AND-tree default) instead"
+)]
+pub fn schedule_with_cost(tree: &AndTree, catalog: &StreamCatalog) -> (AndSchedule, f64) {
+    schedule_with_cost_impl(tree, catalog)
+}
+
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::algo::{exhaustive, smith};
     use crate::cost::and_eval;
@@ -151,7 +163,7 @@ mod tests {
     #[test]
     fn optimal_on_figure_2() {
         let (t, cat) = fig2();
-        let (s, c) = schedule_with_cost(&t, &cat);
+        let (s, c) = schedule_with_cost_impl(&t, &cat);
         assert!((c - 1.825).abs() < 1e-12, "cost {c}");
         assert_eq!(s.order(), &[0, 1, 2]);
     }
@@ -174,8 +186,8 @@ mod tests {
                 })
                 .collect();
             let t = AndTree::new(leaves).unwrap();
-            let (_, greedy_cost) = schedule_with_cost(&t, &cat);
-            let (_, best_cost) = exhaustive::and_all_permutations(&t, &cat);
+            let (_, greedy_cost) = schedule_with_cost_impl(&t, &cat);
+            let (_, best_cost) = exhaustive::and_all_permutations_impl(&t, &cat);
             assert!(
                 greedy_cost <= best_cost + 1e-9,
                 "trial {trial}: greedy {greedy_cost} > exhaustive {best_cost}"
@@ -193,8 +205,8 @@ mod tests {
                 .map(|s| leaf(s, rng.gen_range(1..=5), rng.gen_range(0.0..0.999)))
                 .collect();
             let t = AndTree::new(leaves).unwrap();
-            let a = and_eval::expected_cost(&t, &cat, &schedule(&t, &cat));
-            let b = and_eval::expected_cost(&t, &cat, &smith::schedule(&t, &cat));
+            let a = and_eval::expected_cost(&t, &cat, &schedule_impl(&t, &cat));
+            let b = and_eval::expected_cost(&t, &cat, &smith::schedule_impl(&t, &cat));
             assert!((a - b).abs() < 1e-9, "greedy {a} vs smith {b}");
         }
     }
@@ -215,7 +227,7 @@ mod tests {
                 })
                 .collect();
             let t = AndTree::new(leaves).unwrap();
-            let s = schedule(&t, &cat);
+            let s = schedule_impl(&t, &cat);
             let mut max_d = [0u32; 2];
             for &j in s.order() {
                 let l = t.leaf(j);
@@ -232,7 +244,7 @@ mod tests {
     fn all_certain_leaves_still_produce_valid_schedule() {
         let t = AndTree::new(vec![leaf(0, 2, 1.0), leaf(1, 1, 1.0), leaf(0, 3, 1.0)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         assert_eq!(s.len(), 3);
         // any order costs the same; cost = 3*c(A) + 1*c(B) = 4
         assert!((and_eval::expected_cost(&t, &cat, &s) - 4.0).abs() < 1e-12);
@@ -245,7 +257,7 @@ mod tests {
         // right away (ratio 0).
         let t = AndTree::new(vec![leaf(0, 1, 0.9), leaf(0, 2, 0.1), leaf(1, 5, 0.5)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         // stream A chain {l0} ratio: 1/(1-.9)=10; chain {l0,l1} ratio:
         // (1+0.9)/(1-0.09) ~ 2.088; stream B ratio: 5/(1-.5)=10.
         // So A-chain l0,l1 goes first, then B.

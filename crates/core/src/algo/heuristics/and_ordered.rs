@@ -69,16 +69,13 @@ struct TermPlan {
     prob: f64,
 }
 
-// Algorithm 1 is this heuristic's internal machinery for ordering the
-// leaves within one AND node, not a consumer-facing entry point.
-#[allow(deprecated)]
 fn plan_terms(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<TermPlan> {
     tree.terms()
         .iter()
         .enumerate()
         .map(|(i, term)| {
             let at = term.as_and_tree();
-            let s = crate::algo::greedy::schedule(&at, catalog);
+            let s = crate::algo::greedy::schedule_impl(&at, catalog);
             let (static_cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
             let refs = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
             TermPlan {
@@ -171,10 +168,6 @@ fn dynamic_schedule(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::cost::dnf_eval;
     use crate::leaf::Leaf;
@@ -221,7 +214,7 @@ mod tests {
         // Within each term, leaves must appear in Algorithm-1 order.
         for (i, term) in t.terms().iter().enumerate() {
             let at = term.as_and_tree();
-            let alg1 = crate::algo::greedy::schedule(&at, &cat);
+            let alg1 = crate::algo::greedy::schedule_impl(&at, &cat);
             let seen: Vec<usize> = s
                 .order()
                 .iter()

@@ -33,12 +33,11 @@ pub fn or_ratio(cost: f64, success: f64) -> f64 {
 /// Optimal schedule for a read-once DNF tree. The function does not check
 /// the read-once property; on shared trees it degrades into a (reasonable)
 /// heuristic — the paper's static AND-ordered family refines it.
-#[deprecated(
-    since = "0.2.0",
-    note = "use plan::planners::ReadOnceDnfPlanner (or Engine::plan_with(\"read-once-dnf\", ..)) instead"
-)]
-#[allow(deprecated)] // Smith's greedy is this algorithm's internal machinery
-pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
+/// Crate-internal workhorse behind
+/// [`ReadOnceDnfPlanner`](crate::plan::planners::ReadOnceDnfPlanner);
+/// the `legacy-api` feature re-exports it as the deprecated
+/// [`schedule`].
+pub(crate) fn schedule_impl(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
     // Order each AND node with Smith's greedy and summarize it.
     let mut summaries: Vec<(usize, Vec<LeafRef>, f64, f64)> = tree
         .terms()
@@ -46,7 +45,7 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
         .enumerate()
         .map(|(i, term)| {
             let at = term.as_and_tree();
-            let s = crate::algo::smith::schedule(&at, catalog);
+            let s = crate::algo::smith::schedule_impl(&at, catalog);
             let (cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
             let refs: Vec<LeafRef> = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
             (i, refs, cost, prob)
@@ -66,12 +65,18 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
     DnfSchedule::from_order_unchecked(order)
 }
 
+/// Optimal schedule for a read-once DNF tree.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::ReadOnceDnfPlanner (or Engine::plan_with(\"read-once-dnf\", ..)) instead"
+)]
+pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
+    schedule_impl(tree, catalog)
+}
+
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::algo::exhaustive;
     use crate::cost::dnf_eval;
@@ -113,7 +118,7 @@ mod tests {
             if t.num_leaves() > 8 {
                 continue;
             }
-            let s = schedule(&t, &cat);
+            let s = schedule_impl(&t, &cat);
             let cost = dnf_eval::expected_cost(&t, &cat, &s);
             let (_, best) = exhaustive::dnf_all_schedules(&t, &cat);
             assert!(
@@ -128,7 +133,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         for _ in 0..20 {
             let (t, cat) = random_read_once(&mut rng);
-            let s = schedule(&t, &cat);
+            let s = schedule_impl(&t, &cat);
             assert!(s.is_depth_first(&t));
         }
     }
@@ -145,7 +150,7 @@ mod tests {
         // AND1: cost 10, p 0.5 (ratio 20); AND2: cost 1, p 0.9 (ratio ~1.1)
         let t = DnfTree::from_leaves(vec![vec![leaf(0, 10, 0.5)], vec![leaf(1, 1, 0.9)]]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         assert_eq!(s.order()[0].term, 1);
     }
 }

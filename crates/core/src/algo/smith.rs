@@ -28,12 +28,10 @@ pub fn smith_ratio(items: u32, unit_cost: f64, fail_prob: f64) -> f64 {
 }
 
 /// Schedules an AND-tree by non-decreasing `d*c/q` (ties broken by leaf
-/// index, making the result deterministic).
-#[deprecated(
-    since = "0.2.0",
-    note = "use plan::planners::SmithPlanner (or Engine::plan_with(\"smith\", ..)) instead"
-)]
-pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
+/// index, making the result deterministic). Crate-internal workhorse
+/// behind [`SmithPlanner`](crate::plan::planners::SmithPlanner); the
+/// `legacy-api` feature re-exports it as the deprecated [`schedule`].
+pub(crate) fn schedule_impl(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
     let mut order: Vec<usize> = (0..tree.len()).collect();
     order.sort_by(|&a, &b| {
         let la = tree.leaf(a);
@@ -47,12 +45,18 @@ pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
     AndSchedule::from_order_unchecked(order)
 }
 
+/// Schedules an AND-tree by non-decreasing `d*c/q`.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use plan::planners::SmithPlanner (or Engine::plan_with(\"smith\", ..)) instead"
+)]
+pub fn schedule(tree: &AndTree, catalog: &StreamCatalog) -> AndSchedule {
+    schedule_impl(tree, catalog)
+}
+
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions are this module's subject under
-    // test; the planner-facade equivalents are tested in `plan`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::cost::and_eval;
     use crate::leaf::Leaf;
@@ -68,7 +72,7 @@ mod tests {
         // ratios: l1: 1/0.25=4, l2: 2/0.9~2.22, l3: 1/0.5=2  (Section III-A)
         let t = AndTree::new(vec![leaf(0, 1, 0.75), leaf(0, 2, 0.1), leaf(1, 1, 0.5)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         assert_eq!(s.order(), &[2, 1, 0]);
     }
 
@@ -78,7 +82,7 @@ mod tests {
     fn suboptimal_on_shared_figure_2_instance() {
         let t = AndTree::new(vec![leaf(0, 1, 0.75), leaf(0, 2, 0.1), leaf(1, 1, 0.5)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         let smith_cost = and_eval::expected_cost(&t, &cat, &s);
         let best = AndSchedule::new(vec![0, 1, 2], &t).unwrap();
         let best_cost = and_eval::expected_cost(&t, &cat, &best);
@@ -103,9 +107,9 @@ mod tests {
         ])
         .unwrap();
         let cat = StreamCatalog::from_costs([1.0, 5.0, 2.0, 8.0, 0.5]).unwrap();
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         let smith_cost = and_eval::expected_cost(&t, &cat, &s);
-        let best = crate::algo::exhaustive::and_all_permutations(&t, &cat).1;
+        let best = crate::algo::exhaustive::and_all_permutations_impl(&t, &cat).1;
         assert!(
             (smith_cost - best).abs() < 1e-10,
             "smith {smith_cost} vs exhaustive best {best}"
@@ -116,7 +120,7 @@ mod tests {
     fn certain_leaves_go_last() {
         let t = AndTree::new(vec![leaf(0, 1, 1.0), leaf(1, 1, 0.5)]).unwrap();
         let cat = StreamCatalog::unit(2);
-        let s = schedule(&t, &cat);
+        let s = schedule_impl(&t, &cat);
         assert_eq!(s.order(), &[1, 0]);
     }
 

@@ -40,6 +40,48 @@ struct Member {
 
 /// Expected cost of `schedule` on `tree` — Proposition 2, literal form.
 pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSchedule) -> f64 {
+    expected_items_per_stream(tree, catalog, schedule)
+        .iter()
+        .enumerate()
+        .map(|(k, items)| items * catalog.cost(crate::stream::StreamId(k)))
+        .sum()
+}
+
+/// Expected number of items pulled from each stream by `schedule` —
+/// the cost-free decomposition of Proposition 2 (`expected_cost` is the
+/// dot product of this vector with the per-item costs). The multi-query
+/// subsystem uses it to quantify how much of a stream's traffic each
+/// query accounts for.
+pub fn expected_items_per_stream(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    schedule: &DnfSchedule,
+) -> Vec<f64> {
+    expected_items_with_coverage(tree, catalog, schedule, &vec![0.0; catalog.len()])
+}
+
+/// [`expected_items_per_stream`] under *prior coverage*: `coverage[k]`
+/// is the expected number of leading (most recent) items of stream `k`
+/// already resident in device memory before this query starts — e.g.
+/// pulled by queries evaluated earlier in the same tick. Item `t` of a
+/// stream then only costs its marginal uncovered fraction
+/// `clamp(t - coverage[k], 0, 1)`; zero coverage reduces exactly to
+/// Proposition 2. Fractional coverage is the expected-state
+/// approximation the joint workload planners optimize against.
+///
+/// # Panics
+/// Panics when `coverage.len() != catalog.len()`.
+pub fn expected_items_with_coverage(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    schedule: &DnfSchedule,
+    coverage: &[f64],
+) -> Vec<f64> {
+    assert_eq!(
+        coverage.len(),
+        catalog.len(),
+        "one coverage entry per stream"
+    );
     let order = schedule.order();
     let n_terms = tree.num_terms();
     let n_streams = catalog.len();
@@ -105,15 +147,19 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
         }
     }
 
-    // Sum C_{i,j,t} over all leaves and items.
-    let mut total = 0.0;
+    // Sum C_{i,j,t} over all leaves and items, per stream.
+    let mut items_out = vec![0.0f64; n_streams];
     for &r in order {
         let leaf = tree.leaf(r);
         let k = leaf.stream.0;
         let my_pos = pos[r.term][r.leaf];
         let f3 = eval_prob[r.term][r.leaf];
-        let unit = catalog.cost(leaf.stream);
         for t in 1..=leaf.items {
+            // Fraction of item t not already covered by prior memory.
+            let need = (f64::from(t) - coverage[k]).clamp(0.0, 1.0);
+            if need == 0.0 {
+                continue;
+            }
             let set = &members[k][(t - 1) as usize];
             // First case of Proposition 2: a same-term leaf in L_{k,t}
             // precedes l_{i,j} -> the item is free (either already in
@@ -135,10 +181,10 @@ pub fn expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &DnfSche
                 .filter(|&a| !set.iter().any(|m| m.term == a))
                 .map(|a| 1.0 - term_success[a])
                 .product();
-            total += f1 * f2 * f3 * unit;
+            items_out[k] += f1 * f2 * f3 * need;
         }
     }
-    total
+    items_out
 }
 
 /// Expected cost via the incremental evaluator (same semantics, faster).
@@ -257,6 +303,45 @@ mod tests {
         let a = expected_cost(&t, &cat, &s);
         let b = expected_cost_fast(&t, &cat, &s);
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stream_items_decompose_the_expected_cost() {
+        let t = DnfTree::from_leaves(vec![
+            vec![leaf(0, 3, 0.4), leaf(1, 1, 0.7)],
+            vec![leaf(0, 5, 0.6), leaf(1, 2, 0.2)],
+            vec![leaf(0, 2, 0.9)],
+        ])
+        .unwrap();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let s = DnfSchedule::declaration_order(&t);
+        let items = expected_items_per_stream(&t, &cat, &s);
+        assert_eq!(items.len(), 2);
+        let dot = items[0] * 2.0 + items[1] * 3.0;
+        let direct = expected_cost(&t, &cat, &s);
+        assert!((dot - direct).abs() < 1e-12, "{dot} vs {direct}");
+        // every stream sees at least one guaranteed first pull
+        assert!(items.iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn coverage_discounts_monotonically_down_to_zero() {
+        let (t, cat) = fig3([0.3, 0.6, 0.8, 0.25, 0.9, 0.4, 0.7]);
+        let s = fig3_schedule(&t);
+        let base = expected_items_with_coverage(&t, &cat, &s, &[0.0; 4]);
+        let partial = expected_items_with_coverage(&t, &cat, &s, &[0.5, 0.0, 1.0, 0.25]);
+        let full = expected_items_with_coverage(&t, &cat, &s, &[9.0; 4]);
+        for k in 0..4 {
+            assert!(partial[k] <= base[k] + 1e-12, "stream {k}");
+            assert!(
+                full[k].abs() < 1e-12,
+                "full coverage leaves nothing to pull"
+            );
+        }
+        // stream 2 fully covered (window 1, coverage 1): nothing missing
+        assert!(partial[2].abs() < 1e-12);
+        // half-covered single-item stream pays half an item in expectation
+        assert!((partial[0] - base[0] * 0.5).abs() < 1e-12);
     }
 
     #[test]

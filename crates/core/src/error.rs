@@ -13,6 +13,13 @@ pub enum Error {
     ZeroItems,
     /// A leaf references a stream that is not in the catalog.
     UnknownStream { stream: usize, catalog_len: usize },
+    /// Two streams in one catalog share an explicit name; names must be
+    /// unique so that [`crate::stream::StreamCatalog::find`] is a
+    /// function.
+    DuplicateStreamName(String),
+    /// A multi-query workload is malformed (no queries, mismatched
+    /// weight vector, a non-finite or non-positive weight, ...).
+    InvalidWorkload(String),
     /// A tree (or AND term) has no leaves.
     EmptyTree,
     /// A schedule is not a permutation of the tree's leaves.
@@ -42,6 +49,10 @@ impl fmt::Display for Error {
                 f,
                 "leaf references stream {stream} but the catalog has only {catalog_len} streams"
             ),
+            Error::DuplicateStreamName(name) => {
+                write!(f, "a stream named `{name}` is already in the catalog")
+            }
+            Error::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
             Error::EmptyTree => write!(f, "query trees must contain at least one leaf"),
             Error::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
             Error::InvalidStrategy(msg) => write!(f, "invalid strategy: {msg}"),

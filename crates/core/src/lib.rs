@@ -55,8 +55,9 @@
 //! ```
 //!
 //! The pre-`plan` per-algorithm entry points
-//! (`algo::greedy::schedule_with_cost` and friends) still exist but are
-//! deprecated shims; new code should go through [`plan`].
+//! (`algo::greedy::schedule_with_cost` and friends) are deprecated
+//! shims, gated behind the off-by-default `legacy-api` cargo feature;
+//! new code should go through [`plan`].
 
 pub mod algo;
 pub mod cost;

@@ -58,6 +58,31 @@ impl CacheStats {
     }
 }
 
+/// Per-query plans for a weighted multi-query workload, as produced by
+/// [`Engine::plan_workload`]: the *independent* baseline (each query
+/// planned in isolation) that joint workload planners are measured
+/// against.
+#[derive(Debug, Clone)]
+pub struct WorkloadPlans {
+    /// One plan per query, in workload order.
+    pub plans: Vec<Plan>,
+    /// One weight per query (filled with `1.0` when the caller passed
+    /// an empty slice).
+    pub weights: Vec<f64>,
+}
+
+impl WorkloadPlans {
+    /// Weighted sum of the per-query expected costs; `None` when any
+    /// query's planner could not evaluate its cost exactly.
+    pub fn total_expected_cost(&self) -> Option<f64> {
+        self.plans
+            .iter()
+            .zip(&self.weights)
+            .map(|(p, w)| p.expected_cost.map(|c| c * w))
+            .sum()
+    }
+}
+
 type CacheKey = (u64, u64, String);
 
 /// A small LRU map: `HashMap` plus a monotone recency stamp per entry.
@@ -209,6 +234,48 @@ impl Engine {
                 self.plan_cached(&name, query, catalog, catalog_fp)
             })
             .collect()
+    }
+
+    /// Plans a whole workload — the multi-query serving unit: many
+    /// concurrent queries over one shared catalog, each with a weight
+    /// (arrival rate / importance). Every query gets its
+    /// class-appropriate default planner (like [`Engine::plan_batch`]);
+    /// the result additionally carries the weights and the weighted
+    /// aggregate expected cost, which is the baseline the joint
+    /// workload planners in `paotr_multi` improve on by exploiting
+    /// cross-query stream sharing.
+    ///
+    /// `weights` must be empty (all queries weigh 1) or match
+    /// `queries.len()`, with every weight finite and `> 0`.
+    pub fn plan_workload(
+        &self,
+        queries: &[QueryRef<'_>],
+        weights: &[f64],
+        catalog: &StreamCatalog,
+    ) -> Result<WorkloadPlans> {
+        if queries.is_empty() {
+            return Err(crate::error::Error::InvalidWorkload(
+                "a workload needs at least one query".into(),
+            ));
+        }
+        let weights: Vec<f64> = if weights.is_empty() {
+            vec![1.0; queries.len()]
+        } else if weights.len() == queries.len() {
+            weights.to_vec()
+        } else {
+            return Err(crate::error::Error::InvalidWorkload(format!(
+                "{} weights for {} queries",
+                weights.len(),
+                queries.len()
+            )));
+        };
+        if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w <= 0.0) {
+            return Err(crate::error::Error::InvalidWorkload(format!(
+                "weight {w} is not a finite value > 0"
+            )));
+        }
+        let plans = self.plan_batch(queries, catalog)?;
+        Ok(WorkloadPlans { plans, weights })
     }
 
     /// [`Engine::plan_batch`] with one explicit planner for every query.
@@ -395,6 +462,41 @@ mod tests {
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn plan_workload_defaults_weights_and_sums_costs() {
+        let engine = Engine::new();
+        let trees: Vec<DnfTree> = (0..3).map(shared_dnf).collect();
+        let queries: Vec<QueryRef<'_>> = trees.iter().map(QueryRef::from).collect();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let wp = engine.plan_workload(&queries, &[], &cat).unwrap();
+        assert_eq!(wp.plans.len(), 3);
+        assert_eq!(wp.weights, vec![1.0; 3]);
+        let sum: f64 = wp.plans.iter().map(|p| p.expected_cost.unwrap()).sum();
+        assert!((wp.total_expected_cost().unwrap() - sum).abs() < 1e-12);
+
+        let weighted = engine
+            .plan_workload(&queries, &[2.0, 1.0, 0.5], &cat)
+            .unwrap();
+        assert!(weighted.total_expected_cost().unwrap() < 2.0 * sum);
+        assert_eq!(weighted.plans.len(), 3);
+    }
+
+    #[test]
+    fn plan_workload_rejects_malformed_inputs() {
+        let engine = Engine::new();
+        let tree = shared_dnf(0);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let queries = [QueryRef::from(&tree)];
+        let bad = crate::error::Error::InvalidWorkload;
+        assert!(matches!(
+            engine.plan_workload(&[], &[], &cat),
+            Err(ref e) if std::mem::discriminant(e) == std::mem::discriminant(&bad("".into()))
+        ));
+        assert!(engine.plan_workload(&queries, &[1.0, 2.0], &cat).is_err());
+        assert!(engine.plan_workload(&queries, &[0.0], &cat).is_err());
+        assert!(engine.plan_workload(&queries, &[f64::NAN], &cat).is_err());
     }
 
     #[test]

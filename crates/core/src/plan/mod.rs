@@ -47,7 +47,7 @@ pub mod fingerprint;
 pub mod planners;
 pub mod registry;
 
-pub use engine::{CacheStats, Engine, EngineConfig};
+pub use engine::{CacheStats, Engine, EngineConfig, WorkloadPlans};
 pub use fingerprint::catalog_fingerprint;
 pub use registry::PlannerRegistry;
 

@@ -11,10 +11,6 @@
 //! | `nonlinear` | optimal decision-tree strategy (Section V) | DNF (size-capped) |
 //! | `general` | recursive ratio heuristic | — |
 
-// The planners *are* the successors of the deprecated free functions;
-// they wrap those implementations by design.
-#![allow(deprecated)]
-
 use super::{finish_plan, unsupported, Plan, PlanBody, Planner, QueryRef};
 use crate::algo::heuristics::Heuristic;
 use crate::algo::{exhaustive, general, greedy, heuristics, nonlinear, read_once_dnf, smith};
@@ -60,7 +56,7 @@ impl Planner for SmithPlanner {
         let tree = query
             .to_and_tree()
             .ok_or_else(|| unsupported(self, query))?;
-        let schedule = smith::schedule(&tree, catalog);
+        let schedule = smith::schedule_impl(&tree, catalog);
         let cost = and_eval::expected_cost(&tree, catalog, &schedule);
         Ok(finish_plan(
             self,
@@ -99,7 +95,7 @@ impl Planner for GreedyPlanner {
         let tree = query
             .to_and_tree()
             .ok_or_else(|| unsupported(self, query))?;
-        let (schedule, cost) = greedy::schedule_with_cost(&tree, catalog);
+        let (schedule, cost) = greedy::schedule_with_cost_impl(&tree, catalog);
         Ok(finish_plan(
             self,
             query,
@@ -137,7 +133,7 @@ impl Planner for ReadOnceDnfPlanner {
         let tree = query
             .to_dnf_tree()
             .ok_or_else(|| unsupported(self, query))?;
-        let schedule = read_once_dnf::schedule(&tree, catalog);
+        let schedule = read_once_dnf::schedule_impl(&tree, catalog);
         let cost = dnf_eval::expected_cost_fast(&tree, catalog, &schedule);
         Ok(finish_plan(
             self,
@@ -242,7 +238,7 @@ impl Planner for ExhaustivePlanner {
             return Err(unsupported(self, query));
         }
         if let QueryRef::And(tree) = query {
-            let (schedule, cost) = exhaustive::and_all_permutations(tree, catalog);
+            let (schedule, cost) = exhaustive::and_all_permutations_impl(tree, catalog);
             return Ok(finish_plan(
                 self,
                 query,
@@ -253,7 +249,7 @@ impl Planner for ExhaustivePlanner {
             ));
         }
         if let Some(tree) = query.to_dnf_tree() {
-            let (schedule, cost) = exhaustive::dnf_optimal(&tree, catalog);
+            let (schedule, cost) = exhaustive::dnf_optimal_impl(&tree, catalog);
             return Ok(finish_plan(
                 self,
                 query,
@@ -397,7 +393,7 @@ impl Planner for GeneralPlanner {
     fn plan(&self, query: &QueryRef<'_>, catalog: &StreamCatalog) -> Result<Plan> {
         let started = Instant::now();
         let tree = query.to_query_tree();
-        let order = general::schedule(&tree, catalog);
+        let order = general::schedule_impl(&tree, catalog);
         let cost = (query.num_leaves() <= MAX_GENERAL_EXACT_COST_LEAVES)
             .then(|| general::expected_cost(&tree, catalog, &order));
         Ok(finish_plan(
@@ -473,7 +469,7 @@ mod tests {
         let q = QueryRef::from(&tree);
 
         let plan = ReadOnceDnfPlanner.plan(&q, &cat).unwrap();
-        let direct = read_once_dnf::schedule(&tree, &cat);
+        let direct = read_once_dnf::schedule_impl(&tree, &cat);
         assert_eq!(plan.body.as_dnf().unwrap(), &direct);
 
         for h in heuristics::paper_set(7) {

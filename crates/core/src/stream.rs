@@ -99,9 +99,16 @@ impl StreamCatalog {
     }
 
     /// Adds a named stream with the given per-item cost; returns its id.
+    /// Names must be unique within the catalog (ids already are by
+    /// construction), so [`StreamCatalog::find`] always identifies a
+    /// single stream.
     pub fn add_named(&mut self, name: impl Into<String>, cost: f64) -> Result<StreamId> {
+        let name = name.into();
+        if self.find(&name).is_some() {
+            return Err(Error::DuplicateStreamName(name));
+        }
         let id = self.add(cost)?;
-        self.streams[id.0].name = Some(name.into());
+        self.streams[id.0].name = Some(name);
         Ok(id)
     }
 
@@ -214,6 +221,24 @@ mod tests {
         assert_eq!(cat.name(a), "A");
         assert_eq!(cat.find("heart_rate"), Some(b));
         assert_eq!(cat.find("nope"), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut cat = StreamCatalog::new();
+        cat.add_named("hr", 1.0).unwrap();
+        assert_eq!(
+            cat.add_named("hr", 2.0),
+            Err(Error::DuplicateStreamName("hr".into()))
+        );
+        // the failed add must not have grown the catalog
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.cost(StreamId(0)), 1.0);
+        // distinct names still work; default (unnamed) streams are exempt
+        cat.add_named("spo2", 2.0).unwrap();
+        cat.add(3.0).unwrap();
+        cat.add(4.0).unwrap();
+        assert_eq!(cat.len(), 4);
     }
 
     #[test]

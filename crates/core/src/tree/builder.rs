@@ -61,11 +61,12 @@ impl InstanceBuilder {
     /// Registers a named stream with per-item cost `cost`, returning its id.
     ///
     /// # Panics
-    /// Panics on invalid (negative/NaN) costs.
+    /// Panics on invalid (negative/NaN) costs and on names already
+    /// registered with this builder.
     pub fn stream(&mut self, name: &str, cost: f64) -> StreamId {
         self.catalog
             .add_named(name, cost)
-            .expect("builder stream cost must be finite and >= 0")
+            .expect("builder stream names must be unique and costs finite and >= 0")
     }
 
     /// Adds an AND term described by a closure over a [`TermBuilder`].

@@ -206,6 +206,56 @@ impl DnfTree {
     }
 }
 
+/// Pairwise Jaccard overlap of several trees' stream sets: entry
+/// `[i][j]` is `|S_i ∩ S_j| / |S_i ∪ S_j|` (1 on the diagonal). This is
+/// the canonical cross-query overlap metric — the workload generator
+/// and the multi-query interference analysis both build on it.
+pub fn pairwise_stream_overlap(trees: &[DnfTree]) -> Vec<Vec<f64>> {
+    let sets: Vec<std::collections::BTreeSet<StreamId>> = trees
+        .iter()
+        .map(|t| t.streams().into_iter().collect())
+        .collect();
+    let n = sets.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        out[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let inter = sets[i].intersection(&sets[j]).count();
+            let union = sets[i].union(&sets[j]).count();
+            let jac = if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            };
+            out[i][j] = jac;
+            out[j][i] = jac;
+        }
+    }
+    out
+}
+
+/// Mean off-diagonal entry of a symmetric pairwise-overlap matrix (as
+/// produced by [`pairwise_stream_overlap`]); 0 for fewer than two rows.
+pub fn mean_pairwise_overlap_from_matrix(matrix: &[Vec<f64>]) -> f64 {
+    let n = matrix.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, row) in matrix.iter().enumerate() {
+        for &v in &row[(i + 1)..] {
+            total += v;
+        }
+    }
+    total / (n * (n - 1) / 2) as f64
+}
+
+/// Mean off-diagonal entry of [`pairwise_stream_overlap`]; 0 for fewer
+/// than two trees.
+pub fn mean_pairwise_stream_overlap(trees: &[DnfTree]) -> f64 {
+    mean_pairwise_overlap_from_matrix(&pairwise_stream_overlap(trees))
+}
+
 /// A DNF tree bundled with the stream catalog it refers to.
 ///
 /// This is the unit the generators produce and the heuristics consume:

@@ -18,5 +18,8 @@ pub mod general;
 
 pub use and_tree::AndTree;
 pub use builder::{InstanceBuilder, TermBuilder};
-pub use dnf::{AndTerm, DnfInstance, DnfTree};
+pub use dnf::{
+    mean_pairwise_overlap_from_matrix, mean_pairwise_stream_overlap, pairwise_stream_overlap,
+    AndTerm, DnfInstance, DnfTree,
+};
 pub use general::{Node, QueryTree};

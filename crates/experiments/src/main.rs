@@ -2,7 +2,7 @@
 //! the paper's evaluation section.
 //!
 //! ```text
-//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [all]
+//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [all]
 //!                   [--scale F] [--full] [--threads N] [--out DIR]
 //!                   [--seed S]
 //! ```
@@ -18,6 +18,7 @@ mod fig4;
 mod fig5;
 mod fig6;
 mod theorems;
+mod workload;
 
 use common::{ensure_dir, Options};
 use paotr_par::ThreadCount;
@@ -55,7 +56,7 @@ fn main() -> ExitCode {
                 print_help();
                 return ExitCode::SUCCESS;
             }
-            name @ ("fig4" | "fig5" | "fig6" | "theorems" | "ablation" | "all") => {
+            name @ ("fig4" | "fig5" | "fig6" | "theorems" | "ablation" | "workload" | "all") => {
                 which.push(name.to_string());
             }
             other => {
@@ -67,7 +68,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = vec!["fig4", "fig5", "fig6", "theorems", "ablation"]
+        which = vec!["fig4", "fig5", "fig6", "theorems", "ablation", "workload"]
             .into_iter()
             .map(String::from)
             .collect();
@@ -130,6 +131,16 @@ fn main() -> ExitCode {
                 let secs = fig6::runtime_10x20(&opts);
                 println!("STAT6: 10x20 scheduling takes {secs:.4}s (paper: < 5s on 1.86 GHz)");
             }
+            "workload" => {
+                let rows = workload::run(&opts);
+                let (best, monotone) = workload::report(&rows);
+                println!(
+                    "WORKLOAD: shared-greedy measured speedup {best:.2}x on 16 queries @ 0.8 \
+                     overlap; sharing {} with overlap ({} rows -> workload.csv)",
+                    if monotone { "grows" } else { "is non-monotone" },
+                    rows.len()
+                );
+            }
             "theorems" => {
                 let samples = (200.0 * opts.scale.max(0.05)).round() as usize;
                 let report = theorems::run(&opts, samples.max(20));
@@ -157,7 +168,7 @@ fn main() -> ExitCode {
 
 fn print_help() {
     println!(
-        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [all]\n\
+        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [all]\n\
          \x20                        [--scale F | --full] [--threads N] [--out DIR] [--seed S]\n\n\
          Regenerates the figures and statistics of \"Cost-Optimal Execution of\n\
          Boolean Query Trees with Shared Streams\" (IPDPS 2014)."

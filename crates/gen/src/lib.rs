@@ -18,6 +18,7 @@ pub mod and_grid;
 pub mod distributions;
 pub mod dnf_grid;
 pub mod seeds;
+pub mod workload;
 
 pub use and_grid::{
     fig4_grid, random_and_instance, AndConfig, FIG4_INSTANCES_PER_CONFIG, LEAF_COUNTS,
@@ -28,6 +29,7 @@ pub use dnf_grid::{
     fig5_grid, fig6_grid, random_dnf_instance, DnfConfig, Shape, DNF_INSTANCES_PER_CONFIG,
 };
 pub use seeds::{instance_seed, Experiment};
+pub use workload::{mean_pairwise_overlap, random_workload, workload_instance, WorkloadConfig};
 
 use paotr_core::prelude::DnfInstance;
 use rand::rngs::StdRng;

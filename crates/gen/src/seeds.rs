@@ -16,6 +16,8 @@ pub enum Experiment {
     Fig5,
     /// Figure 6: large DNF instances vs best heuristic.
     Fig6,
+    /// Multi-query workloads over one shared catalog.
+    Workload,
     /// Free-form experiments (tests, examples).
     Custom(u64),
 }
@@ -26,6 +28,7 @@ impl Experiment {
             Experiment::Fig4 => 0x0f19_64b5_17c4_0001,
             Experiment::Fig5 => 0x0f19_64b5_17c4_0005,
             Experiment::Fig6 => 0x0f19_64b5_17c4_0006,
+            Experiment::Workload => 0x0f19_64b5_17c4_0010,
             Experiment::Custom(t) => t ^ 0xc0ff_ee00_dead_beef,
         }
     }

@@ -1,0 +1,136 @@
+//! The shared-tick cost model.
+//!
+//! Within one evaluation tick every leaf's window ends at the same
+//! timestamp, so the device memory a later query sees on stream `k` is
+//! always a *prefix* of the most recent items — fully described by one
+//! number per stream. The model tracks the **expected** prefix length
+//! (`coverage`) as queries execute in order, and prices each query with
+//! [`dnf_eval::expected_items_with_coverage`]: items already covered by
+//! an earlier query's pull are free. This is the expected-state
+//! approximation of the true (stochastic) shared execution; the
+//! `streamsim` path in [`crate::sim`] validates it against measured
+//! energy.
+
+use crate::workload::Workload;
+use paotr_core::cost::dnf_eval;
+use paotr_core::schedule::DnfSchedule;
+use paotr_core::stream::StreamId;
+
+/// Predicted costs of executing a workload jointly in `order` (one
+/// shared memory per tick), per query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedPrediction {
+    /// Predicted expected cost per query (workload order, unweighted).
+    pub per_query: Vec<f64>,
+    /// Expected per-stream memory coverage after the whole tick.
+    pub final_coverage: Vec<f64>,
+}
+
+/// Prices each query of `order` under the shared coverage model, using
+/// `schedules[q]` for query `q` (workload indexing).
+pub fn predict_shared(
+    workload: &Workload,
+    order: &[usize],
+    schedules: &[DnfSchedule],
+) -> SharedPrediction {
+    let catalog = workload.catalog();
+    let mut coverage = vec![0.0f64; catalog.len()];
+    let mut per_query = vec![0.0f64; workload.len()];
+    for &q in order {
+        let items = dnf_eval::expected_items_with_coverage(
+            &workload.query(q).tree,
+            catalog,
+            &schedules[q],
+            &coverage,
+        );
+        per_query[q] = dot_costs(workload, &items);
+        for (c, i) in coverage.iter_mut().zip(&items) {
+            *c += i;
+        }
+    }
+    SharedPrediction {
+        per_query,
+        final_coverage: coverage,
+    }
+}
+
+/// Expected cost of every query in isolation (empty memory), under the
+/// given schedules.
+pub fn isolated_costs(workload: &Workload, schedules: &[DnfSchedule]) -> Vec<f64> {
+    workload
+        .queries()
+        .iter()
+        .zip(schedules)
+        .map(|(q, s)| dnf_eval::expected_cost(&q.tree, workload.catalog(), s))
+        .collect()
+}
+
+/// Dot product of a per-stream item vector with the catalog costs.
+pub(crate) fn dot_costs(workload: &Workload, items: &[f64]) -> f64 {
+    items
+        .iter()
+        .enumerate()
+        .map(|(k, i)| i * workload.catalog().cost(StreamId(k)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use paotr_core::leaf::Leaf;
+    use paotr_core::plan::Engine;
+    use paotr_core::prob::Prob;
+    use paotr_core::stream::StreamCatalog;
+    use paotr_core::tree::DnfTree;
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn workload() -> Workload {
+        let t0 = DnfTree::from_leaves(vec![vec![leaf(0, 4, 0.9)]]).unwrap();
+        let t1 = DnfTree::from_leaves(vec![vec![leaf(0, 4, 0.8), leaf(1, 1, 0.5)]]).unwrap();
+        Workload::from_trees(vec![t0, t1], StreamCatalog::from_costs([2.0, 1.0]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shared_prediction_discounts_overlapping_pulls() {
+        let w = workload();
+        let schedules = w.default_schedules(&Engine::new()).unwrap();
+        let iso = isolated_costs(&w, &schedules);
+        // q0 pulls 4 items of stream 0 unconditionally: cost 8.
+        assert!((iso[0] - 8.0).abs() < 1e-12);
+
+        let pred = predict_shared(&w, &[0, 1], &schedules);
+        assert!(
+            (pred.per_query[0] - 8.0).abs() < 1e-12,
+            "first query pays full"
+        );
+        // q1's 4 items of stream 0 are fully covered; it only risks
+        // paying for stream 1.
+        assert!(pred.per_query[1] < iso[1] - 1.0);
+        assert!(pred.final_coverage[0] >= 4.0 - 1e-12);
+
+        // order flipped: q1 pays full first; q0 rides on whatever
+        // fraction of the window q1 was expected to pull.
+        let flipped = predict_shared(&w, &[1, 0], &schedules);
+        assert!((flipped.per_query[1] - iso[1]).abs() < 1e-12);
+        assert!(flipped.per_query[0] < iso[0] - 1.0);
+        // joint totals are far below the isolated sum either way
+        let sum_iso: f64 = iso.iter().sum();
+        assert!(pred.per_query.iter().sum::<f64>() < sum_iso);
+        assert!(flipped.per_query.iter().sum::<f64>() < sum_iso);
+    }
+
+    #[test]
+    fn empty_coverage_model_matches_isolated_costs() {
+        let w = workload();
+        let schedules = w.default_schedules(&Engine::new()).unwrap();
+        let iso = isolated_costs(&w, &schedules);
+        for (q, iso_q) in iso.iter().enumerate() {
+            let solo = predict_shared(&w, &[q], &schedules);
+            assert!((solo.per_query[q] - iso_q).abs() < 1e-12);
+        }
+    }
+}

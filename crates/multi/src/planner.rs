@@ -1,0 +1,585 @@
+//! Joint workload planners.
+//!
+//! A workload planner decides (1) the order queries execute in within a
+//! tick and (2) each query's leaf schedule, knowing that all queries
+//! share one device memory. Three strategies are built in:
+//!
+//! * [`IndependentPlanner`] (`independent`) — the baseline: today's
+//!   per-query [`Engine::plan`], no cross-query awareness, memory wiped
+//!   between queries;
+//! * [`SharedGreedyPlanner`] (`shared-greedy`) — greedy multi-query
+//!   optimization in the spirit of Roy et al.'s MQO heuristics
+//!   (arXiv:cs/9910021): queries are sequenced one at a time, each step
+//!   picking the query whose marginal cost minus the coverage benefit
+//!   it creates for the rest is smallest, and each query may be
+//!   *re-planned* against an effective catalog in which already-covered
+//!   streams are discounted — coalescing cross-query pulls;
+//! * [`BatchAwarePlanner`] (`batch-aware`) — groups queries by their
+//!   dominant stream and runs each group back-to-back (heaviest puller
+//!   first), so items pulled this tick are reused while still hot.
+
+use crate::cost::{dot_costs, isolated_costs, predict_shared};
+use crate::workload::{extract_schedule, Workload};
+use paotr_core::cost::dnf_eval;
+use paotr_core::error::Result;
+use paotr_core::plan::{Engine, Plan};
+use paotr_core::schedule::DnfSchedule;
+use paotr_core::stream::{StreamCatalog, StreamId};
+use paotr_core::tree::DnfTree;
+use std::time::{Duration, Instant};
+
+/// The output of joint planning: per-query plans plus the cross-query
+/// execution order, with predicted costs under the shared-tick model.
+#[derive(Debug, Clone)]
+pub struct JointPlan {
+    /// Registry name of the workload planner.
+    pub planner: String,
+    /// Query evaluation order within a tick (workload indices).
+    pub order: Vec<usize>,
+    /// Per-query plan, in workload order.
+    pub plans: Vec<Plan>,
+    /// Per-query schedule extracted from `plans`, in workload order.
+    pub schedules: Vec<DnfSchedule>,
+    /// Expected cost of each query's *default* plan in isolation — the
+    /// independent baseline every planner is measured against.
+    pub independent_costs: Vec<f64>,
+    /// Predicted expected cost of each query under this joint plan
+    /// (equals `independent_costs` for the `independent` planner).
+    pub predicted_costs: Vec<f64>,
+    /// Whether the plan assumes one shared memory per tick (joint
+    /// planners) or isolated per-query memory (the baseline).
+    pub shared_execution: bool,
+    /// Wall-clock time spent planning the workload.
+    pub planning_time: Duration,
+}
+
+impl JointPlan {
+    /// Weighted aggregate of the independent baseline costs.
+    pub fn aggregate_independent(&self, weights: &[f64]) -> f64 {
+        dot(&self.independent_costs, weights)
+    }
+
+    /// Weighted aggregate of the predicted joint costs.
+    pub fn aggregate_predicted(&self, weights: &[f64]) -> f64 {
+        dot(&self.predicted_costs, weights)
+    }
+
+    /// Fraction of the independent baseline cost the joint plan is
+    /// predicted to amortize away (0 = no sharing benefit).
+    pub fn sharing_ratio(&self, weights: &[f64]) -> f64 {
+        let indep = self.aggregate_independent(weights);
+        if indep <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.aggregate_predicted(weights) / indep
+    }
+
+    /// Predicted speedup over the independent baseline (`>= 1` for the
+    /// built-in joint planners).
+    pub fn speedup(&self, weights: &[f64]) -> f64 {
+        let pred = self.aggregate_predicted(weights);
+        if pred <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.aggregate_independent(weights) / pred
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A joint planning strategy for multi-query workloads.
+pub trait WorkloadPlanner: Send + Sync {
+    /// Stable kebab-case identifier (`independent`, `shared-greedy`,
+    /// `batch-aware`).
+    fn name(&self) -> &str;
+
+    /// One-line human description for help texts.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Plans the workload, using `engine` for all per-query planning
+    /// (and its cache across re-plans).
+    fn plan(&self, workload: &Workload, engine: &Engine) -> Result<JointPlan>;
+}
+
+/// Every built-in workload planner, in comparison order (baseline
+/// first).
+pub fn default_planners() -> Vec<Box<dyn WorkloadPlanner>> {
+    vec![
+        Box::new(IndependentPlanner),
+        Box::new(SharedGreedyPlanner),
+        Box::new(BatchAwarePlanner),
+    ]
+}
+
+/// Looks a built-in workload planner up by its stable name.
+pub fn planner_by_name(name: &str) -> Option<Box<dyn WorkloadPlanner>> {
+    default_planners().into_iter().find(|p| p.name() == name)
+}
+
+/// The stable names of the built-in workload planners.
+pub fn planner_names() -> Vec<&'static str> {
+    vec!["independent", "shared-greedy", "batch-aware"]
+}
+
+/// Shared first phase of every planner: the per-query default plans,
+/// their schedules and their isolated costs.
+struct Baseline {
+    plans: Vec<Plan>,
+    schedules: Vec<DnfSchedule>,
+    costs: Vec<f64>,
+}
+
+fn baseline(workload: &Workload, engine: &Engine) -> Result<Baseline> {
+    // One batched call through the core facade: the catalog is
+    // fingerprinted once and the weights validated there.
+    let queries: Vec<paotr_core::plan::QueryRef<'_>> = workload
+        .queries()
+        .iter()
+        .map(|q| paotr_core::plan::QueryRef::from(&q.tree))
+        .collect();
+    let plans = engine
+        .plan_workload(&queries, &workload.weights(), workload.catalog())?
+        .plans;
+    let schedules: Vec<DnfSchedule> = plans
+        .iter()
+        .zip(workload.queries())
+        .map(|(p, q)| extract_schedule(p, &q.tree, &q.name))
+        .collect::<Result<_>>()?;
+    let costs = isolated_costs(workload, &schedules);
+    Ok(Baseline {
+        plans,
+        schedules,
+        costs,
+    })
+}
+
+/// The baseline: every query planned in isolation, executed with its
+/// own memory. No cross-query sharing is assumed or exploited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndependentPlanner;
+
+impl WorkloadPlanner for IndependentPlanner {
+    fn name(&self) -> &str {
+        "independent"
+    }
+
+    fn description(&self) -> &str {
+        "per-query default plans, isolated memory (the status-quo baseline)"
+    }
+
+    fn plan(&self, workload: &Workload, engine: &Engine) -> Result<JointPlan> {
+        let started = Instant::now();
+        let base = baseline(workload, engine)?;
+        Ok(JointPlan {
+            planner: self.name().to_string(),
+            order: (0..workload.len()).collect(),
+            predicted_costs: base.costs.clone(),
+            independent_costs: base.costs,
+            plans: base.plans,
+            schedules: base.schedules,
+            shared_execution: false,
+            planning_time: started.elapsed(),
+        })
+    }
+}
+
+/// Greedy MQO: sequences queries one at a time, re-planning each
+/// candidate against a coverage-discounted catalog so that cross-query
+/// stream pulls coalesce, and scoring candidates by marginal cost minus
+/// the coverage benefit they create for the queries still waiting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedGreedyPlanner;
+
+impl SharedGreedyPlanner {
+    /// Catalog in which stream `k`'s per-item cost is scaled by the
+    /// fraction of `tree`'s widest window on `k` that is *not* already
+    /// covered — a covered stream looks cheap, so the per-query planner
+    /// schedules its leaves early and the pulls coalesce.
+    fn effective_catalog(
+        tree: &DnfTree,
+        catalog: &StreamCatalog,
+        coverage: &[f64],
+    ) -> StreamCatalog {
+        let mut max_window = vec![0u32; catalog.len()];
+        for (_, leaf) in tree.leaves() {
+            let k = leaf.stream.0;
+            max_window[k] = max_window[k].max(leaf.items);
+        }
+        let mut out = StreamCatalog::new();
+        for (k, info) in catalog.iter() {
+            let discount = if max_window[k.0] == 0 || coverage[k.0] <= 0.0 {
+                1.0
+            } else {
+                (1.0 - coverage[k.0] / f64::from(max_window[k.0])).max(0.0)
+            };
+            out.add(info.cost * discount)
+                .expect("scaled costs stay finite and >= 0");
+        }
+        out
+    }
+}
+
+impl WorkloadPlanner for SharedGreedyPlanner {
+    fn name(&self) -> &str {
+        "shared-greedy"
+    }
+
+    fn description(&self) -> &str {
+        "greedy MQO: coverage-aware query sequencing + coalescing re-plans (cs/9910021-style)"
+    }
+
+    fn plan(&self, workload: &Workload, engine: &Engine) -> Result<JointPlan> {
+        let started = Instant::now();
+        let base = baseline(workload, engine)?;
+        let catalog = workload.catalog();
+        let weights = workload.weights();
+        // Independent per-stream demand of every query, for the
+        // benefit estimate.
+        let demand: Vec<Vec<f64>> = workload
+            .queries()
+            .iter()
+            .zip(&base.schedules)
+            .map(|(q, s)| dnf_eval::expected_items_per_stream(&q.tree, catalog, s))
+            .collect();
+
+        let n = workload.len();
+        let mut coverage = vec![0.0f64; catalog.len()];
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut plans = base.plans.clone();
+        let mut schedules = base.schedules.clone();
+        let mut predicted = vec![0.0f64; n];
+
+        while !remaining.is_empty() {
+            let mut best: Option<(f64, usize, Plan, DnfSchedule, f64, Vec<f64>)> = None;
+            for &q in &remaining {
+                let tree = &workload.query(q).tree;
+                // Candidate A: the query's default schedule, priced
+                // under current coverage.
+                let items_a = dnf_eval::expected_items_with_coverage(
+                    tree,
+                    catalog,
+                    &base.schedules[q],
+                    &coverage,
+                );
+                let cost_a = dot_costs(workload, &items_a);
+                // Candidate B: re-planned against the coverage-
+                // discounted catalog, so covered streams coalesce
+                // early. Skipped when nothing is covered yet (it would
+                // reproduce the default plan).
+                let candidate = if coverage.iter().all(|&c| c <= 0.0) {
+                    (
+                        base.plans[q].clone(),
+                        base.schedules[q].clone(),
+                        cost_a,
+                        items_a,
+                    )
+                } else {
+                    let eff = Self::effective_catalog(tree, catalog, &coverage);
+                    let mut plan_b = engine.plan(tree, &eff)?;
+                    let sched_b = extract_schedule(&plan_b, tree, &workload.query(q).name)?;
+                    let items_b =
+                        dnf_eval::expected_items_with_coverage(tree, catalog, &sched_b, &coverage);
+                    let cost_b = dot_costs(workload, &items_b);
+                    if cost_b < cost_a - 1e-12 {
+                        // Re-price the stored plan against the *real*
+                        // catalog: the effective catalog exists only to
+                        // steer the per-query planner, and a plan whose
+                        // expected_cost reflects discounted stream costs
+                        // would misreport itself to consumers.
+                        plan_b.expected_cost =
+                            Some(dnf_eval::expected_cost(tree, catalog, &sched_b));
+                        plan_b.catalog_fingerprint = paotr_core::plan::catalog_fingerprint(catalog);
+                        (plan_b, sched_b, cost_b, items_b)
+                    } else {
+                        (
+                            base.plans[q].clone(),
+                            base.schedules[q].clone(),
+                            cost_a,
+                            items_a,
+                        )
+                    }
+                };
+                let (plan_q, sched_q, cost_q, items_q) = candidate;
+                // Benefit: coverage this query adds, valued against the
+                // independent demand of the queries still waiting.
+                let mut benefit = 0.0;
+                for &r in &remaining {
+                    if r == q {
+                        continue;
+                    }
+                    for k in 0..catalog.len() {
+                        let before = demand[r][k].min(coverage[k]);
+                        let after = demand[r][k].min(coverage[k] + items_q[k]);
+                        benefit += weights[r] * (after - before) * catalog.cost(StreamId(k));
+                    }
+                }
+                let score = weights[q] * cost_q - benefit;
+                // `remaining` ascends, so on ties the earlier query
+                // already holds `best` — strict improvement only.
+                let better = match &best {
+                    None => true,
+                    Some((s, ..)) => score < *s - 1e-12,
+                };
+                if better {
+                    best = Some((score, q, plan_q, sched_q, cost_q, items_q));
+                }
+            }
+            let (_, q, plan_q, sched_q, cost_q, items_q) = best.expect("remaining is non-empty");
+            for (c, i) in coverage.iter_mut().zip(&items_q) {
+                *c += i;
+            }
+            plans[q] = plan_q;
+            schedules[q] = sched_q;
+            predicted[q] = cost_q;
+            order.push(q);
+            remaining.retain(|&r| r != q);
+        }
+
+        Ok(JointPlan {
+            planner: self.name().to_string(),
+            order,
+            plans,
+            schedules,
+            independent_costs: base.costs,
+            predicted_costs: predicted,
+            shared_execution: true,
+            planning_time: started.elapsed(),
+        })
+    }
+}
+
+/// Groups queries by their dominant stream (the stream carrying the
+/// largest share of their expected pull cost) and executes each group
+/// back-to-back, heaviest puller first, so the group's shared items are
+/// reused while still in memory this tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchAwarePlanner;
+
+impl WorkloadPlanner for BatchAwarePlanner {
+    fn name(&self) -> &str {
+        "batch-aware"
+    }
+
+    fn description(&self) -> &str {
+        "group queries by dominant stream; heaviest puller first within each group"
+    }
+
+    fn plan(&self, workload: &Workload, engine: &Engine) -> Result<JointPlan> {
+        let started = Instant::now();
+        let base = baseline(workload, engine)?;
+        let catalog = workload.catalog();
+        let weights = workload.weights();
+        let demand: Vec<Vec<f64>> = workload
+            .queries()
+            .iter()
+            .zip(&base.schedules)
+            .map(|(q, s)| dnf_eval::expected_items_per_stream(&q.tree, catalog, s))
+            .collect();
+
+        // Dominant stream per query: the stream with the largest
+        // expected pull cost.
+        let dominant: Vec<usize> = demand
+            .iter()
+            .map(|items| {
+                (0..catalog.len())
+                    .max_by(|&a, &b| {
+                        let ca = items[a] * catalog.cost(StreamId(a));
+                        let cb = items[b] * catalog.cost(StreamId(b));
+                        ca.partial_cmp(&cb).expect("costs are never NaN")
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        // Group queries by dominant stream; order groups by their
+        // weighted traffic on that stream (descending), then stream id.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (q, &k) in dominant.iter().enumerate() {
+            groups.entry(k).or_default().push(q);
+        }
+        let mut ordered_groups: Vec<(f64, usize, Vec<usize>)> = groups
+            .into_iter()
+            .map(|(k, qs)| {
+                let traffic: f64 = qs
+                    .iter()
+                    .map(|&q| weights[q] * demand[q][k] * catalog.cost(StreamId(k)))
+                    .sum();
+                (traffic, k, qs)
+            })
+            .collect();
+        ordered_groups.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("traffic is never NaN")
+                .then(a.1.cmp(&b.1))
+        });
+
+        let mut order = Vec::with_capacity(workload.len());
+        for (_, k, mut qs) in ordered_groups {
+            // Heaviest puller of the group's stream first: its pull
+            // covers the widest window for everyone behind it.
+            qs.sort_by(|&a, &b| {
+                demand[b][k]
+                    .partial_cmp(&demand[a][k])
+                    .expect("demand is never NaN")
+                    .then(a.cmp(&b))
+            });
+            order.extend(qs);
+        }
+
+        let prediction = predict_shared(workload, &order, &base.schedules);
+        Ok(JointPlan {
+            planner: self.name().to_string(),
+            order,
+            plans: base.plans,
+            schedules: base.schedules,
+            independent_costs: base.costs,
+            predicted_costs: prediction.per_query,
+            shared_execution: true,
+            planning_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paotr_core::leaf::Leaf;
+    use paotr_core::prob::Prob;
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn overlapping_workload() -> Workload {
+        // Four queries, all leaning on streams 0/1, plus private tails.
+        let trees = vec![
+            DnfTree::from_leaves(vec![
+                vec![leaf(0, 4, 0.7), leaf(2, 1, 0.5)],
+                vec![leaf(1, 2, 0.6)],
+            ])
+            .unwrap(),
+            DnfTree::from_leaves(vec![vec![leaf(0, 3, 0.8), leaf(1, 3, 0.4)]]).unwrap(),
+            DnfTree::from_leaves(vec![
+                vec![leaf(1, 4, 0.5)],
+                vec![leaf(0, 2, 0.3), leaf(3, 1, 0.9)],
+            ])
+            .unwrap(),
+            DnfTree::from_leaves(vec![vec![leaf(0, 5, 0.6), leaf(2, 2, 0.7)]]).unwrap(),
+        ];
+        Workload::from_trees(
+            trees,
+            StreamCatalog::from_costs([2.0, 3.0, 1.0, 0.5]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn planner_names_round_trip() {
+        for name in planner_names() {
+            let p = planner_by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(planner_by_name("nope").is_none());
+        assert_eq!(default_planners().len(), 3);
+    }
+
+    #[test]
+    fn independent_planner_is_the_identity_baseline() {
+        let w = overlapping_workload();
+        let engine = Engine::new();
+        let jp = IndependentPlanner.plan(&w, &engine).unwrap();
+        assert_eq!(jp.order, vec![0, 1, 2, 3]);
+        assert_eq!(jp.predicted_costs, jp.independent_costs);
+        assert!(!jp.shared_execution);
+        assert!((jp.sharing_ratio(&w.weights()) - 0.0).abs() < 1e-12);
+        assert!((jp.speedup(&w.weights()) - 1.0).abs() < 1e-12);
+        for (p, q) in jp.plans.iter().zip(w.queries()) {
+            assert_eq!(*p, engine.plan(&q.tree, w.catalog()).unwrap());
+        }
+    }
+
+    #[test]
+    fn joint_planners_beat_or_match_the_baseline_prediction() {
+        let w = overlapping_workload();
+        let engine = Engine::new();
+        let weights = w.weights();
+        let indep = IndependentPlanner
+            .plan(&w, &engine)
+            .unwrap()
+            .aggregate_predicted(&weights);
+        for planner in [
+            &SharedGreedyPlanner as &dyn WorkloadPlanner,
+            &BatchAwarePlanner,
+        ] {
+            let jp = planner.plan(&w, &engine).unwrap();
+            assert!(jp.shared_execution);
+            // order is a permutation of the queries
+            let mut o = jp.order.clone();
+            o.sort_unstable();
+            assert_eq!(o, vec![0, 1, 2, 3], "{}", planner.name());
+            let agg = jp.aggregate_predicted(&weights);
+            assert!(
+                agg <= indep + 1e-9,
+                "{}: {agg} vs independent {indep}",
+                planner.name()
+            );
+            assert!(jp.sharing_ratio(&weights) >= -1e-12);
+            assert!(jp.speedup(&weights) >= 1.0 - 1e-12);
+            // every schedule is valid for its tree, and every stored
+            // plan is priced against the *real* catalog (re-plans must
+            // not leak effective-catalog costs)
+            for ((s, p), q) in jp.schedules.iter().zip(&jp.plans).zip(w.queries()) {
+                DnfSchedule::new(s.order().to_vec(), &q.tree).unwrap();
+                let real = dnf_eval::expected_cost(&q.tree, w.catalog(), s);
+                let stored = p.expected_cost.expect("DNF plans carry costs");
+                assert!(
+                    (stored - real).abs() < 1e-9,
+                    "{}: stored {stored} vs real-catalog {real}",
+                    planner.name()
+                );
+            }
+        }
+        // with this much overlap, shared-greedy must strictly win
+        let sg = SharedGreedyPlanner.plan(&w, &engine).unwrap();
+        assert!(sg.aggregate_predicted(&weights) < indep * 0.95);
+    }
+
+    #[test]
+    fn single_query_workload_reduces_to_the_per_query_plan() {
+        let tree = DnfTree::from_leaves(vec![
+            vec![leaf(0, 3, 0.4), leaf(1, 1, 0.7)],
+            vec![leaf(0, 5, 0.6)],
+        ])
+        .unwrap();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let w = Workload::from_trees(vec![tree.clone()], cat.clone()).unwrap();
+        let engine = Engine::new();
+        let per_query = engine.plan(&tree, &cat).unwrap();
+        for planner in default_planners() {
+            let jp = planner.plan(&w, &engine).unwrap();
+            assert_eq!(jp.order, vec![0], "{}", planner.name());
+            assert_eq!(jp.plans[0], per_query, "{}", planner.name());
+            assert!(
+                (jp.predicted_costs[0] - per_query.expected_cost.unwrap()).abs() < 1e-12,
+                "{}",
+                planner.name()
+            );
+        }
+    }
+
+    #[test]
+    fn weights_skew_the_aggregates() {
+        let w = overlapping_workload();
+        let engine = Engine::new();
+        let jp = SharedGreedyPlanner.plan(&w, &engine).unwrap();
+        let uniform = jp.aggregate_independent(&[1.0, 1.0, 1.0, 1.0]);
+        let skewed = jp.aggregate_independent(&[10.0, 1.0, 1.0, 1.0]);
+        assert!(skewed > uniform);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the joint workload planners.
+//!
+//! The two contract properties from the subsystem's spec:
+//!
+//! 1. `shared-greedy`'s predicted workload cost never exceeds the sum
+//!    of the independent per-query expected costs, on random AND and
+//!    DNF workloads;
+//! 2. single-query workloads reduce *exactly* to the per-query
+//!    planner's plan.
+
+use paotr_core::leaf::Leaf;
+use paotr_core::plan::Engine;
+use paotr_core::prob::Prob;
+use paotr_core::stream::{StreamCatalog, StreamId};
+use paotr_core::tree::DnfTree;
+use paotr_multi::{default_planners, SharedGreedyPlanner, Workload, WorkloadPlanner};
+use proptest::prelude::*;
+
+/// Strategy: one random AND-shaped query (a single-term DNF) over
+/// `streams` streams.
+fn and_query(streams: usize) -> impl Strategy<Value = DnfTree> {
+    prop::collection::vec((0..streams, 1u32..=4, 0.05f64..0.95), 1..=4).prop_map(|leaves| {
+        DnfTree::from_leaves(vec![leaves
+            .into_iter()
+            .map(|(s, d, p)| Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap())
+            .collect()])
+        .expect("non-empty term")
+    })
+}
+
+/// Strategy: one random DNF query (1..=3 terms of 1..=3 leaves).
+fn dnf_query(streams: usize) -> impl Strategy<Value = DnfTree> {
+    prop::collection::vec(
+        prop::collection::vec((0..streams, 1u32..=4, 0.05f64..0.95), 1..=3),
+        1..=3,
+    )
+    .prop_map(|terms| {
+        DnfTree::from_leaves(
+            terms
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .map(|(s, d, p)| Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap())
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("non-empty terms")
+    })
+}
+
+fn catalog(streams: usize) -> impl Strategy<Value = StreamCatalog> {
+    prop::collection::vec(0.5f64..8.0, streams..=streams)
+        .prop_map(|costs| StreamCatalog::from_costs(costs).expect("valid costs"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1a, AND workloads: joint predicted cost <= sum of
+    /// independent per-query expected costs.
+    #[test]
+    fn shared_greedy_never_beats_worse_than_independent_on_and_workloads(
+        trees in prop::collection::vec(and_query(4), 2..=6),
+        cat in catalog(4),
+    ) {
+        let workload = Workload::from_trees(trees, cat).unwrap();
+        let engine = Engine::new();
+        let joint = SharedGreedyPlanner.plan(&workload, &engine).unwrap();
+        let weights = workload.weights();
+        let independent: f64 = joint
+            .independent_costs
+            .iter()
+            .zip(&weights)
+            .map(|(c, w)| c * w)
+            .sum();
+        let predicted = joint.aggregate_predicted(&weights);
+        prop_assert!(
+            predicted <= independent + 1e-9,
+            "predicted {predicted} > independent {independent}"
+        );
+        // per-query: nobody is predicted to pay more than going alone
+        for (p, i) in joint.predicted_costs.iter().zip(&joint.independent_costs) {
+            prop_assert!(p <= &(i + 1e-9), "query predicted {p} > independent {i}");
+        }
+    }
+
+    /// Property 1b, DNF workloads: same bound.
+    #[test]
+    fn shared_greedy_never_beats_worse_than_independent_on_dnf_workloads(
+        trees in prop::collection::vec(dnf_query(5), 2..=5),
+        cat in catalog(5),
+    ) {
+        let workload = Workload::from_trees(trees, cat).unwrap();
+        let engine = Engine::new();
+        let joint = SharedGreedyPlanner.plan(&workload, &engine).unwrap();
+        let weights = workload.weights();
+        let predicted = joint.aggregate_predicted(&weights);
+        let independent = joint.aggregate_independent(&weights);
+        prop_assert!(
+            predicted <= independent + 1e-9,
+            "predicted {predicted} > independent {independent}"
+        );
+    }
+
+    /// Property 2: a single-query workload reduces exactly to the
+    /// per-query planner's plan, for every workload planner.
+    #[test]
+    fn single_query_workloads_reduce_to_the_per_query_plan(
+        tree in dnf_query(4),
+        cat in catalog(4),
+    ) {
+        let engine = Engine::new();
+        let expected = engine.plan(&tree, &cat).unwrap();
+        let workload = Workload::from_trees(vec![tree], cat).unwrap();
+        for planner in default_planners() {
+            let joint = planner.plan(&workload, &engine).unwrap();
+            prop_assert_eq!(&joint.order, &vec![0usize], "{}", planner.name());
+            prop_assert_eq!(&joint.plans[0], &expected, "{}", planner.name());
+            prop_assert_eq!(&joint.schedules[0].len(), &tree_len(&joint), "{}", planner.name());
+            let cost = expected.expected_cost.unwrap();
+            prop_assert!(
+                (joint.predicted_costs[0] - cost).abs() < 1e-9,
+                "{}: predicted {} vs per-query {}",
+                planner.name(),
+                joint.predicted_costs[0],
+                cost
+            );
+        }
+    }
+}
+
+fn tree_len(joint: &paotr_multi::JointPlan) -> usize {
+    joint.plans[0].body.len()
+}

@@ -78,6 +78,84 @@ impl Engine {
         query: &SimQuery,
         schedule: &DnfSchedule,
         streams: &[SimStream],
+        trace: Option<&mut TraceLog>,
+    ) -> QueryOutcome {
+        self.apply_policy(std::slice::from_ref(&query), streams);
+        self.run_query(query, schedule, streams, trace)
+    }
+
+    /// Evaluates a whole workload at the current tick: every query in
+    /// order, against **one shared [`DeviceMemory`]**, so items pulled
+    /// by an earlier query are free for every later query this tick
+    /// (`shared = true`). The memory policy is applied once per tick
+    /// (for [`MemoryPolicy::Retain`], horizons are the per-stream
+    /// maxima over the whole workload).
+    ///
+    /// With `shared = false` the memory policy is instead applied
+    /// before *each* query, exactly as if [`Engine::evaluate`] were
+    /// called per query: under [`MemoryPolicy::ClearEachQuery`] every
+    /// query pays its own pulls (the independent baseline), while
+    /// [`MemoryPolicy::Retain`] keeps its usual cross-evaluation
+    /// retention semantics.
+    ///
+    /// # Panics
+    /// As [`Engine::evaluate`], for each query/schedule pair.
+    pub fn evaluate_workload(
+        &mut self,
+        queries: &[(&SimQuery, &DnfSchedule)],
+        streams: &[SimStream],
+        shared: bool,
+        mut trace: Option<&mut TraceLog>,
+    ) -> Vec<QueryOutcome> {
+        if shared {
+            let all: Vec<&SimQuery> = queries.iter().map(|(q, _)| *q).collect();
+            self.apply_policy(&all, streams);
+        }
+        queries
+            .iter()
+            .map(|(query, schedule)| {
+                if !shared {
+                    self.apply_policy(std::slice::from_ref(query), streams);
+                }
+                self.run_query(query, schedule, streams, trace.as_deref_mut())
+            })
+            .collect()
+    }
+
+    /// Applies the memory policy for the evaluation of `queries` at the
+    /// current tick: clear everything, or (Retain) prune items older
+    /// than the workload's per-stream relevance horizon.
+    fn apply_policy<Q: std::borrow::Borrow<SimQuery>>(
+        &mut self,
+        queries: &[Q],
+        streams: &[SimStream],
+    ) {
+        if self.policy == MemoryPolicy::ClearEachQuery {
+            self.memory.clear();
+            return;
+        }
+        let mut horizons = vec![0u32; streams.len()];
+        for q in queries {
+            for (k, &w) in q.borrow().max_windows(streams.len()).iter().enumerate() {
+                horizons[k] = horizons[k].max(w);
+            }
+        }
+        for (k, &w) in horizons.iter().enumerate() {
+            if w > 0 {
+                let now = streams[k].now();
+                let horizon = now.saturating_sub(u64::from(w) - 1);
+                self.memory.prune(paotr_core::stream::StreamId(k), horizon);
+            }
+        }
+    }
+
+    /// The evaluation loop proper: follows the schedule with AND/OR
+    /// short-circuiting, paying only for items missing from memory.
+    fn run_query(
+        &mut self,
+        query: &SimQuery,
+        schedule: &DnfSchedule,
+        streams: &[SimStream],
         mut trace: Option<&mut TraceLog>,
     ) -> QueryOutcome {
         assert_eq!(
@@ -85,20 +163,6 @@ impl Engine {
             query.num_leaves(),
             "schedule does not cover the query's leaves"
         );
-        if self.policy == MemoryPolicy::ClearEachQuery {
-            self.memory.clear();
-        } else {
-            // Retain policy: drop items older than each stream's horizon.
-            let horizons = query.max_windows(streams.len());
-            for (k, &w) in horizons.iter().enumerate() {
-                if w > 0 {
-                    let now = streams[k].now();
-                    let horizon = now.saturating_sub(u64::from(w) - 1);
-                    self.memory.prune(paotr_core::stream::StreamId(k), horizon);
-                }
-            }
-        }
-
         let n_terms = query.terms().len();
         let mut term_failed = vec![false; n_terms];
         let mut remaining: Vec<usize> = query.terms().iter().map(Vec::len).collect();
@@ -280,6 +344,83 @@ mod tests {
             assert_eq!(out.cost, 5.0);
             stream.advance(&mut rng);
         }
+    }
+
+    #[test]
+    fn shared_tick_makes_items_free_for_later_queries() {
+        // Two queries reading the same stream: q0 pulls 8 items, q1
+        // needs 5 of them.
+        let q0 = SimQuery::new(vec![vec![leaf(0, 8, Comparator::Lt, 70.0)]]).unwrap();
+        let q1 = SimQuery::new(vec![vec![leaf(0, 5, Comparator::Lt, 70.0)]]).unwrap();
+        let streams = vec![constant_stream(50.0, 20)];
+        let s0 = DnfSchedule::from_order_unchecked(q0.leaf_refs());
+        let s1 = DnfSchedule::from_order_unchecked(q1.leaf_refs());
+        let workload = [(&q0, &s0), (&q1, &s1)];
+
+        let mut iso = engine(&[1.0]);
+        let outs = iso.evaluate_workload(&workload, &streams, false, None);
+        assert_eq!(outs[0].cost, 8.0);
+        assert_eq!(outs[1].cost, 5.0, "isolated queries repay the pull");
+        assert_eq!(iso.total_cost(), 13.0);
+
+        let mut shared = engine(&[1.0]);
+        let outs = shared.evaluate_workload(&workload, &streams, true, None);
+        assert_eq!(outs[0].cost, 8.0);
+        assert_eq!(outs[1].cost, 0.0, "q0's items are free for q1");
+        assert_eq!(shared.total_cost(), 8.0);
+        assert_eq!(outs[1].items_pulled, vec![0]);
+    }
+
+    #[test]
+    fn shared_tick_order_changes_who_pays() {
+        let big = SimQuery::new(vec![vec![leaf(0, 8, Comparator::Lt, 70.0)]]).unwrap();
+        let small = SimQuery::new(vec![vec![leaf(0, 5, Comparator::Lt, 70.0)]]).unwrap();
+        let streams = vec![constant_stream(50.0, 20)];
+        let sb = DnfSchedule::from_order_unchecked(big.leaf_refs());
+        let ss = DnfSchedule::from_order_unchecked(small.leaf_refs());
+
+        // small first: pays 5, then big tops up 3. Total unchanged.
+        let mut e = engine(&[1.0]);
+        let outs = e.evaluate_workload(&[(&small, &ss), (&big, &sb)], &streams, true, None);
+        assert_eq!(outs[0].cost, 5.0);
+        assert_eq!(outs[1].cost, 3.0);
+        assert_eq!(e.total_cost(), 8.0);
+    }
+
+    #[test]
+    fn workload_matches_per_query_evaluate_when_isolated() {
+        let q0 = SimQuery::new(vec![vec![
+            leaf(0, 4, Comparator::Lt, 70.0),
+            leaf(1, 2, Comparator::Gt, 100.0),
+        ]])
+        .unwrap();
+        let q1 = SimQuery::new(vec![vec![leaf(1, 3, Comparator::Lt, 70.0)]]).unwrap();
+        let streams = vec![constant_stream(50.0, 20), constant_stream(50.0, 20)];
+        let s0 = DnfSchedule::from_order_unchecked(q0.leaf_refs());
+        let s1 = DnfSchedule::from_order_unchecked(q1.leaf_refs());
+
+        let mut a = engine(&[1.0, 2.0]);
+        let outs = a.evaluate_workload(&[(&q0, &s0), (&q1, &s1)], &streams, false, None);
+        let mut b = engine(&[1.0, 2.0]);
+        let o0 = b.evaluate(&q0, &s0, &streams, None);
+        let o1 = b.evaluate(&q1, &s1, &streams, None);
+        assert_eq!(outs, vec![o0, o1]);
+        assert_eq!(a.total_cost(), b.total_cost());
+        assert_eq!(a.evaluations(), 2);
+
+        // ...including under Retain, whose cross-evaluation retention
+        // must not be wiped by the non-shared path.
+        let cat = StreamCatalog::from_costs([1.0, 2.0]).unwrap();
+        let mut a = Engine::new(2, MemoryPolicy::Retain, EnergyModel::from_catalog(&cat));
+        let outs = a.evaluate_workload(&[(&q0, &s0), (&q1, &s1)], &streams, false, None);
+        let mut b = Engine::new(2, MemoryPolicy::Retain, EnergyModel::from_catalog(&cat));
+        let o0 = b.evaluate(&q0, &s0, &streams, None);
+        let o1 = b.evaluate(&q1, &s1, &streams, None);
+        assert_eq!(outs, vec![o0, o1]);
+        assert!(
+            outs[1].items_pulled[1] < 3,
+            "retained items from q0 serve part of q1's window"
+        );
     }
 
     #[test]

@@ -6,10 +6,78 @@
 //! statistics, plots, or baselines — just enough to compile the bench
 //! suite offline and get order-of-magnitude numbers.
 
+//! Two knobs support CI smoke runs:
+//!
+//! * passing `--smoke` to the bench binary (i.e. `cargo bench -- --smoke`)
+//!   or setting `CRITERION_SMOKE=1` drops the sample count to 2, so a
+//!   whole bench suite finishes in seconds;
+//! * setting `CRITERION_JSON=<path>` makes [`write_json_results`] (called
+//!   by `criterion_main!` after all groups ran) dump every measurement as
+//!   a JSON array — the artifact CI archives to track the perf
+//!   trajectory.
+
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when the benches were invoked in smoke mode (`--smoke` argument
+/// or `CRITERION_SMOKE=1`).
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke") || std::env::var_os("CRITERION_SMOKE").is_some()
+}
+
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes every recorded measurement to the path in `CRITERION_JSON`
+/// (no-op when the variable is unset) as
+/// `[{"name": ..., "mean_ns": ...}, ...]`. `criterion_main!` calls this
+/// after all groups have run. When the file already holds rows from an
+/// earlier bench binary of the same `cargo bench` invocation, the new
+/// rows are appended to them instead of truncating the file — delete
+/// the file between runs for a fresh artifact.
+pub fn write_json_results() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    // Recover rows a previous bench target wrote (same line format we
+    // emit below), so multi-target `cargo bench` runs accumulate.
+    let mut lines: Vec<String> = std::fs::read_to_string(&path)
+        .ok()
+        .map(|existing| {
+            existing
+                .lines()
+                .filter(|l| l.trim_start().starts_with('{'))
+                .map(|l| l.trim().trim_end_matches(',').to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    {
+        let rows = results()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, secs) in rows.iter() {
+            lines.push(format!(
+                "{{\"name\": \"{}\", \"mean_ns\": {:.1}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                secs * 1e9
+            ));
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, line) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        out.push_str(&format!("  {line}{comma}\n"));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path:?}: {e}");
+    }
+}
 
 /// Identifier for one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -57,6 +125,7 @@ impl Bencher {
 }
 
 fn run_one(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let sample_size = if smoke_mode() { 2 } else { sample_size };
     let mut b = Bencher {
         iters: sample_size.max(1),
         elapsed: Duration::ZERO,
@@ -68,6 +137,10 @@ fn run_one(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
         per_iter * 1e6,
         b.iters
     );
+    results()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push((name.to_string(), per_iter));
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -158,6 +231,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_results();
         }
     };
 }
