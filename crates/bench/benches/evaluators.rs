@@ -6,7 +6,7 @@
 //! AND evaluator is linear.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paotr_core::cost::{and_eval, dnf_eval, DnfCostEvaluator};
+use paotr_core::cost::{and_eval, dnf_eval, CostModel, DnfCostEvaluator};
 use paotr_core::prelude::*;
 use paotr_gen::{random_dnf_instance, DnfConfig, ParamDistributions, Shape};
 use rand::prelude::*;
@@ -60,6 +60,58 @@ fn bench_dnf_evaluators(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compiled arena kernel vs. the literal transcription and the
+/// incremental evaluator — the `BENCH_core.json` group CI
+/// regression-checks (planners bottom out in thousands of these calls
+/// per joint-planning invocation).
+fn bench_cost_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_kernel");
+    for (n, m) in [(2usize, 5usize), (5, 10), (10, 20)] {
+        let inst = instance(n, m, 2.0, 42);
+        let schedule = DnfSchedule::declaration_order(&inst.tree);
+        let label = format!("{n}x{m}");
+        group.bench_with_input(BenchmarkId::new("literal", &label), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(dnf_eval::expected_cost(
+                    &inst.tree,
+                    &inst.catalog,
+                    black_box(&schedule),
+                ))
+            })
+        });
+        let model = CostModel::new(&inst.tree, &inst.catalog);
+        let mut scratch = model.make_scratch();
+        group.bench_function(BenchmarkId::new("kernel", &label), |b| {
+            b.iter(|| black_box(model.expected_cost(black_box(&schedule), &mut scratch)))
+        });
+        let coverage: Vec<f64> = (0..inst.catalog.len())
+            .map(|k| (k % 3) as f64 * 0.75)
+            .collect();
+        group.bench_function(BenchmarkId::new("kernel_coverage", &label), |b| {
+            b.iter(|| {
+                black_box(model.expected_cost_with_coverage(
+                    black_box(schedule.order()),
+                    &coverage,
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Model compilation cost, reported but not CI-gated: a sub-µs
+    // allocation-bound number whose run-to-run medians are too noisy
+    // for the 25% regression gate on shared runners.
+    let mut build = c.benchmark_group("cost_kernel_build");
+    for (n, m) in [(2usize, 5usize), (10, 20)] {
+        let inst = instance(n, m, 2.0, 42);
+        build.bench_function(BenchmarkId::new("compile", format!("{n}x{m}")), |b| {
+            b.iter(|| black_box(CostModel::new(&inst.tree, &inst.catalog)))
+        });
+    }
+    build.finish();
+}
+
 fn bench_incremental_clone(c: &mut Criterion) {
     // The branch-and-bound clones an evaluator per surviving child; clone
     // cost is therefore part of the search's inner loop.
@@ -108,6 +160,7 @@ fn bench_and_evaluator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dnf_evaluators,
+    bench_cost_kernel,
     bench_incremental_clone,
     bench_and_evaluator
 );

@@ -5,19 +5,23 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paotr_core::plan::Engine;
-use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_gen::workload::{workload_instance, WorkloadConfig, LARGE_WORKLOAD_QUERIES};
 use paotr_multi::{planner_by_name, simulate, SimConfig, Workload};
 
 fn workload(queries: usize, overlap: f64, seed: usize) -> Workload {
+    // At 128 queries this config is exactly the seed-stable
+    // `large_workload` preset shared with the experiments sweep
+    // (`WorkloadConfig::large_workload` delegates to `with_overlap`).
     let (trees, catalog) = workload_instance(WorkloadConfig::with_overlap(queries, overlap), seed);
     Workload::from_trees(trees, catalog).expect("generated workloads validate")
 }
 
-/// Planning wall-time of every workload planner, across sizes.
+/// Planning wall-time of every workload planner, across sizes (128 =
+/// the `large_workload` preset).
 fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_plan");
     group.sample_size(10);
-    for &queries in &[4usize, 16, 64] {
+    for &queries in &[4usize, 16, 64, LARGE_WORKLOAD_QUERIES] {
         let w = workload(queries, 0.6, 0);
         for name in paotr_multi::planner_names() {
             let planner = planner_by_name(name).expect("built-in");

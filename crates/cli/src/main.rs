@@ -55,7 +55,8 @@ fn print_help() {
          \x20 paotr explain  \"<query>\" [--costs A=1,B=2]\n\
          \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\
          \x20 paotr workload [--queries N] [--overlap F] [--seed S] [--evals N]\n\
-         \x20                [--planner independent|shared-greedy|batch-aware | --compare] [--no-sim]\n\n\
+         \x20                [--planner independent|shared-greedy|batch-aware | --compare]\n\
+         \x20                [--no-sim] [--threads N]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
          planner names (for --heuristic; default and-inc-cp-dyn):"

@@ -8,7 +8,10 @@
 
 use paotr_core::plan::Engine;
 use paotr_gen::workload::{workload_instance, WorkloadConfig};
-use paotr_multi::{compare, default_planners, planner_by_name, SimConfig, Workload};
+use paotr_multi::{
+    compare, default_planners, planner_by_name, SharedGreedyPlanner, SimConfig, Workload,
+    WorkloadPlanner,
+};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut queries = 16usize;
@@ -18,6 +21,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut planner: Option<String> = None;
     let mut compare_all = false;
     let mut simulate = true;
+    let mut threads: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +69,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 simulate = false;
                 i += 1;
             }
+            "--threads" => {
+                let t: usize = take("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer >= 1".to_string())?;
+                if t == 0 {
+                    return Err("--threads expects an integer >= 1".into());
+                }
+                threads = Some(t);
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -95,7 +109,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     println!();
 
-    let planners = if compare_all {
+    // `--threads` pins the shared-greedy evaluation pool (planning
+    // results are identical at any thread count; this is a wall-clock
+    // knob).
+    let with_threads = |mut planners: Vec<Box<dyn WorkloadPlanner>>| {
+        if let Some(t) = threads {
+            for p in &mut planners {
+                if p.name() == "shared-greedy" {
+                    *p = Box::new(SharedGreedyPlanner {
+                        threads: paotr_par::ThreadCount::Fixed(t),
+                        ..Default::default()
+                    });
+                }
+            }
+        }
+        planners
+    };
+
+    let planners = with_threads(if compare_all {
         default_planners()
     } else {
         let name = planner.as_deref().unwrap_or("shared-greedy");
@@ -111,7 +142,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             // keep the baseline so sharing ratio / sim speedup are defined
             vec![planner_by_name("independent").expect("built-in"), chosen]
         }
-    };
+    });
 
     let sim = simulate.then_some(SimConfig {
         ticks: evals,
@@ -143,6 +174,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
             sim_speedup
         );
     }
+
+    // Plan-cache attribution: how much planning work the engine paid for
+    // once vs. served again from the cache — the cross-planner sharing
+    // win in wall-clock terms.
+    let stats = engine.cache_stats();
+    println!();
+    println!(
+        "plan cache         : {} hits / {} misses ({:.1}% hit rate, {} entries)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries
+    );
+    println!(
+        "planning latency   : {:.3} ms planned (misses) vs {:.3} ms served from cache (hits)",
+        stats.planned_time().as_secs_f64() * 1e3,
+        stats.served_time().as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -179,5 +228,20 @@ mod tests {
         assert!(super::run(&["--bogus".into()]).is_err());
         assert!(super::run(&["--planner".into(), "nope".into()]).is_err());
         assert!(super::run(&["--queries".into(), "0".into()]).is_err());
+        assert!(super::run(&["--threads".into(), "zero".into()]).is_err());
+        assert!(super::run(&["--threads".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_pins_the_shared_greedy_pool() {
+        super::run(&[
+            "--queries".into(),
+            "5".into(),
+            "--threads".into(),
+            "2".into(),
+            "--no-sim".into(),
+            "--compare".into(),
+        ])
+        .unwrap();
     }
 }

@@ -33,6 +33,13 @@ pub const MAX_AND_EXHAUSTIVE: usize = 12;
 /// `legacy-api` feature re-exports it as the deprecated
 /// [`and_all_permutations`].
 ///
+/// Pruning uses an admissible *remaining-demand* lower bound: every
+/// still-uncovered item of stream `k` (up to the widest window an unused
+/// leaf opens) must be pulled by some unused leaf, whose reach
+/// probability is at least `reach · Π unused p / p_puller` — so summing
+/// `cost_k · reach · Π p / pmax(k, t)` over uncovered items never
+/// exceeds any completion's true cost.
+///
 /// # Panics
 /// Panics when the tree has more than [`MAX_AND_EXHAUSTIVE`] leaves.
 pub(crate) fn and_all_permutations_impl(
@@ -52,15 +59,68 @@ pub(crate) fn and_all_permutations_impl(
         best: Vec<usize>,
         prefix: Vec<usize>,
         used: Vec<bool>,
+        // Remaining-demand bound scratch (reused across every node).
+        max_d: usize,
+        demand: Vec<u32>,
+        pmax: Vec<f64>,
+        touched: Vec<usize>,
+    }
+
+    /// Admissible lower bound on the cost any completion adds.
+    fn lower_bound(ctx: &mut Ctx<'_>, reach: f64, acquired: &[u32]) -> f64 {
+        if reach <= 0.0 {
+            return 0.0;
+        }
+        for &k in &ctx.touched {
+            ctx.demand[k] = 0;
+            for t in 0..ctx.max_d {
+                ctx.pmax[k * ctx.max_d + t] = 0.0;
+            }
+        }
+        ctx.touched.clear();
+        let mut p_rem = 1.0;
+        for j in 0..ctx.tree.len() {
+            if ctx.used[j] {
+                continue;
+            }
+            let leaf = ctx.tree.leaf(j);
+            let k = leaf.stream.0;
+            let p = leaf.prob.value();
+            p_rem *= p;
+            if ctx.demand[k] == 0 {
+                ctx.touched.push(k);
+            }
+            ctx.demand[k] = ctx.demand[k].max(leaf.items);
+            for t in 0..leaf.items as usize {
+                let slot = &mut ctx.pmax[k * ctx.max_d + t];
+                if *slot < p {
+                    *slot = p;
+                }
+            }
+        }
+        let mut bound = 0.0;
+        for &k in &ctx.touched {
+            let unit = ctx.catalog.cost(crate::stream::StreamId(k));
+            for t in (acquired[k] + 1)..=ctx.demand[k] {
+                let pmax = ctx.pmax[k * ctx.max_d + (t - 1) as usize];
+                if pmax > 0.0 {
+                    bound += unit * reach * p_rem / pmax;
+                }
+            }
+        }
+        bound
     }
 
     fn rec(ctx: &mut Ctx<'_>, cost: f64, reach: f64, acquired: &mut Vec<u32>) {
-        if cost >= ctx.best_cost {
-            return; // any completion only adds non-negative cost
-        }
         if ctx.prefix.len() == ctx.tree.len() {
-            ctx.best_cost = cost;
-            ctx.best = ctx.prefix.clone();
+            if cost < ctx.best_cost {
+                ctx.best_cost = cost;
+                ctx.best = ctx.prefix.clone();
+            }
+            return;
+        }
+        // Any completion adds at least the remaining-demand bound.
+        if cost + lower_bound(ctx, reach, acquired) >= ctx.best_cost {
             return;
         }
         for j in 0..ctx.tree.len() {
@@ -85,6 +145,12 @@ pub(crate) fn and_all_permutations_impl(
         }
     }
 
+    let max_d = tree
+        .leaves()
+        .iter()
+        .map(|l| l.items as usize)
+        .max()
+        .unwrap_or(0);
     let mut ctx = Ctx {
         tree,
         catalog,
@@ -92,6 +158,10 @@ pub(crate) fn and_all_permutations_impl(
         best: Vec::new(),
         prefix: Vec::with_capacity(m),
         used: vec![false; m],
+        max_d,
+        demand: vec![0; catalog.len()],
+        pmax: vec![0.0; catalog.len() * max_d],
+        touched: Vec::with_capacity(catalog.len()),
     };
     let mut acquired = vec![0u32; catalog.len()];
     rec(&mut ctx, 0.0, 1.0, &mut acquired);
@@ -108,6 +178,10 @@ pub struct SearchOptions {
     pub prop1_ordering: bool,
     /// Prune branches whose partial cost reaches the incumbent.
     pub prune: bool,
+    /// Additionally prune on the admissible open-term completion bound
+    /// (see [`DnfCostEvaluator::completion_lower_bound`]); only applied
+    /// to depth-first searches, where the phase argument holds.
+    pub completion_bound: bool,
     /// Initial incumbent (e.g. the best heuristic cost); `INFINITY` if
     /// unknown.
     pub incumbent: f64,
@@ -122,6 +196,7 @@ impl Default for SearchOptions {
             depth_first_only: true,
             prop1_ordering: true,
             prune: true,
+            completion_bound: true,
             incumbent: f64::INFINITY,
             node_limit: u64::MAX,
         }
@@ -197,7 +272,25 @@ pub fn dnf_all_schedules(tree: &DnfTree, catalog: &StreamCatalog) -> (DnfSchedul
 }
 
 /// Configurable branch-and-bound over DNF schedules.
+///
+/// The search walks one [`DnfCostEvaluator`] with *push/pop* prefix
+/// deltas — no evaluator or term-state clones anywhere in the recursion
+/// — and, for depth-first searches, prunes on the admissible open-term
+/// completion bound in addition to the running partial cost.
 pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) -> SearchResult {
+    use crate::cost::incremental::BoundScratch;
+
+    /// Remaining leaves of one term, as per-stream queues in increasing-d
+    /// order (Proposition 1); consumed leaves are flagged, not removed,
+    /// so scheduling a leaf is an O(1) reversible mutation.
+    struct TermState {
+        /// Per-stream queues, Proposition 1 order within each.
+        queues: Vec<Vec<LeafRef>>,
+        /// Parallel to `queues`: true once the leaf is scheduled.
+        consumed: Vec<Vec<bool>>,
+        remaining: usize,
+    }
+
     struct Ctx {
         opts: SearchOptions,
         total_leaves: usize,
@@ -206,29 +299,52 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
         prefix: Vec<LeafRef>,
         stats: SearchStats,
         truncated: bool,
+        terms: Vec<TermState>,
+        /// Per-depth child buffers, reused across the whole search.
+        children: Vec<Vec<(f64, usize, LeafRef)>>,
+        /// Open-term leaf buffer for the completion bound.
+        remaining_buf: Vec<LeafRef>,
+        bound_scratch: BoundScratch,
     }
 
-    /// Remaining leaves of one term, as per-stream queues in increasing-d
-    /// order (Proposition 1) or as a flat candidate list.
-    #[derive(Clone)]
-    struct TermState {
-        /// Per-stream FIFO queues (front = next schedulable leaf).
-        queues: Vec<Vec<LeafRef>>,
-        remaining: usize,
-    }
+    impl Ctx {
+        fn push_candidates(&mut self, ti: usize, depth: usize) {
+            let term = &self.terms[ti];
+            for (qi, q) in term.queues.iter().enumerate() {
+                for (li, &r) in q.iter().enumerate() {
+                    if term.consumed[qi][li] {
+                        continue;
+                    }
+                    self.stats.nodes += 1;
+                    self.children[depth].push((0.0, ti, r));
+                    if self.opts.prop1_ordering {
+                        break; // only the queue front is schedulable
+                    }
+                }
+            }
+        }
 
-    fn candidates(term: &TermState, prop1: bool) -> Vec<LeafRef> {
-        if prop1 {
-            term.queues
-                .iter()
-                .filter_map(|q| q.first().copied())
-                .collect()
-        } else {
-            term.queues.iter().flatten().copied().collect()
+        /// Admissible lower bound on completing open term `ti` from the
+        /// current evaluator state (0 when the bound is disabled or the
+        /// phase argument does not apply).
+        fn open_term_bound(&mut self, eval: &DnfCostEvaluator<'_>, ti: usize) -> f64 {
+            if !self.opts.completion_bound || !self.opts.depth_first_only || !self.opts.prune {
+                return 0.0;
+            }
+            self.remaining_buf.clear();
+            let term = &self.terms[ti];
+            for (qi, q) in term.queues.iter().enumerate() {
+                for (li, &r) in q.iter().enumerate() {
+                    if !term.consumed[qi][li] {
+                        self.remaining_buf.push(r);
+                    }
+                }
+            }
+            eval.completion_lower_bound(ti, &self.remaining_buf, &mut self.bound_scratch)
         }
     }
 
-    fn rec(ctx: &mut Ctx, eval: &DnfCostEvaluator<'_>, terms: &[TermState], open: Option<usize>) {
+    fn rec(ctx: &mut Ctx, eval: &mut DnfCostEvaluator<'_>, open: Option<usize>, depth: usize) {
         if ctx.stats.nodes >= ctx.opts.node_limit {
             ctx.truncated = true;
             return;
@@ -244,71 +360,89 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
             }
             return;
         }
-        let term_choices: Vec<usize> = match open {
-            Some(i) if ctx.opts.depth_first_only => vec![i],
-            _ => (0..terms.len())
-                .filter(|&i| terms[i].remaining > 0)
-                .collect(),
-        };
+        // Tighter admissible bound: the open term must be completed
+        // before anything else (depth-first), and that completion costs
+        // at least the frozen-state floor.
+        if let Some(i) = open {
+            if ctx.opts.depth_first_only {
+                let lb = ctx.open_term_bound(eval, i);
+                if eval.total_cost() + lb >= ctx.best_cost {
+                    ctx.stats.pruned += 1;
+                    return;
+                }
+            }
+        }
+        ctx.children[depth].clear();
+        match open {
+            Some(i) if ctx.opts.depth_first_only => ctx.push_candidates(i, depth),
+            _ => {
+                for ti in 0..ctx.terms.len() {
+                    if ctx.terms[ti].remaining > 0 {
+                        ctx.push_candidates(ti, depth);
+                    }
+                }
+            }
+        }
         // Expand children cheapest-first: a good first descent gives a
         // near-optimal incumbent immediately, which makes the cost-bound
         // pruning drastically more effective on hard instances. Marginals
-        // come from the non-mutating `peek`, so the evaluator is only
-        // cloned for children that survive the bound at expansion time.
-        let mut children: Vec<(f64, usize, LeafRef)> = Vec::new();
-        for ti in term_choices {
-            for r in candidates(&terms[ti], ctx.opts.prop1_ordering) {
-                ctx.stats.nodes += 1;
-                children.push((eval.peek(r), ti, r));
-            }
+        // come from the non-mutating `peek`; committing to a child is a
+        // push on the shared evaluator, reverted by a bitwise-exact pop.
+        for c in ctx.children[depth].iter_mut() {
+            c.0 = eval.peek(c.2);
         }
-        children.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
-        for (marginal, ti, r) in children {
+        ctx.children[depth].sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        for ci in 0..ctx.children[depth].len() {
+            let (marginal, ti, r) = ctx.children[depth][ci];
             if ctx.opts.prune && eval.total_cost() + marginal >= ctx.best_cost {
                 ctx.stats.pruned += 1;
                 continue;
             }
-            let mut eval2 = eval.clone();
-            eval2.push(r);
-            let mut terms2 = terms.to_vec();
-            let q = terms2[ti]
+            eval.push(r);
+            let term = &mut ctx.terms[ti];
+            let (qi, li) = term
                 .queues
-                .iter_mut()
-                .find(|q| q.contains(&r))
+                .iter()
+                .enumerate()
+                .find_map(|(qi, q)| q.iter().position(|&x| x == r).map(|li| (qi, li)))
                 .expect("candidate comes from a queue");
-            q.retain(|&x| x != r);
-            terms2[ti].remaining -= 1;
-            let open2 = if terms2[ti].remaining > 0 {
-                Some(ti)
-            } else {
-                None
-            };
+            term.consumed[qi][li] = true;
+            term.remaining -= 1;
+            let open2 = if term.remaining > 0 { Some(ti) } else { None };
             ctx.prefix.push(r);
-            rec(ctx, &eval2, &terms2, open2);
+            rec(ctx, eval, open2, depth + 1);
             ctx.prefix.pop();
+            let term = &mut ctx.terms[ti];
+            term.consumed[qi][li] = false;
+            term.remaining += 1;
+            eval.pop();
         }
     }
 
     let total_leaves = tree.num_leaves();
     let n_streams = catalog.len();
-    let terms: Vec<TermState> = (0..tree.num_terms())
-        .map(|i| {
-            let mut queues: Vec<Vec<LeafRef>> = vec![Vec::new(); n_streams];
-            let mut refs: Vec<LeafRef> = (0..tree.term(i).len())
-                .map(|j| LeafRef::new(i, j))
-                .collect();
-            // increasing d, ties by leaf index: the Proposition 1 order
-            refs.sort_by_key(|&r| (tree.leaf(r).items, r.leaf));
-            for r in refs {
-                queues[tree.leaf(r).stream.0].push(r);
-            }
-            queues.retain(|q| !q.is_empty());
-            TermState {
-                queues,
-                remaining: tree.term(i).len(),
-            }
-        })
-        .collect();
+    let make_terms = || -> Vec<TermState> {
+        (0..tree.num_terms())
+            .map(|i| {
+                let mut queues: Vec<Vec<LeafRef>> = vec![Vec::new(); n_streams];
+                let mut refs: Vec<LeafRef> = (0..tree.term(i).len())
+                    .map(|j| LeafRef::new(i, j))
+                    .collect();
+                // increasing d, ties by leaf index: the Proposition 1 order
+                refs.sort_by_key(|&r| (tree.leaf(r).items, r.leaf));
+                for r in refs {
+                    queues[tree.leaf(r).stream.0].push(r);
+                }
+                queues.retain(|q| !q.is_empty());
+                let consumed = queues.iter().map(|q| vec![false; q.len()]).collect();
+                TermState {
+                    consumed,
+                    remaining: tree.term(i).len(),
+                    queues,
+                }
+            })
+            .collect()
+    };
 
     let mut ctx = Ctx {
         opts,
@@ -318,9 +452,13 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
         prefix: Vec::with_capacity(total_leaves),
         stats: SearchStats::default(),
         truncated: false,
+        terms: make_terms(),
+        children: vec![Vec::new(); total_leaves + 1],
+        remaining_buf: Vec::with_capacity(total_leaves),
+        bound_scratch: BoundScratch::new(),
     };
-    let eval = DnfCostEvaluator::new(tree, catalog);
-    rec(&mut ctx, &eval, &terms, None);
+    let mut eval = DnfCostEvaluator::new(tree, catalog);
+    rec(&mut ctx, &mut eval, None, 0);
 
     // If the incumbent was already optimal and nothing strictly better was
     // found, re-run once without an incumbent to recover a schedule.
@@ -336,9 +474,13 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
             prefix: Vec::with_capacity(total_leaves),
             stats: ctx.stats,
             truncated: ctx.truncated,
+            terms: make_terms(),
+            children: ctx.children,
+            remaining_buf: ctx.remaining_buf,
+            bound_scratch: ctx.bound_scratch,
         };
-        let eval = DnfCostEvaluator::new(tree, catalog);
-        rec(&mut ctx2, &eval, &terms, None);
+        let mut eval = DnfCostEvaluator::new(tree, catalog);
+        rec(&mut ctx2, &mut eval, None, 0);
         ctx = ctx2;
     }
 
@@ -443,6 +585,35 @@ mod tests {
             );
             assert!(with.stats.nodes <= without.stats.nodes);
         }
+    }
+
+    /// The open-term completion bound never loses the optimum and never
+    /// explores more nodes than the plain incumbent prune.
+    #[test]
+    fn completion_bound_is_lossless_and_helps() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut helped = false;
+        for trial in 0..60 {
+            let (t, cat) = random_instance(&mut rng, 3, 8);
+            let with = dnf_search(&t, &cat, SearchOptions::default());
+            let without = dnf_search(
+                &t,
+                &cat,
+                SearchOptions {
+                    completion_bound: false,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                (with.cost - without.cost).abs() < 1e-9,
+                "trial {trial}: {} vs {}",
+                with.cost,
+                without.cost
+            );
+            assert!(with.stats.nodes <= without.stats.nodes, "trial {trial}");
+            helped |= with.stats.nodes < without.stats.nodes;
+        }
+        assert!(helped, "bound never fired across 60 random instances");
     }
 
     #[test]

@@ -32,12 +32,67 @@ struct Member {
     eval_prob: f64,
 }
 
+/// One frame of the undo stack: everything [`DnfCostEvaluator::push`]
+/// changed, captured so [`DnfCostEvaluator::pop`] can restore the state
+/// *bitwise* (no floating-point divisions on the undo path, so a
+/// push/pop pair is exactly the identity).
+#[derive(Debug, Clone, Copy)]
+struct UndoFrame {
+    leaf: LeafRef,
+    prev_total: f64,
+    prev_prefix: f64,
+    prev_covered: u32,
+    members_added: u32,
+    completed_term: bool,
+}
+
+/// Reusable buffers for [`DnfCostEvaluator::completion_lower_bound`]
+/// (one per search; reused across every node so the bound allocates
+/// nothing in steady state).
+#[derive(Debug, Clone, Default)]
+pub struct BoundScratch {
+    /// Per stream: widest window among the open term's remaining leaves.
+    demand: Vec<u32>,
+    /// Per `(stream, item)`: max success probability over remaining
+    /// leaves whose window covers that item.
+    pmax: Vec<f64>,
+    /// Streams the remaining leaves touch (sparse reset list).
+    touched: Vec<usize>,
+    /// Layout this scratch is currently sized for.
+    n_streams: usize,
+    max_d: usize,
+}
+
+impl BoundScratch {
+    /// A fresh scratch (sized on first use).
+    pub fn new() -> BoundScratch {
+        BoundScratch::default()
+    }
+
+    fn reserve(&mut self, n_streams: usize, max_d: usize) {
+        if self.n_streams == n_streams && self.max_d == max_d {
+            return;
+        }
+        // Layout change: rebuild zeroed (stale entries under the old
+        // stride would corrupt the bound).
+        self.n_streams = n_streams;
+        self.max_d = max_d;
+        self.demand.clear();
+        self.demand.resize(n_streams, 0);
+        self.pmax.clear();
+        self.pmax.resize(n_streams * max_d, 0.0);
+        self.touched.clear();
+    }
+}
+
 /// Append-only expected-cost evaluator for DNF schedules (Proposition 2).
 #[derive(Debug, Clone)]
 pub struct DnfCostEvaluator<'a> {
     tree: &'a DnfTree,
     catalog: &'a StreamCatalog,
     n_streams: usize,
+    /// Widest window any leaf opens (for the completion bound).
+    max_d: u32,
     /// Product of `p` over scheduled leaves of each term (the probability
     /// that the next leaf of that term is reached within its AND node).
     prefix_prob: Vec<f64>,
@@ -55,6 +110,8 @@ pub struct DnfCostEvaluator<'a> {
     total: f64,
     /// Number of leaves pushed.
     scheduled: usize,
+    /// Undo frames for [`DnfCostEvaluator::pop`], one per pushed leaf.
+    undo: Vec<UndoFrame>,
 }
 
 impl<'a> DnfCostEvaluator<'a> {
@@ -72,6 +129,7 @@ impl<'a> DnfCostEvaluator<'a> {
             tree,
             catalog,
             n_streams,
+            max_d: tree.max_items(),
             prefix_prob: vec![1.0; n_terms],
             seen: vec![0; n_terms],
             completed: Vec::with_capacity(n_terms),
@@ -79,6 +137,7 @@ impl<'a> DnfCostEvaluator<'a> {
             members: Vec::with_capacity(tree.num_leaves()),
             total: 0.0,
             scheduled: 0,
+            undo: Vec::with_capacity(tree.num_leaves()),
         }
     }
 
@@ -129,6 +188,14 @@ impl<'a> DnfCostEvaluator<'a> {
         let f3 = self.prefix_prob[r.term];
         let cov = self.covered[r.term * self.n_streams + k];
         let marginal = self.peek(r);
+        let frame = UndoFrame {
+            leaf: r,
+            prev_total: self.total,
+            prev_prefix: f3,
+            prev_covered: cov,
+            members_added: leaf.items.max(cov) - cov,
+            completed_term: false,
+        };
         self.total += marginal;
 
         // State updates: L_{k,t} membership, coverage, prefix products,
@@ -148,12 +215,42 @@ impl<'a> DnfCostEvaluator<'a> {
             self.seen[r.term] as usize <= self.tree.term(r.term).len(),
             "leaf pushed twice or term over-filled"
         );
-        if self.seen[r.term] as usize == self.tree.term(r.term).len() {
+        let completed_term = self.seen[r.term] as usize == self.tree.term(r.term).len();
+        if completed_term {
             self.completed
                 .push((r.term as u32, self.prefix_prob[r.term]));
         }
+        self.undo.push(UndoFrame {
+            completed_term,
+            ..frame
+        });
         self.scheduled += 1;
         marginal
+    }
+
+    /// Reverts the most recent [`DnfCostEvaluator::push`], restoring the
+    /// evaluator to the exact (bitwise) prior state, and returns the leaf
+    /// that was removed. Push/pop pairs let the branch-and-bound explore
+    /// a search tree on **one** evaluator instead of cloning at every
+    /// node.
+    ///
+    /// # Panics
+    /// Panics when no leaf has been pushed.
+    pub fn pop(&mut self) -> LeafRef {
+        let frame = self.undo.pop().expect("pop on an empty schedule");
+        let r = frame.leaf;
+        let k = self.tree.leaf(r).stream.0;
+        if frame.completed_term {
+            self.completed.pop();
+        }
+        self.seen[r.term] -= 1;
+        self.prefix_prob[r.term] = frame.prev_prefix;
+        self.covered[r.term * self.n_streams + k] = frame.prev_covered;
+        self.members
+            .truncate(self.members.len() - frame.members_added as usize);
+        self.total = frame.prev_total;
+        self.scheduled -= 1;
+        r
     }
 
     /// Expected cost of the prefix pushed so far.
@@ -184,6 +281,101 @@ impl<'a> DnfCostEvaluator<'a> {
     /// no completed AND node evaluated to TRUE.
     pub fn survival_prob(&self) -> f64 {
         self.completed.iter().map(|&(_, sp)| 1.0 - sp).product()
+    }
+
+    /// An **admissible lower bound** on the cost any depth-first
+    /// completion adds while finishing open term `term`, whose
+    /// still-unscheduled leaves are `remaining`.
+    ///
+    /// While a term is open, a depth-first schedule places *all* of its
+    /// remaining leaves before anything else, so during that phase the
+    /// completed-term set and the cross-term `L_{k,t}` members are
+    /// frozen: factors 1 and 2 of Proposition 2 are exactly computable
+    /// *now* for every item the phase must pay for (items above the
+    /// term's current same-stream coverage, up to its widest remaining
+    /// window). Only the payer's reach probability is unknown; it is
+    /// bounded below by reaching the payer *last*
+    /// (`prefix · Π remaining p / p_payer`, maximized over eligible
+    /// payers). Summing these floors over the phase's uncovered items
+    /// never exceeds the true completion cost, so branch-and-bound may
+    /// prune on `total_cost() + bound ≥ incumbent` without losing the
+    /// optimum.
+    pub fn completion_lower_bound(
+        &self,
+        term: usize,
+        remaining: &[LeafRef],
+        scratch: &mut BoundScratch,
+    ) -> f64 {
+        if remaining.is_empty() {
+            return 0.0;
+        }
+        let prefix = self.prefix_prob[term];
+        if prefix <= 0.0 {
+            return 0.0;
+        }
+        let max_d = self.max_d as usize;
+        scratch.reserve(self.n_streams, max_d);
+        for &k in &scratch.touched {
+            scratch.demand[k] = 0;
+            for t in 0..max_d {
+                scratch.pmax[k * max_d + t] = 0.0;
+            }
+        }
+        scratch.touched.clear();
+
+        let mut p_rem = 1.0;
+        for &r in remaining {
+            debug_assert_eq!(r.term, term, "remaining leaves belong to the open term");
+            let leaf = self.tree.leaf(r);
+            let k = leaf.stream.0;
+            let p = leaf.prob.value();
+            p_rem *= p;
+            if scratch.demand[k] == 0 {
+                scratch.touched.push(k);
+            }
+            scratch.demand[k] = scratch.demand[k].max(leaf.items);
+            for t in 0..leaf.items as usize {
+                let slot = &mut scratch.pmax[k * max_d + t];
+                if *slot < p {
+                    *slot = p;
+                }
+            }
+        }
+
+        let mut bound = 0.0;
+        for &k in &scratch.touched {
+            let unit = self.catalog.cost(crate::stream::StreamId(k));
+            if unit <= 0.0 {
+                continue;
+            }
+            let cov = self.covered[term * self.n_streams + k];
+            for t in (cov + 1)..=scratch.demand[k] {
+                // Factors 1 and 2 from the frozen pre-phase state; a
+                // single member scan yields both (cf. `peek`).
+                let mut f1 = 1.0;
+                let mut term_mask = 0u64;
+                for m in &self.members {
+                    if m.stream == k as u32 && m.t == t {
+                        f1 *= 1.0 - m.eval_prob;
+                        term_mask |= 1 << m.term;
+                    }
+                }
+                let mut f2 = 1.0;
+                for &(a, sp) in &self.completed {
+                    if term_mask >> a & 1 == 0 {
+                        f2 *= 1.0 - sp;
+                    }
+                }
+                let pmax = scratch.pmax[k * max_d + (t - 1) as usize];
+                let f3_floor = if pmax > 0.0 {
+                    prefix * p_rem / pmax
+                } else {
+                    0.0
+                };
+                bound += unit * f1 * f2 * f3_floor;
+            }
+        }
+        bound
     }
 
     /// The tree this evaluator is bound to.
@@ -317,6 +509,98 @@ mod tests {
         let mut eval = DnfCostEvaluator::new(&t, &cat);
         assert!(eval.push(LeafRef::new(0, 0)) > 0.0);
         assert_eq!(eval.push(LeafRef::new(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn pop_restores_state_bitwise() {
+        let (t, cat) = example_tree();
+        let refs: Vec<LeafRef> = t.leaf_refs().collect();
+        let mut eval = DnfCostEvaluator::new(&t, &cat);
+        eval.push(refs[0]);
+        eval.push(refs[2]);
+        // Snapshot through observable behaviour: every peek must be
+        // identical after a push/pop round-trip (bitwise, not approx).
+        let before: Vec<f64> = refs[3..].iter().map(|&r| eval.peek(r)).collect();
+        let total = eval.total_cost();
+        for &r in &refs[3..] {
+            eval.push(r);
+        }
+        for _ in &refs[3..] {
+            eval.pop();
+        }
+        assert_eq!(eval.total_cost(), total, "total restored exactly");
+        assert_eq!(eval.len(), 2);
+        let after: Vec<f64> = refs[3..].iter().map(|&r| eval.peek(r)).collect();
+        assert_eq!(before, after, "peeks restored exactly");
+        assert_eq!(eval.pop(), refs[2], "pop returns the removed leaf");
+    }
+
+    #[test]
+    fn push_pop_interleaving_matches_fresh_evaluator() {
+        let (t, cat) = example_tree();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for _ in 0..20 {
+            refs.shuffle(&mut rng);
+            let mut walker = DnfCostEvaluator::new(&t, &cat);
+            // Random walk: push, sometimes pop and re-push.
+            for &r in &refs {
+                walker.push(r);
+                if rng.gen_bool(0.5) {
+                    walker.pop();
+                    walker.push(r);
+                }
+            }
+            let mut fresh = DnfCostEvaluator::new(&t, &cat);
+            for &r in &refs {
+                fresh.push(r);
+            }
+            assert_eq!(
+                walker.total_cost(),
+                fresh.total_cost(),
+                "walked state equals freshly built state"
+            );
+        }
+    }
+
+    #[test]
+    fn completion_bound_is_admissible_for_open_terms() {
+        let (t, cat) = example_tree();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = BoundScratch::new();
+        for _ in 0..200 {
+            // Random prefix that leaves term `open` partially scheduled.
+            let open = rng.gen_range(0..t.num_terms());
+            let mut prefix: Vec<LeafRef> = Vec::new();
+            let mut rest: Vec<LeafRef> = Vec::new();
+            for (i, term) in t.terms().iter().enumerate() {
+                let mut refs: Vec<LeafRef> = (0..term.len()).map(|j| LeafRef::new(i, j)).collect();
+                refs.shuffle(&mut rng);
+                if i == open {
+                    let keep = rng.gen_range(0..term.len());
+                    rest = refs.split_off(keep);
+                    prefix.extend(refs);
+                } else if rng.gen_bool(0.5) {
+                    prefix.extend(refs);
+                }
+            }
+            // schedule prefix terms first (depth-first-ish), open last
+            let mut eval = DnfCostEvaluator::new(&t, &cat);
+            for &r in &prefix {
+                eval.push(r);
+            }
+            let bound = eval.completion_lower_bound(open, &rest, &mut scratch);
+            // true cost of completing the open term, any order of `rest`
+            let mut completion = eval.clone();
+            let mut true_cost = 0.0;
+            for &r in &rest {
+                true_cost += completion.push(r);
+            }
+            assert!(
+                bound <= true_cost + 1e-9,
+                "bound {bound} exceeds true completion {true_cost}"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | [`assignment`] | exact expectation by enumeration | any tree, small `L` | `O(2^L * L)` |
 //! | [`and_eval`] | closed form | AND-trees | `O(m)` |
 //! | [`dnf_eval`] / [`incremental`] | Proposition 2 | DNF trees | `O(L * D * N^2)` |
+//! | [`model`] | Proposition 2, compiled arenas | DNF trees | same, allocation-free |
 //! | [`montecarlo`] | sampling | any tree | `O(samples * L)` |
 
 pub mod and_eval;
@@ -16,8 +17,10 @@ pub mod assignment;
 pub mod dnf_eval;
 pub mod execution;
 pub mod incremental;
+pub mod model;
 pub mod montecarlo;
 
 pub use execution::{Execution, LeafIndexer};
 pub use incremental::DnfCostEvaluator;
+pub use model::{CostModel, EvalScratch};
 pub use montecarlo::Estimate;

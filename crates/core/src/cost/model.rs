@@ -1,0 +1,568 @@
+//! The compiled, allocation-free cost kernel.
+//!
+//! [`CostModel`] compiles one `(DnfTree, StreamCatalog)` pair into flat
+//! arena arrays — leaf probabilities, window sizes and *local* stream
+//! ids (only the streams the tree actually touches), term boundaries as
+//! index ranges into one backing `Vec` — so that evaluating a schedule
+//! costs no heap allocation and no work proportional to the catalog
+//! size. A reusable [`EvalScratch`] holds every per-call buffer; after
+//! the first evaluation of a given model, repeated calls are pure array
+//! arithmetic.
+//!
+//! Semantics are identical to the literal Proposition 2 transcription in
+//! [`crate::cost::dnf_eval`] (property tests pin the two to ≤ 1e-9
+//! relative error); this kernel exists because every planner — the
+//! greedy multi-query loops above all — bottoms out in thousands of
+//! schedule evaluations per planning call. The catalog-size independence
+//! matters in multi-query serving: a 128-query workload may catalog
+//! hundreds of streams while each query reads a handful.
+
+use crate::leaf::LeafRef;
+use crate::schedule::DnfSchedule;
+use crate::stream::{StreamCatalog, StreamId};
+use crate::tree::DnfTree;
+
+const NO_LOCAL: u32 = u32::MAX;
+
+/// A `(DnfTree, StreamCatalog)` pair compiled for repeated schedule
+/// evaluation. Construction is `O(leaves + catalog)`; evaluation via
+/// [`CostModel::expected_cost`] / [`CostModel::expected_cost_with_coverage`]
+/// allocates nothing when reusing an [`EvalScratch`].
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    n_terms: usize,
+    n_local: usize,
+    max_d: usize,
+    num_leaves: usize,
+    catalog_len: usize,
+    /// Flat-leaf range of each term: leaves of term `i` occupy
+    /// `term_start[i]..term_start[i + 1]`.
+    term_start: Vec<u32>,
+    /// Per flat leaf: local stream id, window size, success probability.
+    leaf_stream: Vec<u32>,
+    leaf_items: Vec<u32>,
+    leaf_prob: Vec<f64>,
+    /// Per term: product of its leaf probabilities.
+    term_success: Vec<f64>,
+    /// Local stream id -> global [`StreamId`] index.
+    global_of_local: Vec<u32>,
+    /// Global stream index -> local id (or `NO_LOCAL` when untouched).
+    local_of_global: Vec<u32>,
+    /// Per local stream: per-item acquisition cost.
+    unit_cost: Vec<f64>,
+}
+
+/// Reusable per-evaluation buffers for a [`CostModel`]. One scratch per
+/// thread; sized on first use and only regrown when bound to a larger
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Schedule position of each flat leaf.
+    pos: Vec<u32>,
+    /// Reach probability of each flat leaf within its term.
+    eval_prob: Vec<f64>,
+    /// Running per-term prefix probability (build-time temporary).
+    running: Vec<f64>,
+    /// Position after which each term is fully scheduled.
+    completed_pos: Vec<u32>,
+    /// Items of each (term, local stream) already required by earlier
+    /// same-term leaves (the first-case test of Proposition 2).
+    covered: Vec<u32>,
+    /// Member arena bucketed by `(local stream, item)`: bucket `b` holds
+    /// `member_*[bucket_start[b]..bucket_start[b + 1]]`.
+    bucket_start: Vec<u32>,
+    cursor: Vec<u32>,
+    member_term: Vec<u32>,
+    member_pos: Vec<u32>,
+    member_eval: Vec<f64>,
+    /// Term bitmask per bucket (valid when the model has ≤ 64 terms).
+    bucket_mask: Vec<u64>,
+    /// Expected items pulled per *local* stream — the evaluation output.
+    items: Vec<f64>,
+}
+
+impl CostModel {
+    /// Compiles `tree` against `catalog`.
+    ///
+    /// # Panics
+    /// Panics when a leaf references a stream outside the catalog (the
+    /// same contract as the literal evaluator's indexing).
+    pub fn new(tree: &DnfTree, catalog: &StreamCatalog) -> CostModel {
+        let n_terms = tree.num_terms();
+        let num_leaves = tree.num_leaves();
+        let catalog_len = catalog.len();
+
+        let mut local_of_global = vec![NO_LOCAL; catalog_len];
+        let mut global_of_local = Vec::new();
+        let mut unit_cost = Vec::new();
+
+        let mut term_start = Vec::with_capacity(n_terms + 1);
+        let mut leaf_stream = Vec::with_capacity(num_leaves);
+        let mut leaf_items = Vec::with_capacity(num_leaves);
+        let mut leaf_prob = Vec::with_capacity(num_leaves);
+        let mut term_success = Vec::with_capacity(n_terms);
+        let mut max_d = 0usize;
+
+        term_start.push(0u32);
+        for term in tree.terms() {
+            let mut success = 1.0;
+            for leaf in term.leaves() {
+                let g = leaf.stream.0;
+                assert!(g < catalog_len, "leaf stream {g} outside the catalog");
+                let local = if local_of_global[g] == NO_LOCAL {
+                    let l = global_of_local.len() as u32;
+                    local_of_global[g] = l;
+                    global_of_local.push(g as u32);
+                    unit_cost.push(catalog.cost(leaf.stream));
+                    l
+                } else {
+                    local_of_global[g]
+                };
+                leaf_stream.push(local);
+                leaf_items.push(leaf.items);
+                leaf_prob.push(leaf.prob.value());
+                max_d = max_d.max(leaf.items as usize);
+                success *= leaf.prob.value();
+            }
+            term_success.push(success);
+            term_start.push(leaf_stream.len() as u32);
+        }
+
+        CostModel {
+            n_terms,
+            n_local: global_of_local.len(),
+            max_d,
+            num_leaves,
+            catalog_len,
+            term_start,
+            leaf_stream,
+            leaf_items,
+            leaf_prob,
+            term_success,
+            global_of_local,
+            local_of_global,
+            unit_cost,
+        }
+    }
+
+    /// A scratch pre-sized for this model (any [`EvalScratch`] works;
+    /// this one avoids even the first-call growth).
+    pub fn make_scratch(&self) -> EvalScratch {
+        let mut s = EvalScratch::default();
+        s.reserve(self);
+        s
+    }
+
+    /// Number of distinct streams the tree touches.
+    #[inline]
+    pub fn num_streams_touched(&self) -> usize {
+        self.n_local
+    }
+
+    /// The global ids of the streams the tree touches, in first-use
+    /// order (the kernel's local stream order).
+    pub fn touched_streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.global_of_local.iter().map(|&g| StreamId(g as usize))
+    }
+
+    /// Expected cost of `schedule` — Proposition 2, arena kernel.
+    pub fn expected_cost(&self, schedule: &DnfSchedule, scratch: &mut EvalScratch) -> f64 {
+        self.expected_cost_with_coverage(schedule.order(), &[], scratch)
+    }
+
+    /// Expected cost of the schedule `order` under *prior coverage*
+    /// (see [`crate::cost::dnf_eval::expected_items_with_coverage`]).
+    /// `coverage` is indexed by global stream id and may be empty (no
+    /// coverage). After the call, [`CostModel::items_per_stream`] and
+    /// [`CostModel::add_items_to`] expose the per-stream item
+    /// decomposition of the returned cost.
+    ///
+    /// # Panics
+    /// Panics when `coverage` is neither empty nor `catalog.len()` long,
+    /// or when `order` is not a permutation of this model's leaves
+    /// (debug builds).
+    pub fn expected_cost_with_coverage(
+        &self,
+        order: &[LeafRef],
+        coverage: &[f64],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        assert!(
+            coverage.is_empty() || coverage.len() == self.catalog_len,
+            "coverage must be empty or have one entry per catalog stream"
+        );
+        debug_assert_eq!(order.len(), self.num_leaves, "schedule covers every leaf");
+        scratch.reserve(self);
+
+        let n_terms = self.n_terms;
+        let n_local = self.n_local;
+        let max_d = self.max_d;
+        let n_buckets = n_local * max_d;
+        let use_masks = n_terms <= 64;
+
+        // Pass 1: positions, reach probabilities, completion positions.
+        for r in &mut scratch.running[..n_terms] {
+            *r = 1.0;
+        }
+        for c in &mut scratch.completed_pos[..n_terms] {
+            *c = 0;
+        }
+        for (p, &r) in order.iter().enumerate() {
+            let flat = self.flat(r);
+            scratch.pos[flat] = p as u32;
+            scratch.eval_prob[flat] = scratch.running[r.term];
+            scratch.running[r.term] *= self.leaf_prob[flat];
+            if scratch.completed_pos[r.term] < p as u32 {
+                scratch.completed_pos[r.term] = p as u32;
+            }
+        }
+
+        // Pass 2: count L_{k,t} members per bucket. Scanning the global
+        // order visits each term's leaves in schedule order, which is
+        // exactly the per-term walk the literal evaluator sorts for.
+        for c in &mut scratch.covered[..n_terms * n_local] {
+            *c = 0;
+        }
+        for b in &mut scratch.bucket_start[..n_buckets + 1] {
+            *b = 0;
+        }
+        for &r in order {
+            let flat = self.flat(r);
+            let k = self.leaf_stream[flat] as usize;
+            let d = self.leaf_items[flat];
+            let cov = &mut scratch.covered[r.term * n_local + k];
+            for t in (*cov + 1)..=d.max(*cov) {
+                // count into the slot *after* the bucket: prefix-summing
+                // turns counts into start offsets in place.
+                scratch.bucket_start[k * max_d + t as usize] += 1;
+            }
+            *cov = (*cov).max(d);
+        }
+        // Counts were staged one slot after their bucket, so an
+        // *inclusive* prefix sum leaves `bucket_start[b]` = first slot of
+        // bucket `b` and `bucket_start[b + 1]` = one past its last.
+        let mut acc = 0u32;
+        for b in &mut scratch.bucket_start[..n_buckets + 1] {
+            acc += *b;
+            *b = acc;
+        }
+        let n_members = acc as usize;
+
+        // Pass 3: fill the member arena.
+        scratch.cursor[..n_buckets].copy_from_slice(&scratch.bucket_start[..n_buckets]);
+        for c in &mut scratch.covered[..n_terms * n_local] {
+            *c = 0;
+        }
+        if use_masks {
+            for m in &mut scratch.bucket_mask[..n_buckets] {
+                *m = 0;
+            }
+        }
+        scratch.grow_members(n_members);
+        for &r in order {
+            let flat = self.flat(r);
+            let k = self.leaf_stream[flat] as usize;
+            let d = self.leaf_items[flat];
+            let cov = &mut scratch.covered[r.term * n_local + k];
+            for t in (*cov + 1)..=d.max(*cov) {
+                let b = k * max_d + (t - 1) as usize;
+                let slot = scratch.cursor[b] as usize;
+                scratch.cursor[b] += 1;
+                scratch.member_term[slot] = r.term as u32;
+                scratch.member_pos[slot] = scratch.pos[flat];
+                scratch.member_eval[slot] = scratch.eval_prob[flat];
+                if use_masks {
+                    scratch.bucket_mask[b] |= 1u64 << (r.term as u32 & 63);
+                }
+            }
+            *cov = (*cov).max(d);
+        }
+
+        // Main loop: sum C_{i,j,t} over leaves and items, per stream.
+        for i in &mut scratch.items[..n_local] {
+            *i = 0.0;
+        }
+        for &r in order {
+            let flat = self.flat(r);
+            let k = self.leaf_stream[flat] as usize;
+            let my_pos = scratch.pos[flat];
+            let f3 = scratch.eval_prob[flat];
+            let cov_k = if coverage.is_empty() {
+                0.0
+            } else {
+                coverage[self.global_of_local[k] as usize]
+            };
+            let mut leaf_items_out = 0.0;
+            for t in 1..=self.leaf_items[flat] {
+                let need = (f64::from(t) - cov_k).clamp(0.0, 1.0);
+                if need == 0.0 {
+                    continue;
+                }
+                let b = k * max_d + (t - 1) as usize;
+                let lo = scratch.bucket_start[b] as usize;
+                let hi = scratch.bucket_start[b + 1] as usize;
+
+                // First case of Proposition 2: a same-term member earlier
+                // in the schedule makes the item free.
+                let mut same_term_earlier = false;
+                let mut f1 = 1.0;
+                for m in lo..hi {
+                    if scratch.member_pos[m] < my_pos {
+                        if scratch.member_term[m] as usize == r.term {
+                            same_term_earlier = true;
+                            break;
+                        }
+                        f1 *= 1.0 - scratch.member_eval[m];
+                    }
+                }
+                if same_term_earlier {
+                    continue;
+                }
+                // Factor 2: no completed AND node without a member in
+                // L_{k,t} evaluated to TRUE.
+                let mut f2 = 1.0;
+                if use_masks {
+                    let mask = scratch.bucket_mask[b];
+                    for a in 0..n_terms {
+                        if scratch.completed_pos[a] < my_pos && mask >> (a & 63) & 1 == 0 {
+                            f2 *= 1.0 - self.term_success[a];
+                        }
+                    }
+                } else {
+                    for a in 0..n_terms {
+                        if scratch.completed_pos[a] >= my_pos {
+                            continue;
+                        }
+                        let in_set = (lo..hi).any(|m| scratch.member_term[m] as usize == a);
+                        if !in_set {
+                            f2 *= 1.0 - self.term_success[a];
+                        }
+                    }
+                }
+                leaf_items_out += f1 * f2 * need;
+            }
+            scratch.items[k] += leaf_items_out * f3;
+        }
+
+        let mut cost = 0.0;
+        for k in 0..n_local {
+            cost += scratch.items[k] * self.unit_cost[k];
+        }
+        cost
+    }
+
+    /// The per-stream item decomposition of the last evaluation run on
+    /// `scratch`: `(stream, expected items pulled)` for every touched
+    /// stream. Untouched catalog streams pull nothing.
+    pub fn items_per_stream<'s>(
+        &'s self,
+        scratch: &'s EvalScratch,
+    ) -> impl Iterator<Item = (StreamId, f64)> + 's {
+        self.global_of_local
+            .iter()
+            .zip(&scratch.items)
+            .map(|(&g, &i)| (StreamId(g as usize), i))
+    }
+
+    /// Adds the last evaluation's per-stream items into a global,
+    /// catalog-indexed accumulator (e.g. a coverage vector).
+    pub fn add_items_to(&self, scratch: &EvalScratch, out: &mut [f64]) {
+        for (k, &g) in self.global_of_local.iter().enumerate() {
+            out[g as usize] += scratch.items[k];
+        }
+    }
+
+    /// The last evaluation's items as a full catalog-indexed vector
+    /// (allocates; for callers that need the literal-evaluator shape).
+    pub fn items_vec(&self, scratch: &EvalScratch) -> Vec<f64> {
+        let mut out = vec![0.0; self.catalog_len];
+        self.add_items_to(scratch, &mut out);
+        out
+    }
+
+    /// The widest window the tree opens on global stream `k`
+    /// (0 when untouched). Used by coverage-discounting planners.
+    pub fn max_window(&self, stream: StreamId) -> u32 {
+        let local = self.local_of_global[stream.0];
+        if local == NO_LOCAL {
+            return 0;
+        }
+        let mut w = 0;
+        for (flat, &s) in self.leaf_stream.iter().enumerate() {
+            if s == local {
+                w = w.max(self.leaf_items[flat]);
+            }
+        }
+        w
+    }
+
+    #[inline]
+    fn flat(&self, r: LeafRef) -> usize {
+        self.term_start[r.term] as usize + r.leaf
+    }
+}
+
+impl EvalScratch {
+    /// A fresh, unsized scratch (grown on first use).
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Grows every buffer to fit `model` (no-op once large enough).
+    fn reserve(&mut self, model: &CostModel) {
+        let n_buckets = model.n_local * model.max_d;
+        grow(&mut self.pos, model.num_leaves, 0);
+        grow(&mut self.eval_prob, model.num_leaves, 0.0);
+        grow(&mut self.running, model.n_terms, 1.0);
+        grow(&mut self.completed_pos, model.n_terms, 0);
+        grow(&mut self.covered, model.n_terms * model.n_local, 0);
+        grow(&mut self.bucket_start, n_buckets + 1, 0);
+        grow(&mut self.cursor, n_buckets, 0);
+        grow(&mut self.bucket_mask, n_buckets, 0);
+        grow(&mut self.items, model.n_local, 0.0);
+    }
+
+    fn grow_members(&mut self, n: usize) {
+        grow(&mut self.member_term, n, 0);
+        grow(&mut self.member_pos, n, 0);
+        grow(&mut self.member_eval, n, 0.0);
+    }
+}
+
+fn grow<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
+    if v.len() < len {
+        v.resize(len, fill);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::dnf_eval;
+    use crate::leaf::Leaf;
+    use crate::prob::Prob;
+    use rand::prelude::*;
+
+    fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+        Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+    }
+
+    fn example() -> (DnfTree, StreamCatalog) {
+        (
+            DnfTree::from_leaves(vec![
+                vec![leaf(0, 3, 0.4), leaf(1, 1, 0.7)],
+                vec![leaf(0, 5, 0.6), leaf(1, 2, 0.2)],
+                vec![leaf(2, 1, 0.9), leaf(0, 2, 0.5)],
+            ])
+            .unwrap(),
+            StreamCatalog::from_costs([2.0, 3.0, 0.5]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn kernel_matches_literal_on_random_schedules() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for _ in 0..60 {
+            refs.shuffle(&mut rng);
+            let s = DnfSchedule::new(refs.clone(), &t).unwrap();
+            let literal = dnf_eval::expected_cost(&t, &cat, &s);
+            let kernel = model.expected_cost(&s, &mut scratch);
+            assert!(
+                (literal - kernel).abs() < 1e-12,
+                "literal {literal} vs kernel {kernel}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_literal_under_coverage() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let s = DnfSchedule::declaration_order(&t);
+        for coverage in [
+            vec![0.0, 0.0, 0.0],
+            vec![1.5, 0.25, 1.0],
+            vec![9.0, 9.0, 9.0],
+        ] {
+            let literal = dnf_eval::expected_items_with_coverage(&t, &cat, &s, &coverage);
+            let cost = model.expected_cost_with_coverage(s.order(), &coverage, &mut scratch);
+            let items = model.items_vec(&scratch);
+            for (k, (a, b)) in literal.iter().zip(&items).enumerate() {
+                assert!((a - b).abs() < 1e-12, "stream {k}: literal {a} kernel {b}");
+            }
+            let dot: f64 = literal
+                .iter()
+                .enumerate()
+                .map(|(k, i)| i * cat.cost(StreamId(k)))
+                .sum();
+            assert!((dot - cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_streams_ignore_catalog_width() {
+        // Same tree over a catalog with 100 unused streams: identical
+        // results, and the kernel only tracks the 3 touched streams.
+        let (t, _) = example();
+        let mut costs = vec![7.0; 100];
+        costs[0] = 2.0;
+        costs[1] = 3.0;
+        costs[2] = 0.5;
+        let wide = StreamCatalog::from_costs(costs).unwrap();
+        let model = CostModel::new(&t, &wide);
+        assert_eq!(model.num_streams_touched(), 3);
+        let mut scratch = model.make_scratch();
+        let s = DnfSchedule::declaration_order(&t);
+        let kernel = model.expected_cost(&s, &mut scratch);
+        let literal = dnf_eval::expected_cost(&t, &wide, &s);
+        assert!((kernel - literal).abs() < 1e-12);
+        let touched: Vec<usize> = model.touched_streams().map(|s| s.0).collect();
+        assert_eq!(touched, vec![0, 1, 2]);
+        assert_eq!(model.max_window(StreamId(0)), 5);
+        assert_eq!(model.max_window(StreamId(50)), 0);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_models() {
+        let (t, cat) = example();
+        let small = DnfTree::from_leaves(vec![vec![leaf(0, 2, 0.5)]]).unwrap();
+        let m1 = CostModel::new(&t, &cat);
+        let m2 = CostModel::new(&small, &cat);
+        let mut scratch = EvalScratch::new();
+        let s1 = DnfSchedule::declaration_order(&t);
+        let s2 = DnfSchedule::declaration_order(&small);
+        for _ in 0..3 {
+            let a = m1.expected_cost(&s1, &mut scratch);
+            let b = m2.expected_cost(&s2, &mut scratch);
+            assert!((a - dnf_eval::expected_cost(&t, &cat, &s1)).abs() < 1e-12);
+            assert!((b - dnf_eval::expected_cost(&small, &cat, &s2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_than_64_terms_falls_back_to_the_scan_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let terms: Vec<Vec<Leaf>> = (0..70)
+            .map(|_| {
+                vec![leaf(
+                    rng.gen_range(0..3),
+                    rng.gen_range(1..=3),
+                    rng.gen_range(0.05..0.95),
+                )]
+            })
+            .collect();
+        let t = DnfTree::from_leaves(terms).unwrap();
+        let cat = StreamCatalog::from_costs([1.0, 2.0, 3.0]).unwrap();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let s = DnfSchedule::declaration_order(&t);
+        let literal = dnf_eval::expected_cost(&t, &cat, &s);
+        let kernel = model.expected_cost(&s, &mut scratch);
+        assert!((literal - kernel).abs() < 1e-9, "{literal} vs {kernel}");
+    }
+}

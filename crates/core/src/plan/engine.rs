@@ -44,6 +44,13 @@ pub struct CacheStats {
     pub entries: usize,
     /// Configured capacity.
     pub capacity: usize,
+    /// Total wall-time spent actually planning (cache misses), in
+    /// nanoseconds. Together with `hit_nanos` this makes cache wins
+    /// attributable: work paid once vs. the latency of serving it again.
+    pub miss_nanos: u64,
+    /// Total wall-time spent serving plans from the cache (lookup +
+    /// clone on hits), in nanoseconds.
+    pub hit_nanos: u64,
 }
 
 impl CacheStats {
@@ -55,6 +62,16 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Wall-time spent computing plans (cache misses).
+    pub fn planned_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.miss_nanos)
+    }
+
+    /// Wall-time spent serving plans from the cache (hits).
+    pub fn served_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.hit_nanos)
     }
 }
 
@@ -168,6 +185,8 @@ pub struct Engine {
     cache: Mutex<LruCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    hit_nanos: AtomicU64,
+    miss_nanos: AtomicU64,
 }
 
 impl Engine {
@@ -184,6 +203,8 @@ impl Engine {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hit_nanos: AtomicU64::new(0),
+            miss_nanos: AtomicU64::new(0),
         }
     }
 
@@ -253,6 +274,12 @@ impl Engine {
         weights: &[f64],
         catalog: &StreamCatalog,
     ) -> Result<WorkloadPlans> {
+        let weights = Self::validated_weights(queries, weights)?;
+        let plans = self.plan_batch(queries, catalog)?;
+        Ok(WorkloadPlans { plans, weights })
+    }
+
+    fn validated_weights(queries: &[QueryRef<'_>], weights: &[f64]) -> Result<Vec<f64>> {
         if queries.is_empty() {
             return Err(crate::error::Error::InvalidWorkload(
                 "a workload needs at least one query".into(),
@@ -274,7 +301,40 @@ impl Engine {
                 "weight {w} is not a finite value > 0"
             )));
         }
-        let plans = self.plan_batch(queries, catalog)?;
+        Ok(weights)
+    }
+
+    /// [`Engine::plan_batch`] with the per-query planning fanned out over
+    /// the `paotr_par` worker pool. Results (and the cache they populate)
+    /// are identical to the sequential path — planning is deterministic
+    /// per `(query, catalog, planner)` key — so this is purely a
+    /// wall-clock option for wide batches.
+    pub fn plan_batch_parallel(
+        &self,
+        queries: &[QueryRef<'_>],
+        catalog: &StreamCatalog,
+        threads: paotr_par::ThreadCount,
+    ) -> Result<Vec<Plan>> {
+        let catalog_fp = catalog_fingerprint(catalog);
+        paotr_par::par_map(queries, threads, |query| {
+            let name = self.registry.default_for(query)?.name().to_string();
+            self.plan_cached(&name, query, catalog, catalog_fp)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// [`Engine::plan_workload`] with parallel per-query planning (see
+    /// [`Engine::plan_batch_parallel`]).
+    pub fn plan_workload_parallel(
+        &self,
+        queries: &[QueryRef<'_>],
+        weights: &[f64],
+        catalog: &StreamCatalog,
+        threads: paotr_par::ThreadCount,
+    ) -> Result<WorkloadPlans> {
+        let weights = Self::validated_weights(queries, weights)?;
+        let plans = self.plan_batch_parallel(queries, catalog, threads)?;
         Ok(WorkloadPlans { plans, weights })
     }
 
@@ -301,6 +361,8 @@ impl Engine {
             misses: self.misses.load(Ordering::Relaxed),
             entries: cache.len(),
             capacity: cache.capacity,
+            hit_nanos: self.hit_nanos.load(Ordering::Relaxed),
+            miss_nanos: self.miss_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -309,6 +371,8 @@ impl Engine {
         self.lock_cache().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.hit_nanos.store(0, Ordering::Relaxed);
+        self.miss_nanos.store(0, Ordering::Relaxed);
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache> {
@@ -324,9 +388,12 @@ impl Engine {
         catalog: &StreamCatalog,
         catalog_fp: u64,
     ) -> Result<Plan> {
+        let started = std::time::Instant::now();
         let key = (query.fingerprint(), catalog_fp, planner_name.to_string());
         if let Some(plan) = self.lock_cache().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return Ok(plan);
         }
         // Plan outside the lock: planning can be orders of magnitude
@@ -334,8 +401,13 @@ impl Engine {
         // on the cache. Racing threads may duplicate work; last insert
         // wins, which is harmless (plans for one key are deterministic).
         let planner = self.registry.get_required(planner_name)?;
+        let planning_started = std::time::Instant::now();
         let plan = planner.plan(query, catalog)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss_nanos.fetch_add(
+            planning_started.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
         self.lock_cache().insert(key, plan.clone());
         Ok(plan)
     }
@@ -497,6 +569,56 @@ mod tests {
         assert!(engine.plan_workload(&queries, &[1.0, 2.0], &cat).is_err());
         assert!(engine.plan_workload(&queries, &[0.0], &cat).is_err());
         assert!(engine.plan_workload(&queries, &[f64::NAN], &cat).is_err());
+    }
+
+    #[test]
+    fn cache_stats_attribute_planned_vs_served_time() {
+        let engine = Engine::new();
+        let tree = shared_dnf(0);
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        engine.plan(&tree, &cat).unwrap();
+        let after_miss = engine.cache_stats();
+        assert!(after_miss.miss_nanos > 0, "planning time was metered");
+        assert_eq!(after_miss.hit_nanos, 0);
+        engine.plan(&tree, &cat).unwrap();
+        let after_hit = engine.cache_stats();
+        assert_eq!(after_hit.miss_nanos, after_miss.miss_nanos);
+        assert!(after_hit.hit_nanos > 0, "cache-serve latency was metered");
+        assert_eq!(
+            after_hit.planned_time().as_nanos() as u64,
+            after_hit.miss_nanos
+        );
+        assert_eq!(
+            after_hit.served_time().as_nanos() as u64,
+            after_hit.hit_nanos
+        );
+        engine.clear_cache();
+        let cleared = engine.cache_stats();
+        assert_eq!((cleared.hit_nanos, cleared.miss_nanos), (0, 0));
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let trees: Vec<DnfTree> = (0..12).map(|i| shared_dnf(i % 4)).collect();
+        let queries: Vec<QueryRef<'_>> = trees.iter().map(QueryRef::from).collect();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let sequential = Engine::new().plan_batch(&queries, &cat).unwrap();
+        let engine = Engine::new();
+        let parallel = engine
+            .plan_batch_parallel(&queries, &cat, paotr_par::ThreadCount::Fixed(4))
+            .unwrap();
+        assert_eq!(sequential, parallel);
+        // the parallel path populates the same cache
+        assert_eq!(engine.cache_stats().entries, 3, "seeds 0 and 3 collide");
+
+        let wp = engine
+            .plan_workload_parallel(&queries, &[], &cat, paotr_par::ThreadCount::Fixed(4))
+            .unwrap();
+        assert_eq!(wp.plans, sequential);
+        assert_eq!(wp.weights, vec![1.0; 12]);
+        assert!(engine
+            .plan_workload_parallel(&[], &[], &cat, paotr_par::ThreadCount::Fixed(2))
+            .is_err());
     }
 
     #[test]

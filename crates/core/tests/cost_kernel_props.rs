@@ -1,0 +1,156 @@
+//! Property tests pinning the compiled cost kernel and the incremental
+//! push/pop evaluator to the literal Proposition 2 transcription.
+//!
+//! The literal evaluator in `cost::dnf_eval` is the fidelity reference
+//! (it is itself validated against assignment enumeration); everything
+//! fast must agree with it to ≤ 1e-9 *relative* error on randomized
+//! trees, catalogs, schedules and coverage vectors:
+//!
+//! * `CostModel::expected_cost` / `expected_cost_with_coverage` and the
+//!   per-stream item decomposition (the arena kernel);
+//! * `DnfCostEvaluator` totals after arbitrary push/pop interleavings
+//!   (the branch-and-bound search state).
+
+use paotr_core::cost::dnf_eval;
+use paotr_core::cost::model::{CostModel, EvalScratch};
+use paotr_core::cost::DnfCostEvaluator;
+use paotr_core::leaf::{Leaf, LeafRef};
+use paotr_core::prob::Prob;
+use paotr_core::schedule::DnfSchedule;
+use paotr_core::stream::{StreamCatalog, StreamId};
+use paotr_core::tree::DnfTree;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+const STREAMS: usize = 5;
+
+/// Relative agreement: |a - b| <= tol * max(1, |a|, |b|).
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Strategy: a random DNF tree of 1..=4 terms with 1..=4 leaves each.
+fn dnf_tree() -> impl Strategy<Value = DnfTree> {
+    prop::collection::vec(
+        prop::collection::vec((0..STREAMS, 1u32..=5, 0.02f64..0.98), 1..=4),
+        1..=4,
+    )
+    .prop_map(|terms| {
+        DnfTree::from_leaves(
+            terms
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .map(|(s, d, p)| Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap())
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("non-empty terms")
+    })
+}
+
+fn catalog() -> impl Strategy<Value = StreamCatalog> {
+    prop::collection::vec(0.0f64..9.0, STREAMS..=STREAMS)
+        .prop_map(|costs| StreamCatalog::from_costs(costs).expect("valid costs"))
+}
+
+fn coverage() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..4.0, STREAMS..=STREAMS)
+}
+
+/// A seed-derived random permutation of the tree's leaves.
+fn shuffled_schedule(tree: &DnfTree, seed: u64) -> DnfSchedule {
+    let mut refs: Vec<LeafRef> = tree.leaf_refs().collect();
+    refs.shuffle(&mut StdRng::seed_from_u64(seed));
+    DnfSchedule::new(refs, tree).expect("permutation of the leaves")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena kernel reproduces the literal `expected_cost` on random
+    /// trees, catalogs and schedules.
+    #[test]
+    fn kernel_matches_literal_expected_cost(
+        tree in dnf_tree(),
+        cat in catalog(),
+        seed in any::<u64>(),
+    ) {
+        let schedule = shuffled_schedule(&tree, seed);
+        let literal = dnf_eval::expected_cost(&tree, &cat, &schedule);
+        let model = CostModel::new(&tree, &cat);
+        let mut scratch = model.make_scratch();
+        // twice through the same scratch: reuse must not corrupt state
+        let first = model.expected_cost(&schedule, &mut scratch);
+        let second = model.expected_cost(&schedule, &mut scratch);
+        prop_assert!(close(literal, first, 1e-9), "literal {literal} vs kernel {first}");
+        prop_assert_eq!(first, second, "scratch reuse changed the result");
+    }
+
+    /// The kernel's coverage pricing and per-stream item decomposition
+    /// match `expected_items_with_coverage` entry by entry.
+    #[test]
+    fn kernel_matches_literal_under_coverage(
+        tree in dnf_tree(),
+        cat in catalog(),
+        cov in coverage(),
+        seed in any::<u64>(),
+    ) {
+        let schedule = shuffled_schedule(&tree, seed);
+        let literal = dnf_eval::expected_items_with_coverage(&tree, &cat, &schedule, &cov);
+        let model = CostModel::new(&tree, &cat);
+        let mut scratch = model.make_scratch();
+        let cost = model.expected_cost_with_coverage(schedule.order(), &cov, &mut scratch);
+        let items = model.items_vec(&scratch);
+        for (k, (a, b)) in literal.iter().zip(&items).enumerate() {
+            prop_assert!(close(*a, *b, 1e-9), "stream {k}: literal {a} vs kernel {b}");
+        }
+        let dot: f64 = literal
+            .iter()
+            .enumerate()
+            .map(|(k, i)| i * cat.cost(StreamId(k)))
+            .sum();
+        prop_assert!(close(dot, cost, 1e-9), "literal dot {dot} vs kernel cost {cost}");
+    }
+
+    /// Push/pop interleavings leave the incremental evaluator in exactly
+    /// the state a fresh push-only walk produces, and its total matches
+    /// the literal evaluator.
+    #[test]
+    fn incremental_push_pop_matches_literal(
+        tree in dnf_tree(),
+        cat in catalog(),
+        seed in any::<u64>(),
+    ) {
+        let schedule = shuffled_schedule(&tree, seed);
+        let literal = dnf_eval::expected_cost(&tree, &cat, &schedule);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut eval = DnfCostEvaluator::new(&tree, &cat);
+        for &r in schedule.order() {
+            eval.push(r);
+            // Random detours: back out up to the whole prefix, then
+            // replay it; the state must be restored bitwise.
+            if rng.gen_bool(0.4) {
+                let depth = rng.gen_range(1..=eval.len());
+                let mut undone = Vec::with_capacity(depth);
+                for _ in 0..depth {
+                    undone.push(eval.pop());
+                }
+                for &u in undone.iter().rev() {
+                    eval.push(u);
+                }
+            }
+        }
+        prop_assert!(
+            close(literal, eval.total_cost(), 1e-9),
+            "literal {literal} vs incremental {}",
+            eval.total_cost()
+        );
+        // and the kernel agrees with the incremental evaluator too
+        let model = CostModel::new(&tree, &cat);
+        let mut scratch = EvalScratch::new();
+        let kernel = model.expected_cost(&schedule, &mut scratch);
+        prop_assert!(close(kernel, eval.total_cost(), 1e-9));
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::common::{progress_line, Options};
 use paotr_core::plan::Engine;
-use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_gen::workload::{workload_instance, WorkloadConfig, LARGE_WORKLOAD_QUERIES};
 use paotr_multi::{compare, default_planners, SimConfig, Workload};
 use std::io::Write;
 
@@ -30,10 +30,14 @@ pub struct Row {
     pub simulated_speedup: f64,
 }
 
-/// Workload sizes swept.
+/// Workload sizes swept with full shared-pull simulation.
 pub const QUERY_COUNTS: [usize; 3] = [4, 8, 16];
 /// Overlap degrees swept.
 pub const OVERLAPS: [f64; 3] = [0.2, 0.5, 0.8];
+/// Overlap degrees for the 128-query `large_workload` preset cells
+/// (prediction-only — simulating 128 queries per tick would dominate
+/// the sweep; `simulated_speedup` is NaN on these rows).
+pub const LARGE_OVERLAPS: [f64; 2] = [0.2, 0.6];
 
 /// Runs the sweep; `--scale` controls instances per cell (10 at full
 /// scale).
@@ -93,6 +97,45 @@ pub fn run(opts: &Options) -> Vec<Row> {
             progress_line(done, total, "workload cells");
         }
     }
+
+    // Planning-scale cells: the seed-stable 128-query `large_workload`
+    // preset (also the top size of the `workload_plan` bench group),
+    // prediction-only.
+    let large_per_cell = opts.scaled(5);
+    for &overlap in &LARGE_OVERLAPS {
+        let mut acc: Vec<(f64, f64)> = vec![(0.0, 0.0); planner_names.len()];
+        let mut measured_overlap = 0.0;
+        for index in 0..large_per_cell {
+            let (trees, catalog) =
+                workload_instance(WorkloadConfig::large_workload(overlap), index);
+            let workload =
+                Workload::from_trees(trees, catalog).expect("generated workloads validate");
+            measured_overlap += workload
+                .interference(&engine)
+                .expect("analysis succeeds")
+                .mean_pairwise_overlap();
+            let outcomes =
+                compare(&workload, &engine, &default_planners(), None).expect("workloads plan");
+            for (slot, o) in acc.iter_mut().zip(&outcomes) {
+                slot.0 += o.sharing_ratio;
+                slot.1 += o.speedup;
+            }
+        }
+        let n = large_per_cell as f64;
+        for (name, (sharing, speedup)) in planner_names.iter().zip(&acc) {
+            rows.push(Row {
+                queries: LARGE_WORKLOAD_QUERIES,
+                overlap,
+                measured_overlap: measured_overlap / n,
+                planner: name.clone(),
+                sharing_ratio: sharing / n,
+                predicted_speedup: speedup / n,
+                simulated_speedup: f64::NAN,
+            });
+        }
+        eprintln!("  large_workload cell done (overlap {overlap})");
+    }
+
     write_csv(opts, &rows);
     rows
 }
@@ -169,8 +212,18 @@ mod tests {
         };
         crate::common::ensure_dir(&dir);
         let rows = run(&opts);
-        assert_eq!(rows.len(), QUERY_COUNTS.len() * OVERLAPS.len() * 3);
+        assert_eq!(
+            rows.len(),
+            (QUERY_COUNTS.len() * OVERLAPS.len() + LARGE_OVERLAPS.len()) * 3
+        );
         assert!(rows.iter().all(|r| r.predicted_speedup >= 1.0 - 1e-9));
+        // large-preset cells are prediction-only
+        let large: Vec<_> = rows
+            .iter()
+            .filter(|r| r.queries == LARGE_WORKLOAD_QUERIES)
+            .collect();
+        assert_eq!(large.len(), LARGE_OVERLAPS.len() * 3);
+        assert!(large.iter().all(|r| r.simulated_speedup.is_nan()));
         let (best, _) = report(&rows);
         assert!(best > 1.0, "16-query/0.8-overlap speedup {best} <= 1");
         assert!(dir.join("workload.csv").exists());

@@ -53,6 +53,15 @@ impl WorkloadConfig {
         }
     }
 
+    /// The large-workload serving preset: [`LARGE_WORKLOAD_QUERIES`]
+    /// concurrent queries with controllable overlap — the scale at which
+    /// joint-planning wall time matters. Used by the `workload_plan`
+    /// bench group and the experiments sweep; generation stays
+    /// seed-stable through [`workload_instance`].
+    pub fn large_workload(overlap: f64) -> WorkloadConfig {
+        WorkloadConfig::with_overlap(LARGE_WORKLOAD_QUERIES, overlap)
+    }
+
     /// Total number of streams in the generated catalog.
     pub fn num_streams(&self) -> usize {
         self.hot_streams + self.queries * self.cold_streams_per_query
@@ -106,12 +115,20 @@ pub fn random_workload<R: Rng + ?Sized>(
     (trees, catalog)
 }
 
+/// Queries in the [`WorkloadConfig::large_workload`] preset.
+pub const LARGE_WORKLOAD_QUERIES: usize = 128;
+
 /// Addressable workload generation: instance `index` of `config`, with
 /// seed-stable output (see [`crate::seeds`]).
 pub fn workload_instance(config: WorkloadConfig, index: usize) -> (Vec<DnfTree>, StreamCatalog) {
     let seed = instance_seed(Experiment::Workload, config.queries, index);
     let mut rng = StdRng::seed_from_u64(seed);
     random_workload(config, &ParamDistributions::paper(), &mut rng)
+}
+
+/// Instance `index` of the [`WorkloadConfig::large_workload`] preset.
+pub fn large_workload_instance(overlap: f64, index: usize) -> (Vec<DnfTree>, StreamCatalog) {
+    workload_instance(WorkloadConfig::large_workload(overlap), index)
 }
 
 /// Mean pairwise Jaccard overlap of the queries' stream sets — the
@@ -188,5 +205,21 @@ mod tests {
     fn single_query_workload_has_zero_pairwise_overlap() {
         let (trees, _) = workload_instance(WorkloadConfig::with_overlap(1, 0.5), 0);
         assert_eq!(mean_pairwise_overlap(&trees), 0.0);
+    }
+
+    #[test]
+    fn large_workload_preset_is_seed_stable() {
+        let (a, cat_a) = large_workload_instance(0.6, 1);
+        let (b, cat_b) = large_workload_instance(0.6, 1);
+        assert_eq!(a, b);
+        assert_eq!(cat_a, cat_b);
+        assert_eq!(a.len(), LARGE_WORKLOAD_QUERIES);
+        assert_eq!(
+            WorkloadConfig::large_workload(0.6),
+            WorkloadConfig::with_overlap(LARGE_WORKLOAD_QUERIES, 0.6)
+        );
+        // distinct indices and overlaps generate distinct workloads
+        assert_ne!(a, large_workload_instance(0.6, 2).0);
+        assert_ne!(cat_a.len(), large_workload_instance(0.2, 1).1.len());
     }
 }

@@ -27,11 +27,12 @@ pub struct SharedPrediction {
 }
 
 /// Prices each query of `order` under the shared coverage model, using
-/// `schedules[q]` for query `q` (workload indexing).
-pub fn predict_shared(
+/// `schedules[q]` for query `q` (workload indexing). Schedules may be
+/// owned or shared (`Arc`) — anything that borrows as a [`DnfSchedule`].
+pub fn predict_shared<S: std::borrow::Borrow<DnfSchedule>>(
     workload: &Workload,
     order: &[usize],
-    schedules: &[DnfSchedule],
+    schedules: &[S],
 ) -> SharedPrediction {
     let catalog = workload.catalog();
     let mut coverage = vec![0.0f64; catalog.len()];
@@ -40,7 +41,7 @@ pub fn predict_shared(
         let items = dnf_eval::expected_items_with_coverage(
             &workload.query(q).tree,
             catalog,
-            &schedules[q],
+            schedules[q].borrow(),
             &coverage,
         );
         per_query[q] = dot_costs(workload, &items);
@@ -56,12 +57,15 @@ pub fn predict_shared(
 
 /// Expected cost of every query in isolation (empty memory), under the
 /// given schedules.
-pub fn isolated_costs(workload: &Workload, schedules: &[DnfSchedule]) -> Vec<f64> {
+pub fn isolated_costs<S: std::borrow::Borrow<DnfSchedule>>(
+    workload: &Workload,
+    schedules: &[S],
+) -> Vec<f64> {
     workload
         .queries()
         .iter()
         .zip(schedules)
-        .map(|(q, s)| dnf_eval::expected_cost(&q.tree, workload.catalog(), s))
+        .map(|(q, s)| dnf_eval::expected_cost(&q.tree, workload.catalog(), s.borrow()))
         .collect()
 }
 

@@ -183,7 +183,8 @@ mod tests {
     fn compare_defines_sim_speedup_without_an_independent_row() {
         use crate::planner::SharedGreedyPlanner;
         let w = workload();
-        let planners: Vec<Box<dyn WorkloadPlanner>> = vec![Box::new(SharedGreedyPlanner)];
+        let planners: Vec<Box<dyn WorkloadPlanner>> =
+            vec![Box::new(SharedGreedyPlanner::default())];
         let outcomes = compare(
             &w,
             &Engine::new(),

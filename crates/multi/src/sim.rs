@@ -144,7 +144,7 @@ pub fn simulate(workload: &Workload, joint: &JointPlan, config: SimConfig) -> Wo
     let ordered: Vec<(&SimQuery, &paotr_core::schedule::DnfSchedule)> = joint
         .order
         .iter()
-        .map(|&q| (&queries[q], &joint.schedules[q]))
+        .map(|&q| (&queries[q], &*joint.schedules[q]))
         .collect();
 
     let n = workload.len();
@@ -287,7 +287,11 @@ mod tests {
             ticks_between: 1,
         };
         let indep = simulate(&w, &IndependentPlanner.plan(&w, &engine).unwrap(), cfg);
-        let shared = simulate(&w, &SharedGreedyPlanner.plan(&w, &engine).unwrap(), cfg);
+        let shared = simulate(
+            &w,
+            &SharedGreedyPlanner::default().plan(&w, &engine).unwrap(),
+            cfg,
+        );
         assert!(
             shared.total_energy < indep.total_energy,
             "shared {} vs isolated {}",

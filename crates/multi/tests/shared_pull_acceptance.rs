@@ -50,7 +50,9 @@ fn shared_greedy_simulated_energy_beats_independent_on_16_query_workload() {
     );
     let shared = simulate(
         &workload,
-        &SharedGreedyPlanner.plan(&workload, &engine).unwrap(),
+        &SharedGreedyPlanner::default()
+            .plan(&workload, &engine)
+            .unwrap(),
         cfg,
     );
     assert!(

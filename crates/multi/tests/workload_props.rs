@@ -66,7 +66,7 @@ proptest! {
     ) {
         let workload = Workload::from_trees(trees, cat).unwrap();
         let engine = Engine::new();
-        let joint = SharedGreedyPlanner.plan(&workload, &engine).unwrap();
+        let joint = SharedGreedyPlanner::default().plan(&workload, &engine).unwrap();
         let weights = workload.weights();
         let independent: f64 = joint
             .independent_costs
@@ -93,7 +93,7 @@ proptest! {
     ) {
         let workload = Workload::from_trees(trees, cat).unwrap();
         let engine = Engine::new();
-        let joint = SharedGreedyPlanner.plan(&workload, &engine).unwrap();
+        let joint = SharedGreedyPlanner::default().plan(&workload, &engine).unwrap();
         let weights = workload.weights();
         let predicted = joint.aggregate_predicted(&weights);
         let independent = joint.aggregate_independent(&weights);
@@ -116,7 +116,7 @@ proptest! {
         for planner in default_planners() {
             let joint = planner.plan(&workload, &engine).unwrap();
             prop_assert_eq!(&joint.order, &vec![0usize], "{}", planner.name());
-            prop_assert_eq!(&joint.plans[0], &expected, "{}", planner.name());
+            prop_assert_eq!(&*joint.plans[0], &expected, "{}", planner.name());
             prop_assert_eq!(&joint.schedules[0].len(), &tree_len(&joint), "{}", planner.name());
             let cost = expected.expected_cost.unwrap();
             prop_assert!(

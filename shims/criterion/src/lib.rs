@@ -18,7 +18,7 @@
 
 use std::fmt::Display;
 use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 pub use std::hint::black_box;
 
@@ -28,8 +28,14 @@ pub fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke") || std::env::var_os("CRITERION_SMOKE").is_some()
 }
 
-fn results() -> &'static Mutex<Vec<(String, f64)>> {
-    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+/// One recorded measurement: `(name, mean seconds/iter, median
+/// seconds/iter)`. The median is taken over the timed batches, so a
+/// single slow outlier (page fault, scheduler hiccup) does not skew the
+/// number CI regression-checks against.
+type Row = (String, f64, f64);
+
+fn results() -> &'static Mutex<Vec<Row>> {
+    static RESULTS: OnceLock<Mutex<Vec<Row>>> = OnceLock::new();
     RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -60,11 +66,12 @@ pub fn write_json_results() {
         let rows = results()
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for (name, secs) in rows.iter() {
+        for (name, mean, median) in rows.iter() {
             lines.push(format!(
-                "{{\"name\": \"{}\", \"mean_ns\": {:.1}}}",
+                "{{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}}}",
                 name.replace('\\', "\\\\").replace('"', "\\\""),
-                secs * 1e9
+                mean * 1e9,
+                median * 1e9
             ));
         }
     }
@@ -107,40 +114,79 @@ impl Display for BenchmarkId {
 
 /// Timing harness handed to the benchmark closure.
 pub struct Bencher {
+    /// Timed batches; the recorded median is the median batch time.
+    batches: u64,
+    /// Iterations per batch.
     iters: u64,
-    elapsed: Duration,
+    /// Per-iteration seconds, one entry per batch.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `f`, discarding one warm-up call, then averaging `iters`
-    /// timed calls.
+    /// Times `f`, discarding one warm-up call, then timing `batches`
+    /// batches of `iters` calls each (mean per batch; the reported
+    /// median is the median over batches). `iters == 0` auto-calibrates
+    /// from the warm-up call so each batch runs long enough (~2 ms)
+    /// for the median to be meaningful on fast benchmarks.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
         black_box(f());
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(f());
+        let warmup = warmup_start.elapsed().as_secs_f64();
+        if self.iters == 0 {
+            const TARGET_BATCH_SECS: f64 = 2e-3;
+            self.iters = if warmup > 0.0 {
+                ((TARGET_BATCH_SECS / warmup).ceil() as u64).clamp(1, 4096)
+            } else {
+                4096
+            };
         }
-        self.elapsed = start.elapsed();
+        self.samples.clear();
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / self.iters as f64);
+        }
     }
 }
 
 fn run_one(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let sample_size = if smoke_mode() { 2 } else { sample_size };
+    // Smoke mode: 7 auto-calibrated batches (`iters == 0` makes the
+    // Bencher size each batch to ~400 µs, so fast benchmarks still get
+    // noise-resistant medians while a whole suite stays in the seconds
+    // range); normal mode splits `sample_size` calls over 5 batches.
+    let (batches, iters) = if smoke_mode() {
+        (7, 0)
+    } else {
+        (5, (sample_size / 5).max(1))
+    };
     let mut b = Bencher {
-        iters: sample_size.max(1),
-        elapsed: Duration::ZERO,
+        batches,
+        iters,
+        samples: Vec::with_capacity(batches as usize),
     };
     f(&mut b);
-    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+    let mean = if b.samples.is_empty() {
+        0.0
+    } else {
+        b.samples.iter().sum::<f64>() / b.samples.len() as f64
+    };
     println!(
-        "{name:<60} {:>12.3} µs/iter  ({} iters)",
-        per_iter * 1e6,
+        "{name:<60} {:>12.3} µs/iter median ({:.3} µs mean, {} x {} iters)",
+        median * 1e6,
+        mean * 1e6,
+        batches,
         b.iters
     );
     results()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push((name.to_string(), per_iter));
+        .push((name.to_string(), mean, median));
 }
 
 /// Entry point mirroring `criterion::Criterion`.
