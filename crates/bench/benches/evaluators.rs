@@ -7,6 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paotr_core::cost::{and_eval, dnf_eval, CostModel, DnfCostEvaluator};
+use paotr_core::plan::planners::ReadOnceDnfPlanner;
+use paotr_core::plan::{Planner, QueryRef};
 use paotr_core::prelude::*;
 use paotr_gen::{random_dnf_instance, DnfConfig, ParamDistributions, Shape};
 use rand::prelude::*;
@@ -94,6 +96,18 @@ fn bench_cost_kernel(c: &mut Criterion) {
                     &coverage,
                     &mut scratch,
                 ))
+            })
+        });
+        // End-to-end heuristic planning on the kernel: the dynamic
+        // AND-ordered planner (the paper's best heuristic) prices every
+        // candidate term every round through the frozen-prefix
+        // schedule-delta path — the hot loop this group gates in CI.
+        group.bench_function(BenchmarkId::new("heuristic_and_inc_cp_dyn", &label), |b| {
+            b.iter(|| black_box(Heuristic::AndIncCOverPDynamic.schedule(&inst.tree, &inst.catalog)))
+        });
+        group.bench_function(BenchmarkId::new("heuristic_read_once_dnf", &label), |b| {
+            b.iter(|| {
+                black_box(ReadOnceDnfPlanner.plan(&QueryRef::from(&inst.tree), &inst.catalog))
             })
         });
     }

@@ -33,6 +33,26 @@ fn bench_planning(c: &mut Criterion) {
                 })
             });
         }
+        // Per-round fan-out over the persistent worker pool: gates the
+        // round-dispatch overhead (one condvar broadcast per round, no
+        // thread spawning) alongside the sequential planner above.
+        if queries >= 64 {
+            let pooled = paotr_multi::SharedGreedyPlanner {
+                threads: paotr_par::ThreadCount::Fixed(4),
+                replan_bound: 0.0,
+            };
+            group.bench_with_input(
+                BenchmarkId::new("shared-greedy-pool4", queries),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let engine = Engine::new();
+                        paotr_multi::WorkloadPlanner::plan(&pooled, w, &engine)
+                            .expect("workloads plan")
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -116,6 +116,31 @@ fn main() -> ExitCode {
     let gated = |name: &str| in_groups(name, &groups);
 
     let mut failures = Vec::new();
+    // A gated group that is absent from either file means the gate is
+    // not testing anything — fail loudly instead of passing silently
+    // (a renamed group or a bench target that stopped running would
+    // otherwise disable its own regression check).
+    for group in &groups {
+        let in_base = baseline
+            .keys()
+            .any(|n| in_groups(n, std::slice::from_ref(group)));
+        let in_fresh = fresh
+            .keys()
+            .any(|n| in_groups(n, std::slice::from_ref(group)));
+        match (in_base, in_fresh) {
+            (false, _) => failures.push(format!(
+                "gated group `{group}` has no benchmarks in the baseline {} — \
+                 regenerate the baseline or fix --groups",
+                paths[0]
+            )),
+            (true, false) => failures.push(format!(
+                "gated group `{group}` missing entirely from the fresh run {} — \
+                 did the bench target run?",
+                paths[1]
+            )),
+            (true, true) => {}
+        }
+    }
     let unit = if normalize.is_some() { "ratio" } else { "µs" };
     println!(
         "{:<64} {:>12} {:>12} {:>8}  gate",

@@ -50,7 +50,13 @@ fn accepts_exactly_the_registry_names() {
     // query class report UnsupportedQuery, not an unknown-name error)
     for name in engine.registry().names() {
         match plan_by_name(&engine, name, 1, &dnf, &query.catalog) {
-            Ok(plan) => assert_eq!(plan.planner, name),
+            // Seeded heuristics fold the non-default seed into the
+            // reported planner name (it is their cache identity).
+            Ok(plan) => assert!(
+                plan.planner == name || plan.planner == format!("{name}@seed=1"),
+                "`{name}` reported planner `{}`",
+                plan.planner
+            ),
             Err(e) => assert!(
                 e.contains("does not support"),
                 "`{name}` should be a known planner, got: {e}"

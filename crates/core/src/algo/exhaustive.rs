@@ -391,7 +391,10 @@ pub fn dnf_search(tree: &DnfTree, catalog: &StreamCatalog, opts: SearchOptions) 
         for c in ctx.children[depth].iter_mut() {
             c.0 = eval.peek(c.2);
         }
-        ctx.children[depth].sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        // total_cmp + index tie-break: the expansion order (and with it
+        // the discovered incumbent on cost ties) must not depend on the
+        // candidate-buffer fill order or on NaN marginals.
+        ctx.children[depth].sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
         for ci in 0..ctx.children[depth].len() {
             let (marginal, ti, r) = ctx.children[depth][ci];
             if ctx.opts.prune && eval.total_cost() + marginal >= ctx.best_cost {

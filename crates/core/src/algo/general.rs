@@ -64,31 +64,35 @@ fn plan_node(node: &Node, catalog: &StreamCatalog, next_leaf: &mut usize) -> Pla
             }
         }
         Node::And(children) => {
-            let mut plans: Vec<Plan> = children
+            let mut plans: Vec<(usize, Plan)> = children
                 .iter()
                 .map(|c| plan_node(c, catalog, next_leaf))
+                .enumerate()
                 .collect();
             // Smith's rule: increasing C/q; q = 0 (certain subtrees) go
-            // last unless free.
-            plans.sort_by(|a, b| {
+            // last unless free. `total_cmp` + the declaration-index
+            // tie-break keep degenerate ratios (NaN, equal values) from
+            // panicking or reordering nondeterministically.
+            plans.sort_by(|(ai, a), (bi, b)| {
                 ratio(a.cost, 1.0 - a.prob)
-                    .partial_cmp(&ratio(b.cost, 1.0 - b.prob))
-                    .expect("ratios are never NaN")
+                    .total_cmp(&ratio(b.cost, 1.0 - b.prob))
+                    .then(ai.cmp(bi))
             });
-            combine(plans, /*and=*/ true)
+            combine(plans.into_iter().map(|(_, p)| p), /*and=*/ true)
         }
         Node::Or(children) => {
-            let mut plans: Vec<Plan> = children
+            let mut plans: Vec<(usize, Plan)> = children
                 .iter()
                 .map(|c| plan_node(c, catalog, next_leaf))
+                .enumerate()
                 .collect();
             // The OR dual: increasing C/p.
-            plans.sort_by(|a, b| {
+            plans.sort_by(|(ai, a), (bi, b)| {
                 ratio(a.cost, a.prob)
-                    .partial_cmp(&ratio(b.cost, b.prob))
-                    .expect("ratios are never NaN")
+                    .total_cmp(&ratio(b.cost, b.prob))
+                    .then(ai.cmp(bi))
             });
-            combine(plans, /*and=*/ false)
+            combine(plans.into_iter().map(|(_, p)| p), /*and=*/ false)
         }
     }
 }
@@ -105,7 +109,7 @@ fn ratio(cost: f64, shortcut_prob: f64) -> f64 {
     }
 }
 
-fn combine(plans: Vec<Plan>, and: bool) -> Plan {
+fn combine(plans: impl IntoIterator<Item = Plan>, and: bool) -> Plan {
     let mut order = Vec::new();
     let mut cost = 0.0;
     let mut reach = 1.0; // P(the next child is evaluated at all)

@@ -11,13 +11,18 @@
 //! The **static** variants compute `C_i` once, for each AND node in
 //! isolation. The **dynamic** variants recompute the *incremental* cost of
 //! each candidate AND node given everything scheduled before it — data
-//! items already (probabilistically) in memory make a candidate cheaper —
-//! using the exact incremental Proposition 2 evaluator. The paper finds
-//! "AND-ordered, increasing C/p, dynamic" to be the best heuristic
-//! overall.
+//! items already (probabilistically) in memory make a candidate cheaper.
+//! The paper finds "AND-ordered, increasing C/p, dynamic" to be the best
+//! heuristic overall.
+//!
+//! Every cost evaluation here runs on the compiled, allocation-free
+//! [`CostModel`] kernel: term summaries come from the per-term helpers
+//! (no per-term `AndTree` cost passes over catalog-wide buffers), and the
+//! dynamic selection loop prices each candidate extension with one
+//! [`CostModel::appended_cost`] schedule-delta call instead of cloning an
+//! incremental evaluator per candidate per round.
 
-use crate::cost::and_eval;
-use crate::cost::incremental::DnfCostEvaluator;
+use crate::cost::model::{CostModel, EvalScratch};
 use crate::leaf::LeafRef;
 use crate::schedule::DnfSchedule;
 use crate::stream::StreamCatalog;
@@ -69,14 +74,22 @@ struct TermPlan {
     prob: f64,
 }
 
-fn plan_terms(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<TermPlan> {
+fn plan_terms(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    model: &CostModel,
+    scratch: &mut EvalScratch,
+) -> Vec<TermPlan> {
     tree.terms()
         .iter()
         .enumerate()
         .map(|(i, term)| {
+            // Algorithm 1 fixes the within-term order; the summary cost
+            // and success probability come from the compiled kernel.
             let at = term.as_and_tree();
             let s = crate::algo::greedy::schedule_impl(&at, catalog);
-            let (static_cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
+            let static_cost = model.term_isolated_cost(i, s.order(), scratch);
+            let prob = model.term_success_prob(i);
             let refs = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
             TermPlan {
                 refs,
@@ -94,16 +107,16 @@ pub fn schedule(
     key: AndKey,
     mode: CostMode,
 ) -> DnfSchedule {
-    let plans = plan_terms(tree, catalog);
+    let model = CostModel::new(tree, catalog);
+    let mut scratch = model.make_scratch();
+    let plans = plan_terms(tree, catalog, &model, &mut scratch);
     match mode {
         CostMode::Static => {
             let mut idx: Vec<usize> = (0..plans.len()).collect();
             idx.sort_by(|&a, &b| {
                 let ka = static_key(&plans[a], key);
                 let kb = static_key(&plans[b], key);
-                ka.partial_cmp(&kb)
-                    .expect("keys are never NaN")
-                    .then(a.cmp(&b))
+                ka.total_cmp(&kb).then(a.cmp(&b))
             });
             let order: Vec<LeafRef> = idx
                 .into_iter()
@@ -111,7 +124,7 @@ pub fn schedule(
                 .collect();
             DnfSchedule::from_order_unchecked(order)
         }
-        CostMode::Dynamic => dynamic_schedule(tree, catalog, key, &plans),
+        CostMode::Dynamic => dynamic_schedule(tree, key, &plans, &model, &mut scratch),
     }
 }
 
@@ -125,24 +138,37 @@ fn static_key(plan: &TermPlan, key: AndKey) -> f64 {
 
 fn dynamic_schedule(
     tree: &DnfTree,
-    catalog: &StreamCatalog,
     key: AndKey,
     plans: &[TermPlan],
+    model: &CostModel,
+    scratch: &mut EvalScratch,
 ) -> DnfSchedule {
     let n = plans.len();
     let mut remaining: Vec<usize> = (0..n).collect();
-    let mut eval = DnfCostEvaluator::new(tree, catalog);
     let mut order = Vec::with_capacity(tree.num_leaves());
 
+    // Freeze the empty prefix once, price every candidate term against
+    // the frozen state in O(term), and *commit* the winner into it each
+    // round — no prefix re-evaluation anywhere in the loop. Trees beyond
+    // the 64-term bucket-mask limit fall back to full `appended_cost`
+    // deltas (still allocation-free).
+    let frozen = model.num_terms() <= 64;
+    if frozen {
+        model.freeze_prefix(&[], scratch);
+    }
     while !remaining.is_empty() {
+        let prefix_cost = if frozen {
+            0.0 // deltas come straight from the frozen state
+        } else {
+            model.appended_cost(&order, &[], &[], scratch)
+        };
         let mut best: Option<(f64, usize, usize)> = None; // (key, pos in remaining, term)
         for (pos, &i) in remaining.iter().enumerate() {
-            // Incremental expected cost of appending term i's leaves.
-            let mut probe = eval.clone();
-            let mut delta = 0.0;
-            for &r in &plans[i].refs {
-                delta += probe.push(r);
-            }
+            let delta = if frozen {
+                model.frozen_append_cost(&plans[i].refs, scratch)
+            } else {
+                model.appended_cost(&order, &plans[i].refs, &[], scratch) - prefix_cost
+            };
             let k = match key {
                 AndKey::DecreasingP => -plans[i].prob,
                 AndKey::IncreasingC => delta,
@@ -150,7 +176,11 @@ fn dynamic_schedule(
             };
             let better = match best {
                 None => true,
-                Some((bk, _, bi)) => k < bk || (k == bk && i < bi),
+                Some((bk, _, bi)) => match k.total_cmp(&bk) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => i < bi,
+                    std::cmp::Ordering::Greater => false,
+                },
             };
             if better {
                 best = Some((k, pos, i));
@@ -158,10 +188,10 @@ fn dynamic_schedule(
         }
         let (_, pos, i) = best.expect("remaining is non-empty");
         remaining.swap_remove(pos);
-        for &r in &plans[i].refs {
-            eval.push(r);
-            order.push(r);
+        if frozen {
+            model.frozen_commit_term(&plans[i].refs, scratch);
         }
+        order.extend(plans[i].refs.iter().copied());
     }
     DnfSchedule::from_order_unchecked(order)
 }

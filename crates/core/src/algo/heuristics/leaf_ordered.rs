@@ -30,9 +30,7 @@ pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog, key: LeafKey) -> DnfSch
     refs.sort_by(|&a, &b| {
         let ka = key_value(tree, catalog, a, key);
         let kb = key_value(tree, catalog, b, key);
-        ka.partial_cmp(&kb)
-            .expect("keys are never NaN")
-            .then(a.cmp(&b))
+        ka.total_cmp(&kb).then(a.cmp(&b))
     });
     DnfSchedule::from_order_unchecked(refs)
 }

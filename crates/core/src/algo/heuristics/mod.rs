@@ -219,7 +219,7 @@ pub fn best_of_paper_set(
     paper_set(random_seed)
         .iter()
         .map(|h| h.schedule_with_cost(tree, catalog))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are never NaN"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("paper set is non-empty")
 }
 

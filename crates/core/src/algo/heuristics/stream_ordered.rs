@@ -63,16 +63,20 @@ pub struct Config {
     pub leaf_order: LeafOrder,
 }
 
-/// The shortcut-power metric `R(S)` for every stream that occurs in the
-/// tree, as `(stream, R)` pairs.
-pub fn stream_metrics(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<(StreamId, f64)> {
+/// `R(S)` over pre-grouped leaves (one grouping pass serves both the
+/// metric and the block assembly in [`schedule`]).
+fn metrics_of_groups(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    groups: &std::collections::BTreeMap<StreamId, Vec<LeafRef>>,
+) -> Vec<(StreamId, f64)> {
     let term_sizes: Vec<usize> = tree.terms().iter().map(|t| t.len()).collect();
-    tree.leaves_by_stream()
-        .into_iter()
-        .map(|(k, refs)| {
+    groups
+        .iter()
+        .map(|(&k, refs)| {
             let mut power = 0.0;
             let mut max_cost = 0.0f64;
-            for &r in &refs {
+            for &r in refs {
                 let leaf = tree.leaf(r);
                 let shortcut = (term_sizes[r.term] - 1) as f64;
                 power += leaf.fail() * shortcut;
@@ -88,21 +92,31 @@ pub fn stream_metrics(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<(StreamId,
         .collect()
 }
 
+/// The shortcut-power metric `R(S)` for every stream that occurs in the
+/// tree, as `(stream, R)` pairs.
+pub fn stream_metrics(tree: &DnfTree, catalog: &StreamCatalog) -> Vec<(StreamId, f64)> {
+    metrics_of_groups(tree, catalog, &tree.leaves_by_stream())
+}
+
 /// Builds the stream-ordered schedule.
 pub fn schedule(tree: &DnfTree, catalog: &StreamCatalog, config: Config) -> DnfSchedule {
-    let mut metrics = stream_metrics(tree, catalog);
+    // One grouping pass: the groups feed the metric and are then moved
+    // (not cloned) into the schedule, stream block by stream block.
+    let mut groups = tree.leaves_by_stream();
+    let mut metrics = metrics_of_groups(tree, catalog, &groups);
     metrics.sort_by(|a, b| {
-        let cmp = a.1.partial_cmp(&b.1).expect("metrics are never NaN");
+        let cmp = a.1.total_cmp(&b.1);
         match config.stream_order {
             StreamOrder::IncreasingR => cmp.then(a.0.cmp(&b.0)),
             StreamOrder::DecreasingR => cmp.reverse().then(a.0.cmp(&b.0)),
         }
     });
-    let groups = tree.leaves_by_stream();
     let mut order: Vec<LeafRef> = Vec::with_capacity(tree.num_leaves());
     for (k, _) in metrics {
         // groups are pre-sorted by increasing d (ties by address)
-        let mut refs = groups[&k].clone();
+        let mut refs = groups
+            .remove(&k)
+            .expect("metric streams come from the groups");
         if config.leaf_order == LeafOrder::DecreasingD {
             refs.sort_by(|&a, &b| tree.leaf(b).items.cmp(&tree.leaf(a).items).then(a.cmp(&b)));
         }

@@ -10,7 +10,7 @@
 //! natural baseline and is exactly the "AND-ordered, increasing C/p,
 //! static" heuristic when sharing happens to be absent.
 
-use crate::cost::and_eval;
+use crate::cost::model::CostModel;
 use crate::leaf::LeafRef;
 use crate::schedule::DnfSchedule;
 use crate::stream::StreamCatalog;
@@ -38,24 +38,26 @@ pub fn or_ratio(cost: f64, success: f64) -> f64 {
 /// the `legacy-api` feature re-exports it as the deprecated
 /// [`schedule`].
 pub(crate) fn schedule_impl(tree: &DnfTree, catalog: &StreamCatalog) -> DnfSchedule {
-    // Order each AND node with Smith's greedy and summarize it.
-    let mut summaries: Vec<(usize, Vec<LeafRef>, f64, f64)> = tree
-        .terms()
-        .iter()
-        .enumerate()
-        .map(|(i, term)| {
-            let at = term.as_and_tree();
-            let s = crate::algo::smith::schedule_impl(&at, catalog);
-            let (cost, prob) = and_eval::expected_cost_and_prob(&at, catalog, &s);
-            let refs: Vec<LeafRef> = s.order().iter().map(|&j| LeafRef::new(i, j)).collect();
+    // Order each AND node with Smith's greedy and summarize it — all on
+    // the compiled kernel's per-term views (no per-term `AndTree`
+    // construction, no catalog-wide evaluation buffers).
+    let model = CostModel::new(tree, catalog);
+    let mut scratch = model.make_scratch();
+    let mut within = Vec::new();
+    let mut summaries: Vec<(usize, Vec<LeafRef>, f64, f64)> = (0..tree.num_terms())
+        .map(|i| {
+            model.term_smith_order(i, &mut within);
+            let cost = model.term_isolated_cost(i, &within, &mut scratch);
+            let prob = model.term_success_prob(i);
+            let refs: Vec<LeafRef> = within.iter().map(|&j| LeafRef::new(i, j)).collect();
             (i, refs, cost, prob)
         })
         .collect();
-    // Sort AND nodes by increasing C/p (ties by term index).
+    // Sort AND nodes by increasing C/p (ties by term index; `total_cmp`
+    // keeps degenerate 0/0 ratios from panicking the planner).
     summaries.sort_by(|a, b| {
         or_ratio(a.2, a.3)
-            .partial_cmp(&or_ratio(b.2, b.3))
-            .expect("ratios are never NaN")
+            .total_cmp(&or_ratio(b.2, b.3))
             .then(a.0.cmp(&b.0))
     });
     let order: Vec<LeafRef> = summaries

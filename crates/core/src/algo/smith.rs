@@ -38,9 +38,10 @@ pub(crate) fn schedule_impl(tree: &AndTree, catalog: &StreamCatalog) -> AndSched
         let lb = tree.leaf(b);
         let ra = smith_ratio(la.items, catalog.cost(la.stream), la.fail());
         let rb = smith_ratio(lb.items, catalog.cost(lb.stream), lb.fail());
-        ra.partial_cmp(&rb)
-            .expect("ratios are never NaN")
-            .then(a.cmp(&b))
+        // `total_cmp`: degenerate instances (zero-cost streams, p = 1
+        // leaves) can only produce ±inf ratios today, but NaN keys must
+        // order deterministically rather than panic the planner.
+        ra.total_cmp(&rb).then(a.cmp(&b))
     });
     AndSchedule::from_order_unchecked(order)
 }

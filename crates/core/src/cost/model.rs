@@ -59,6 +59,10 @@ pub struct CostModel {
 pub struct EvalScratch {
     /// Schedule position of each flat leaf.
     pos: Vec<u32>,
+    /// Scheduled-leaf count per term (partial-order completion test).
+    seen: Vec<u32>,
+    /// Items acquired per local stream (isolated term evaluation).
+    acquired: Vec<u32>,
     /// Reach probability of each flat leaf within its term.
     eval_prob: Vec<f64>,
     /// Running per-term prefix probability (build-time temporary).
@@ -79,6 +83,12 @@ pub struct EvalScratch {
     bucket_mask: Vec<u64>,
     /// Expected items pulled per *local* stream — the evaluation output.
     items: Vec<f64>,
+    /// Frozen-prefix factor 1 per bucket: `Π (1 - eval_prob)` over the
+    /// bucket's members (see [`CostModel::freeze_prefix`]).
+    bucket_f1: Vec<f64>,
+    /// Frozen-prefix factor 2 per bucket: `Π (1 - success)` over
+    /// prefix-completed terms without a member in the bucket.
+    bucket_f2: Vec<f64>,
 }
 
 impl CostModel {
@@ -170,20 +180,41 @@ impl CostModel {
         self.expected_cost_with_coverage(schedule.order(), &[], scratch)
     }
 
-    /// Expected cost of the schedule `order` under *prior coverage*
-    /// (see [`crate::cost::dnf_eval::expected_items_with_coverage`]).
+    /// Expected cost of the (possibly partial) schedule `order` under
+    /// *prior coverage* (see
+    /// [`crate::cost::dnf_eval::expected_items_with_coverage`]).
     /// `coverage` is indexed by global stream id and may be empty (no
     /// coverage). After the call, [`CostModel::items_per_stream`] and
     /// [`CostModel::add_items_to`] expose the per-stream item
     /// decomposition of the returned cost.
     ///
+    /// `order` may be any *prefix* of a schedule — a subset of the
+    /// model's leaves, each at most once. Terms with unscheduled leaves
+    /// are treated as never completing within the prefix, exactly like
+    /// [`crate::cost::incremental::DnfCostEvaluator`] after pushing the
+    /// same prefix.
+    ///
     /// # Panics
     /// Panics when `coverage` is neither empty nor `catalog.len()` long,
-    /// or when `order` is not a permutation of this model's leaves
-    /// (debug builds).
+    /// or when `order` repeats a leaf (debug builds).
     pub fn expected_cost_with_coverage(
         &self,
         order: &[LeafRef],
+        coverage: &[f64],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        self.appended_cost(order, &[], coverage, scratch)
+    }
+
+    /// Expected cost of the (possibly partial) schedule `prefix ⧺ tail`
+    /// without materializing the concatenation — the *schedule-delta*
+    /// primitive of the dynamic heuristics: evaluating
+    /// `appended_cost(prefix, candidate, ..) - appended_cost(prefix, &[], ..)`
+    /// prices a candidate extension with zero allocation.
+    pub fn appended_cost(
+        &self,
+        prefix: &[LeafRef],
+        tail: &[LeafRef],
         coverage: &[f64],
         scratch: &mut EvalScratch,
     ) -> f64 {
@@ -191,8 +222,23 @@ impl CostModel {
             coverage.is_empty() || coverage.len() == self.catalog_len,
             "coverage must be empty or have one entry per catalog stream"
         );
-        debug_assert_eq!(order.len(), self.num_leaves, "schedule covers every leaf");
+        debug_assert!(
+            prefix.len() + tail.len() <= self.num_leaves,
+            "schedule uses each leaf at most once"
+        );
+        #[cfg(debug_assertions)]
+        {
+            // A repeated leaf would double-count `seen` and silently
+            // mis-classify its term as completed — catch it loudly.
+            let mut used = vec![false; self.num_leaves];
+            for &r in prefix.iter().chain(tail) {
+                let flat = self.flat(r);
+                assert!(!used[flat], "leaf {r:?} appears twice in the order");
+                used[flat] = true;
+            }
+        }
         scratch.reserve(self);
+        let order = || prefix.iter().chain(tail);
 
         let n_terms = self.n_terms;
         let n_local = self.n_local;
@@ -207,13 +253,26 @@ impl CostModel {
         for c in &mut scratch.completed_pos[..n_terms] {
             *c = 0;
         }
-        for (p, &r) in order.iter().enumerate() {
+        for s in &mut scratch.seen[..n_terms] {
+            *s = 0;
+        }
+        for (p, &r) in order().enumerate() {
             let flat = self.flat(r);
             scratch.pos[flat] = p as u32;
             scratch.eval_prob[flat] = scratch.running[r.term];
             scratch.running[r.term] *= self.leaf_prob[flat];
+            scratch.seen[r.term] += 1;
             if scratch.completed_pos[r.term] < p as u32 {
                 scratch.completed_pos[r.term] = p as u32;
+            }
+        }
+        // A term with unscheduled leaves never completes within this
+        // (possibly partial) order: push its completion past any
+        // position so factor 2 ignores it.
+        for t in 0..n_terms {
+            let len = (self.term_start[t + 1] - self.term_start[t]) as usize;
+            if (scratch.seen[t] as usize) < len {
+                scratch.completed_pos[t] = u32::MAX;
             }
         }
 
@@ -226,7 +285,7 @@ impl CostModel {
         for b in &mut scratch.bucket_start[..n_buckets + 1] {
             *b = 0;
         }
-        for &r in order {
+        for &r in order() {
             let flat = self.flat(r);
             let k = self.leaf_stream[flat] as usize;
             let d = self.leaf_items[flat];
@@ -259,7 +318,7 @@ impl CostModel {
             }
         }
         scratch.grow_members(n_members);
-        for &r in order {
+        for &r in order() {
             let flat = self.flat(r);
             let k = self.leaf_stream[flat] as usize;
             let d = self.leaf_items[flat];
@@ -282,7 +341,7 @@ impl CostModel {
         for i in &mut scratch.items[..n_local] {
             *i = 0.0;
         }
-        for &r in order {
+        for &r in order() {
             let flat = self.flat(r);
             let k = self.leaf_stream[flat] as usize;
             let my_pos = scratch.pos[flat];
@@ -351,6 +410,233 @@ impl CostModel {
         cost
     }
 
+    /// Expected cost of many candidate orders over this one compiled
+    /// tree with one scratch — the batch shape every heuristic planner's
+    /// inner loop reduces to. Each order may be partial (see
+    /// [`CostModel::expected_cost_with_coverage`]); results are returned
+    /// in input order. Equivalent to (but allocation-free over) one
+    /// [`CostModel::expected_cost_with_coverage`] call per order.
+    pub fn expected_cost_batch(
+        &self,
+        orders: &[&[LeafRef]],
+        coverage: &[f64],
+        scratch: &mut EvalScratch,
+    ) -> Vec<f64> {
+        orders
+            .iter()
+            .map(|order| self.appended_cost(order, &[], coverage, scratch))
+            .collect()
+    }
+
+    /// Evaluates `prefix` and *freezes* its Proposition-2 state in
+    /// `scratch`, returning the prefix cost. Afterwards
+    /// [`CostModel::frozen_append_cost`] prices whole-term extensions of
+    /// the frozen prefix in `O(term leaves · window)` each — the
+    /// schedule-delta primitive behind the dynamic AND-ordered
+    /// heuristics, which re-score every remaining term every round.
+    ///
+    /// The frozen factors are per `(stream, item)` bucket: factor 1 is
+    /// the product of `1 - eval_prob` over the bucket's prefix members
+    /// (every prefix member precedes any extension leaf), factor 2 the
+    /// product of `1 - success` over prefix-completed AND nodes without
+    /// a member in the bucket. Both are position-independent for
+    /// extension leaves, so one pass per round amortizes them over all
+    /// candidate terms.
+    ///
+    /// # Panics
+    /// Panics on models with more than 64 terms (the bucket term mask is
+    /// one `u64`); callers fall back to [`CostModel::appended_cost`]
+    /// deltas there.
+    pub fn freeze_prefix(&self, prefix: &[LeafRef], scratch: &mut EvalScratch) -> f64 {
+        assert!(
+            self.n_terms <= 64,
+            "frozen-prefix evaluation is limited to 64 AND nodes"
+        );
+        let cost = self.appended_cost(prefix, &[], &[], scratch);
+        let n_buckets = self.n_local * self.max_d;
+        grow(&mut scratch.bucket_f1, n_buckets, 1.0);
+        grow(&mut scratch.bucket_f2, n_buckets, 1.0);
+        for b in 0..n_buckets {
+            let lo = scratch.bucket_start[b] as usize;
+            let hi = scratch.bucket_start[b + 1] as usize;
+            let mut f1 = 1.0;
+            for m in lo..hi {
+                f1 *= 1.0 - scratch.member_eval[m];
+            }
+            scratch.bucket_f1[b] = f1;
+            let mask = scratch.bucket_mask[b];
+            let mut f2 = 1.0;
+            for a in 0..self.n_terms {
+                // Completed within the prefix (partial terms carry a
+                // `u32::MAX` completion position) and without a member
+                // in this bucket.
+                if scratch.completed_pos[a] != u32::MAX && mask >> (a & 63) & 1 == 0 {
+                    f2 *= 1.0 - self.term_success[a];
+                }
+            }
+            scratch.bucket_f2[b] = f2;
+        }
+        cost
+    }
+
+    /// Marginal expected cost of appending every leaf of `tail` — all
+    /// belonging to **one term that has no leaf in the frozen prefix** —
+    /// to the prefix frozen by the last [`CostModel::freeze_prefix`] on
+    /// `scratch`. Bitwise-stable and allocation-free; the frozen state
+    /// is left untouched, so any number of candidate terms can be priced
+    /// against one freeze.
+    pub fn frozen_append_cost(&self, tail: &[LeafRef], scratch: &mut EvalScratch) -> f64 {
+        let Some(&first) = tail.first() else {
+            return 0.0;
+        };
+        let term = first.term;
+        let max_d = self.max_d;
+        // Within-candidate coverage starts from the term's frozen
+        // coverage (zero when the term is absent from the prefix).
+        for &r in tail {
+            debug_assert_eq!(r.term, term, "extension leaves belong to one term");
+            let k = self.leaf_stream[self.flat(r)] as usize;
+            scratch.acquired[k] = scratch.covered[term * self.n_local + k];
+        }
+        let mut reach = scratch.running[term];
+        let mut delta = 0.0;
+        for &r in tail {
+            let flat = self.flat(r);
+            let k = self.leaf_stream[flat] as usize;
+            let d = self.leaf_items[flat];
+            let have = scratch.acquired[k];
+            let mut leaf_items_out = 0.0;
+            for t in (have + 1)..=d.max(have) {
+                let b = k * max_d + (t - 1) as usize;
+                // A frozen same-term member (or an earlier tail leaf,
+                // via `acquired`) makes the item free.
+                if scratch.bucket_mask[b] >> (term as u32 & 63) & 1 == 1 {
+                    continue;
+                }
+                leaf_items_out += scratch.bucket_f1[b] * scratch.bucket_f2[b];
+            }
+            delta += leaf_items_out * reach * self.unit_cost[k];
+            scratch.acquired[k] = have.max(d);
+            reach *= self.leaf_prob[flat];
+        }
+        delta
+    }
+
+    /// Commits every leaf of `tail` — one whole term absent from the
+    /// frozen prefix — into the frozen state, exactly as if the prefix
+    /// had been re-frozen with the term appended: factor-1 products and
+    /// term masks gain the new members in schedule order, the term's
+    /// reach and coverage advance, and its completion folds into every
+    /// factor-2 product without a member of it. `O(leaves · window +
+    /// buckets)` — the dynamic heuristics commit each selected term
+    /// instead of re-freezing the grown prefix every round.
+    pub fn frozen_commit_term(&self, tail: &[LeafRef], scratch: &mut EvalScratch) {
+        let Some(&first) = tail.first() else {
+            return;
+        };
+        let term = first.term;
+        let max_d = self.max_d;
+        let mut reach = scratch.running[term];
+        for &r in tail {
+            debug_assert_eq!(r.term, term, "committed leaves belong to one term");
+            let flat = self.flat(r);
+            let k = self.leaf_stream[flat] as usize;
+            let d = self.leaf_items[flat];
+            let cov = &mut scratch.covered[term * self.n_local + k];
+            for t in (*cov + 1)..=d.max(*cov) {
+                let b = k * max_d + (t - 1) as usize;
+                scratch.bucket_f1[b] *= 1.0 - reach;
+                scratch.bucket_mask[b] |= 1u64 << (term as u32 & 63);
+            }
+            *cov = (*cov).max(d);
+            reach *= self.leaf_prob[flat];
+        }
+        scratch.running[term] = reach;
+        // The whole term is now scheduled: it completes, discounting
+        // factor 2 of every bucket it has no member in. `0` marks the
+        // completion (any value but the `u32::MAX` "open" sentinel).
+        scratch.completed_pos[term] = 0;
+        for b in 0..self.n_local * max_d {
+            if scratch.bucket_mask[b] >> (term as u32 & 63) & 1 == 0 {
+                scratch.bucket_f2[b] *= 1.0 - self.term_success[term];
+            }
+        }
+    }
+
+    /// Number of terms (AND nodes) of the compiled tree.
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.n_terms
+    }
+
+    /// Number of leaves of term `i`.
+    #[inline]
+    pub fn term_len(&self, term: usize) -> usize {
+        (self.term_start[term + 1] - self.term_start[term]) as usize
+    }
+
+    /// Success probability of term `i` — the product of its leaf
+    /// probabilities in declaration order (bitwise equal to
+    /// `AndTree::success_prob` on the extracted term).
+    #[inline]
+    pub fn term_success_prob(&self, term: usize) -> f64 {
+        self.term_success[term]
+    }
+
+    /// Within-term Smith order of term `i`: leaf offsets sorted by
+    /// non-decreasing `d·c/q` ratio, ties by offset — the same order
+    /// `algo::smith` produces for the term in isolation, computed from
+    /// the compiled arrays without building an `AndTree`.
+    pub fn term_smith_order(&self, term: usize, out: &mut Vec<usize>) {
+        let start = self.term_start[term] as usize;
+        out.clear();
+        out.extend(0..self.term_len(term));
+        out.sort_by(|&a, &b| {
+            let ra = self.leaf_smith_ratio(start + a);
+            let rb = self.leaf_smith_ratio(start + b);
+            ra.total_cmp(&rb).then(a.cmp(&b))
+        });
+    }
+
+    #[inline]
+    fn leaf_smith_ratio(&self, flat: usize) -> f64 {
+        crate::algo::smith::smith_ratio(
+            self.leaf_items[flat],
+            self.unit_cost[self.leaf_stream[flat] as usize],
+            1.0 - self.leaf_prob[flat],
+        )
+    }
+
+    /// Expected cost of evaluating term `i` **in isolation** under the
+    /// within-term `order` (leaf offsets) — bitwise equal to
+    /// `cost::and_eval::expected_cost` on the extracted term, but using
+    /// a local-stream scratch buffer instead of a catalog-wide one.
+    pub fn term_isolated_cost(
+        &self,
+        term: usize,
+        order: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        scratch.reserve(self);
+        let start = self.term_start[term] as usize;
+        for j in 0..self.term_len(term) {
+            scratch.acquired[self.leaf_stream[start + j] as usize] = 0;
+        }
+        let mut reach = 1.0;
+        let mut cost = 0.0;
+        for &j in order {
+            let flat = start + j;
+            let k = self.leaf_stream[flat] as usize;
+            let have = scratch.acquired[k];
+            if self.leaf_items[flat] > have {
+                cost += reach * f64::from(self.leaf_items[flat] - have) * self.unit_cost[k];
+                scratch.acquired[k] = self.leaf_items[flat];
+            }
+            reach *= self.leaf_prob[flat];
+        }
+        cost
+    }
+
     /// The per-stream item decomposition of the last evaluation run on
     /// `scratch`: `(stream, expected items pulled)` for every touched
     /// stream. Untouched catalog streams pull nothing.
@@ -412,6 +698,8 @@ impl EvalScratch {
     fn reserve(&mut self, model: &CostModel) {
         let n_buckets = model.n_local * model.max_d;
         grow(&mut self.pos, model.num_leaves, 0);
+        grow(&mut self.seen, model.n_terms, 0);
+        grow(&mut self.acquired, model.n_local, 0);
         grow(&mut self.eval_prob, model.num_leaves, 0.0);
         grow(&mut self.running, model.n_terms, 1.0);
         grow(&mut self.completed_pos, model.n_terms, 0);
@@ -541,6 +829,153 @@ mod tests {
             let b = m2.expected_cost(&s2, &mut scratch);
             assert!((a - dnf_eval::expected_cost(&t, &cat, &s1)).abs() < 1e-12);
             assert!((b - dnf_eval::expected_cost(&small, &cat, &s2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_costs_match_the_incremental_evaluator_bitwise_totals() {
+        use crate::cost::incremental::DnfCostEvaluator;
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for _ in 0..30 {
+            refs.shuffle(&mut rng);
+            let mut eval = DnfCostEvaluator::new(&t, &cat);
+            for cut in 0..=refs.len() {
+                let kernel = model.expected_cost_with_coverage(&refs[..cut], &[], &mut scratch);
+                assert!(
+                    (kernel - eval.total_cost()).abs() < 1e-12,
+                    "prefix len {cut}: kernel {kernel} vs incremental {}",
+                    eval.total_cost()
+                );
+                if cut < refs.len() {
+                    eval.push(refs[cut]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn appended_cost_equals_concatenated_evaluation() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let refs: Vec<LeafRef> = t.leaf_refs().collect();
+        for cut in 0..=refs.len() {
+            let (prefix, tail) = refs.split_at(cut);
+            let chained = model.appended_cost(prefix, tail, &[], &mut scratch);
+            let whole = model.expected_cost_with_coverage(&refs, &[], &mut scratch);
+            assert_eq!(chained, whole, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_one_at_a_time() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut refs: Vec<LeafRef> = t.leaf_refs().collect();
+        let orders: Vec<Vec<LeafRef>> = (0..8)
+            .map(|_| {
+                refs.shuffle(&mut rng);
+                let cut = rng.gen_range(1..=refs.len());
+                refs[..cut].to_vec()
+            })
+            .collect();
+        let views: Vec<&[LeafRef]> = orders.iter().map(|o| o.as_slice()).collect();
+        let coverage = vec![0.5, 0.0, 1.5];
+        let batch = model.expected_cost_batch(&views, &coverage, &mut scratch);
+        for (order, got) in orders.iter().zip(&batch) {
+            let one = model.expected_cost_with_coverage(order, &coverage, &mut scratch);
+            assert_eq!(one, *got);
+        }
+    }
+
+    #[test]
+    fn frozen_append_cost_matches_incremental_marginals() {
+        use crate::cost::incremental::DnfCostEvaluator;
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        // Freeze every whole-term prefix; price each remaining term.
+        let term_refs: Vec<Vec<LeafRef>> = (0..t.num_terms())
+            .map(|i| (0..t.term(i).len()).map(|j| LeafRef::new(i, j)).collect())
+            .collect();
+        for placed in 0..t.num_terms() {
+            let prefix: Vec<LeafRef> = term_refs[..placed].concat();
+            let frozen_cost = model.freeze_prefix(&prefix, &mut scratch);
+            let mut eval = DnfCostEvaluator::new(&t, &cat);
+            for &r in &prefix {
+                eval.push(r);
+            }
+            assert!((frozen_cost - eval.total_cost()).abs() < 1e-12);
+            for (candidate, refs) in term_refs.iter().enumerate().skip(placed) {
+                let fast = model.frozen_append_cost(refs, &mut scratch);
+                let mut probe = eval.clone();
+                let mut slow = 0.0;
+                for &r in refs {
+                    slow += probe.push(r);
+                }
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "prefix {placed} term {candidate}: frozen {fast} vs marginals {slow}"
+                );
+            }
+        }
+        assert_eq!(model.frozen_append_cost(&[], &mut scratch), 0.0);
+    }
+
+    #[test]
+    fn committing_terms_matches_refreezing_the_grown_prefix() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let term_refs: Vec<Vec<LeafRef>> = (0..t.num_terms())
+            .map(|i| (0..t.term(i).len()).map(|j| LeafRef::new(i, j)).collect())
+            .collect();
+        // Walk the terms in a non-trivial order, committing one by one.
+        let walk = [2usize, 0, 1];
+        let mut committed = model.make_scratch();
+        model.freeze_prefix(&[], &mut committed);
+        let mut prefix: Vec<LeafRef> = Vec::new();
+        for (step, &i) in walk.iter().enumerate() {
+            model.frozen_commit_term(&term_refs[i], &mut committed);
+            prefix.extend(term_refs[i].iter().copied());
+            let mut fresh = model.make_scratch();
+            model.freeze_prefix(&prefix, &mut fresh);
+            for (cand, refs) in term_refs.iter().enumerate() {
+                if walk[..=step].contains(&cand) {
+                    continue;
+                }
+                let a = model.frozen_append_cost(refs, &mut committed);
+                let b = model.frozen_append_cost(refs, &mut fresh);
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "step {step} candidate {cand}: committed {a} vs refrozen {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn term_helpers_match_the_and_tree_path_bitwise() {
+        use crate::cost::and_eval;
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let mut order = Vec::new();
+        for (i, term) in t.terms().iter().enumerate() {
+            assert_eq!(model.term_len(i), term.len());
+            let at = term.as_and_tree();
+            let smith = crate::algo::smith::schedule_impl(&at, &cat);
+            model.term_smith_order(i, &mut order);
+            assert_eq!(order.as_slice(), smith.order(), "term {i}");
+            let (cost, prob) = and_eval::expected_cost_and_prob(&at, &cat, &smith);
+            let kernel_cost = model.term_isolated_cost(i, &order, &mut scratch);
+            assert_eq!(kernel_cost, cost, "term {i} cost");
+            assert_eq!(model.term_success_prob(i), prob, "term {i} prob");
         }
     }
 

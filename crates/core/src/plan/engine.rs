@@ -622,6 +622,51 @@ mod tests {
     }
 
     #[test]
+    fn seeded_leaf_random_planners_get_distinct_names_and_cache_entries() {
+        use super::super::planners::HeuristicPlanner;
+        use crate::algo::heuristics::Heuristic;
+        use crate::plan::Planner;
+        use std::sync::Arc;
+
+        // The default seed keeps the stable registry id…
+        let default_named = HeuristicPlanner::new(Heuristic::LeafRandom {
+            seed: Heuristic::DEFAULT_RANDOM_SEED,
+        });
+        assert_eq!(default_named.name(), "leaf-random");
+        // …while other seeds fold the seed into the name, so two
+        // registrations with different seeds can coexist and cannot
+        // serve each other's cached plans.
+        let mut registry = PlannerRegistry::new();
+        let a = HeuristicPlanner::new(Heuristic::LeafRandom { seed: 1 });
+        let b = HeuristicPlanner::new(Heuristic::LeafRandom { seed: 2 });
+        let (name_a, name_b) = (a.name().to_string(), b.name().to_string());
+        assert_ne!(name_a, name_b);
+        assert_eq!(name_a, "leaf-random@seed=1");
+        registry.register(Arc::new(a)).unwrap();
+        registry.register(Arc::new(b)).unwrap();
+        let engine = Engine::with_registry(registry, EngineConfig::default());
+
+        let tree = DnfTree::from_leaves(vec![
+            vec![leaf(0, 1, 0.4), leaf(1, 2, 0.6), leaf(0, 3, 0.5)],
+            vec![leaf(1, 1, 0.7), leaf(0, 2, 0.3), leaf(1, 4, 0.8)],
+            vec![leaf(0, 4, 0.2), leaf(1, 3, 0.9)],
+        ])
+        .unwrap();
+        let cat = StreamCatalog::from_costs([2.0, 3.0]).unwrap();
+        let plan_a = engine.plan_with(&name_a, &tree, &cat).unwrap();
+        let plan_b = engine.plan_with(&name_b, &tree, &cat).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2, "two distinct cache keys");
+        assert_ne!(
+            plan_a.body, plan_b.body,
+            "different seeds shuffle differently"
+        );
+        // Each name keeps serving its own plan from the cache.
+        assert_eq!(engine.plan_with(&name_a, &tree, &cat).unwrap(), plan_a);
+        assert_eq!(engine.plan_with(&name_b, &tree, &cat).unwrap(), plan_b);
+        assert_eq!(engine.cache_stats().hits, 2);
+    }
+
+    #[test]
     fn unknown_planner_name_errors() {
         let engine = Engine::new();
         let tree = shared_dnf(0);

@@ -148,14 +148,29 @@ impl Planner for ReadOnceDnfPlanner {
 
 /// Adapter exposing one Section IV-D [`Heuristic`] as a [`Planner`]
 /// (its registry name is the heuristic's stable [`Heuristic::id`]).
-#[derive(Debug, Clone, Copy)]
+///
+/// Planner-salient configuration beyond the id is folded into the
+/// registered name: `Heuristic::id` maps every `LeafRandom { seed }` to
+/// `"leaf-random"`, but the `Engine` plan cache keys on `(query,
+/// catalog, planner name)` — two seeds sharing one name would serve
+/// each other's cached plans. A non-default seed therefore registers
+/// (and caches) as `leaf-random@seed=N`; the default seed keeps the
+/// bare id.
+#[derive(Debug, Clone)]
 pub struct HeuristicPlanner {
     heuristic: Heuristic,
+    name: String,
 }
 
 impl HeuristicPlanner {
     pub fn new(heuristic: Heuristic) -> HeuristicPlanner {
-        HeuristicPlanner { heuristic }
+        let name = match heuristic {
+            Heuristic::LeafRandom { seed } if seed != Heuristic::DEFAULT_RANDOM_SEED => {
+                format!("{}@seed={seed}", heuristic.id())
+            }
+            _ => heuristic.id().to_string(),
+        };
+        HeuristicPlanner { heuristic, name }
     }
 
     /// The wrapped heuristic.
@@ -166,7 +181,7 @@ impl HeuristicPlanner {
 
 impl Planner for HeuristicPlanner {
     fn name(&self) -> &str {
-        self.heuristic.id()
+        &self.name
     }
 
     fn description(&self) -> &str {
@@ -473,11 +488,19 @@ mod tests {
         assert_eq!(plan.body.as_dnf().unwrap(), &direct);
 
         for h in heuristics::paper_set(7) {
-            let plan = HeuristicPlanner::new(h).plan(&q, &cat).unwrap();
+            let planner = HeuristicPlanner::new(h);
+            let plan = planner.plan(&q, &cat).unwrap();
             let (schedule, cost) = h.schedule_with_cost(&tree, &cat);
             assert_eq!(plan.body.as_dnf().unwrap(), &schedule, "{}", h.id());
             assert_eq!(plan.expected_cost, Some(cost), "{}", h.id());
-            assert_eq!(plan.planner, h.id());
+            // Non-default seeds fold the seed into the planner name (the
+            // cache key); everything else keeps the bare id.
+            match h {
+                Heuristic::LeafRandom { seed } if seed != Heuristic::DEFAULT_RANDOM_SEED => {
+                    assert_eq!(plan.planner, format!("leaf-random@seed={seed}"));
+                }
+                _ => assert_eq!(plan.planner, h.id()),
+            }
         }
     }
 

@@ -114,6 +114,54 @@ proptest! {
         prop_assert!(close(dot, cost, 1e-9), "literal dot {dot} vs kernel cost {cost}");
     }
 
+    /// Batch evaluation of many candidate orders over one compiled tree
+    /// matches one-at-a-time `expected_cost` to ≤ 1e-9 relative error
+    /// (bitwise, in fact: both paths run the identical kernel), for full
+    /// schedules and for prefixes, and `appended_cost` agrees with the
+    /// materialized concatenation.
+    #[test]
+    fn batch_evaluation_matches_one_at_a_time(
+        tree in dnf_tree(),
+        cat in catalog(),
+        cov in coverage(),
+        seed in any::<u64>(),
+    ) {
+        let model = CostModel::new(&tree, &cat);
+        let mut batch_scratch = model.make_scratch();
+        let mut single_scratch = model.make_scratch();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut refs: Vec<LeafRef> = tree.leaf_refs().collect();
+        let orders: Vec<Vec<LeafRef>> = (0..6)
+            .map(|_| {
+                refs.shuffle(&mut rng);
+                let cut = rng.gen_range(1..=refs.len());
+                refs[..cut].to_vec()
+            })
+            .collect();
+        let views: Vec<&[LeafRef]> = orders.iter().map(|o| o.as_slice()).collect();
+        let batch = model.expected_cost_batch(&views, &cov, &mut batch_scratch);
+        prop_assert_eq!(batch.len(), orders.len());
+        for (order, &got) in orders.iter().zip(&batch) {
+            let one = model.expected_cost_with_coverage(order, &cov, &mut single_scratch);
+            prop_assert!(close(one, got, 1e-9), "batch {got} vs single {one}");
+            // full-schedule orders additionally pin the literal evaluator
+            if order.len() == tree.num_leaves() {
+                let schedule = DnfSchedule::new(order.clone(), &tree).unwrap();
+                let items = dnf_eval::expected_items_with_coverage(&tree, &cat, &schedule, &cov);
+                let literal: f64 = items
+                    .iter()
+                    .enumerate()
+                    .map(|(k, i)| i * cat.cost(StreamId(k)))
+                    .sum();
+                prop_assert!(close(literal, got, 1e-9), "literal {literal} vs batch {got}");
+            }
+            // schedule-delta: prefix ⧺ tail equals the whole order
+            let cut = order.len() / 2;
+            let chained = model.appended_cost(&order[..cut], &order[cut..], &cov, &mut single_scratch);
+            prop_assert_eq!(chained, got, "appended_cost disagrees with the whole order");
+        }
+    }
+
     /// Push/pop interleavings leave the incremental evaluator in exactly
     /// the state a fresh push-only walk produces, and its total matches
     /// the literal evaluator.

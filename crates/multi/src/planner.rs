@@ -27,8 +27,10 @@
 //! * every candidate is priced through a compiled, allocation-free
 //!   [`CostModel`] kernel (per-call work scales with the query's own
 //!   streams, not the catalog);
-//! * per-round candidate evaluation fans out over the `paotr_par`
-//!   worker pool ([`SharedGreedyPlanner::threads`]);
+//! * per-round candidate evaluation fans out over the **persistent**
+//!   `paotr_par` worker pool ([`SharedGreedyPlanner::threads`]) with one
+//!   evaluation scratch per worker per round — no thread spawning and no
+//!   per-candidate allocation in the round loop;
 //! * the expensive coalescing *re-plan* of a candidate is cached and
 //!   only recomputed when the coverage on that query's streams moved by
 //!   more than [`SharedGreedyPlanner::replan_bound`] since the cached
@@ -458,8 +460,10 @@ impl WorkloadPlanner for SharedGreedyPlanner {
                 )
             };
             let evals: Vec<CandidateEval> = if workers > 1 && remaining.len() >= 16 {
-                paotr_par::par_map(&remaining, self.threads, |q| {
-                    evaluate(q, &mut EvalScratch::new())
+                // Persistent pool + one scratch per participating worker
+                // for the whole round (not one per candidate).
+                paotr_par::par_map_init(&remaining, self.threads, EvalScratch::new, |q, scratch| {
+                    evaluate(q, scratch)
                 })
                 .into_iter()
                 .collect::<Result<_>>()?
@@ -578,7 +582,7 @@ impl WorkloadPlanner for BatchAwarePlanner {
                     .max_by(|&a, &b| {
                         let ca = items[a] * catalog.cost(StreamId(a));
                         let cb = items[b] * catalog.cost(StreamId(b));
-                        ca.partial_cmp(&cb).expect("costs are never NaN")
+                        ca.total_cmp(&cb)
                     })
                     .unwrap_or(0)
             })
@@ -601,22 +605,13 @@ impl WorkloadPlanner for BatchAwarePlanner {
                 (traffic, k, qs)
             })
             .collect();
-        ordered_groups.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("traffic is never NaN")
-                .then(a.1.cmp(&b.1))
-        });
+        ordered_groups.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let mut order = Vec::with_capacity(workload.len());
         for (_, k, mut qs) in ordered_groups {
             // Heaviest puller of the group's stream first: its pull
             // covers the widest window for everyone behind it.
-            qs.sort_by(|&a, &b| {
-                demand[b][k]
-                    .partial_cmp(&demand[a][k])
-                    .expect("demand is never NaN")
-                    .then(a.cmp(&b))
-            });
+            qs.sort_by(|&a, &b| demand[b][k].total_cmp(&demand[a][k]).then(a.cmp(&b)));
             order.extend(qs);
         }
 

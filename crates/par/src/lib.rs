@@ -1,29 +1,36 @@
-//! # paotr-par — a small scoped-thread parallel-map substrate
+//! # paotr-par — a persistent-worker parallel-map substrate
 //!
 //! The paper's experiments sweep hundreds of thousands of independent
-//! problem instances; this crate provides the embarrassingly-parallel
-//! plumbing without pulling in a full framework:
+//! problem instances, and the multi-query planners fan candidate
+//! evaluations out every greedy round; this crate provides the
+//! embarrassingly-parallel plumbing without pulling in a full framework:
 //!
 //! * [`par_map`] / [`par_map_indexed`] — dynamic (work-stealing-style)
 //!   scheduling via a shared atomic work index over a slice;
 //! * [`par_tasks`] — the same, generating work items from an index range
 //!   (avoids materializing inputs);
 //! * [`par_tasks_with_progress`] — adds a completion callback for progress
-//!   meters.
+//!   meters;
+//! * [`par_tasks_init`] / [`par_map_init`] — a per-worker state built
+//!   once per job (how planners reuse evaluation scratch across a
+//!   round's candidates instead of allocating per candidate).
 //!
-//! Scheduling is dynamic on purpose: per-instance cost varies by orders of
-//! magnitude (a branch-and-bound on one instance can dwarf a heuristic on
-//! another), so static chunking would leave threads idle. Results travel
-//! back over a `crossbeam` channel and are re-assembled in input order, so
-//! output order is deterministic regardless of thread interleaving.
-//! Worker panics propagate to the caller when the scope joins.
+//! Everything runs on the lazily-started **persistent**
+//! [`WorkerPool`](pool::WorkerPool) ([`pool::WorkerPool::global`]):
+//! repeated fan-outs — a shared-greedy planning round, one sweep cell —
+//! cost a condvar broadcast instead of a `std::thread::scope` spawn +
+//! join per call. Scheduling is dynamic on purpose: per-instance cost
+//! varies by orders of magnitude (a branch-and-bound on one instance can
+//! dwarf a heuristic on another), so static chunking would leave threads
+//! idle. Results travel back over a channel and are re-assembled in
+//! input order, so output order is deterministic regardless of thread
+//! interleaving. Worker panics propagate to the caller when the job
+//! completes; nested fan-outs from a pool worker run inline (no
+//! deadlock, see [`pool::on_pool_worker`]).
 
 pub mod pool;
 
-use crossbeam::channel;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-pub use pool::{num_threads, ThreadCount};
+pub use pool::{num_threads, on_pool_worker, ThreadCount, WorkerPool};
 
 /// Applies `f` to every element of `items` in parallel, preserving input
 /// order in the output.
@@ -46,6 +53,19 @@ where
     par_tasks(items.len(), threads, |i| f(i, &items[i]))
 }
 
+/// [`par_map`] with a per-worker state: `init` runs once per
+/// participating worker, and every call that worker claims gets the
+/// state mutably (e.g. a reusable evaluation scratch).
+pub fn par_map_init<T, R, S, I, F>(items: &[T], threads: ThreadCount, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> R + Sync,
+{
+    par_tasks_init(items.len(), threads, init, |i, s| f(&items[i], s))
+}
+
 /// Runs `n` index-addressed tasks in parallel and collects their results
 /// in index order.
 pub fn par_tasks<R, F>(n: usize, threads: ThreadCount, f: F) -> Vec<R>
@@ -56,68 +76,32 @@ where
     par_tasks_with_progress(n, threads, f, |_| {})
 }
 
+/// [`par_tasks`] with a per-worker state (see [`par_map_init`]).
+pub fn par_tasks_init<R, S, I, F>(n: usize, threads: ThreadCount, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    WorkerPool::global().par_tasks_init(n, threads, init, f, |_| {})
+}
+
 /// [`par_tasks`] with a callback invoked after each task completes
 /// (with the number of completed tasks so far). The callback runs on the
-/// collector thread, so it may be slow without stalling workers.
+/// submitting thread, so it may be slow without stalling workers.
 pub fn par_tasks_with_progress<R, F, P>(n: usize, threads: ThreadCount, f: F, progress: P) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
     P: FnMut(usize),
 {
-    let workers = threads.resolve().min(n.max(1));
-    if n == 0 {
-        return Vec::new();
-    }
-    if workers <= 1 {
-        let mut progress = progress;
-        return (0..n)
-            .map(|i| {
-                let r = f(i);
-                progress(i + 1);
-                r
-            })
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = channel::unbounded::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut progress = progress;
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut done = 0;
-        for (i, r) in rx {
-            debug_assert!(out[i].is_none(), "task {i} delivered twice");
-            out[i] = Some(r);
-            done += 1;
-            progress(done);
-        }
-        out.into_iter()
-            .map(|o| o.expect("scope joined, every task delivered"))
-            .collect()
-    })
+    WorkerPool::global().par_tasks_with_progress(n, threads, f, progress)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn map_preserves_order() {

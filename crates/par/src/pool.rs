@@ -1,10 +1,23 @@
-//! Thread-count policy.
+//! Thread-count policy and the persistent worker pool.
 //!
 //! Experiments read the desired parallelism from (in priority order) an
 //! explicit [`ThreadCount::Fixed`], the `PAOTR_THREADS` environment
 //! variable, or the machine's available parallelism.
+//!
+//! [`WorkerPool`] is the substrate behind every `par_*` free function in
+//! this crate: a set of **persistent** worker threads, spawned lazily on
+//! first use and grown on demand up to the largest parallelism any job
+//! requests, shut down when the pool is dropped. Planners that fan the
+//! same shape of work out every round (the shared-greedy candidate
+//! scorer, the experiment sweeps) previously paid a full
+//! `std::thread::scope` spawn + join per round; against the pool a round
+//! costs one condvar broadcast and one join wait.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// How many worker threads a parallel operation should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +53,372 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Depth of `run_job` frames on this thread (a submitter collecting
+    /// results). A progress callback that fans out again must run
+    /// inline: re-locking the non-reentrant submit mutex would
+    /// self-deadlock.
+    static SUBMITTING: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// True on threads owned by a [`WorkerPool`]. Parallel entry points use
+/// this to run nested fan-outs inline instead of submitting to the pool
+/// a worker is already part of (which would deadlock the job queue).
+pub fn on_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|w| w.get())
+}
+
+/// True while this thread is inside a pool submission (collecting a
+/// job's results). Nested fan-outs — e.g. from a progress callback —
+/// run inline instead of re-entering the submit lock.
+fn submitting() -> bool {
+    SUBMITTING.with(|s| s.get() > 0)
+}
+
+/// Type-erased pointer to a job's worker body. The referent outlives the
+/// job (the submitter blocks until every participant finished), which is
+/// what makes the `Send` below sound.
+struct TaskPtr(*const (dyn Fn() + Sync));
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and `run_job` keeps it alive until the last participant checked
+// out, so shipping the pointer to worker threads is sound.
+unsafe impl Send for TaskPtr {}
+
+/// One in-flight job: the body every participating worker runs, slot
+/// accounting, and the first panic payload (re-thrown by the submitter).
+struct ActiveJob {
+    task: TaskPtr,
+    /// Maximum number of workers that may participate.
+    slots: usize,
+    /// Workers that acquired a slot (ran or are running the body).
+    joined: usize,
+    /// Participants that finished running the body.
+    done: usize,
+    /// Workers (participating or not) that observed this job. Completion
+    /// additionally requires every worker alive at submit time to have
+    /// checked in — afterwards `joined` can no longer grow.
+    checked_in: usize,
+    /// Worker count at submit time (the check-in target).
+    workers: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ActiveJob {
+    fn complete(&self) -> bool {
+        self.checked_in == self.workers && self.done == self.joined
+    }
+}
+
+#[derive(Default)]
+struct JobSlot {
+    epoch: u64,
+    job: Option<ActiveJob>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    slot: Mutex<JobSlot>,
+    /// Workers park here between jobs.
+    wake: Condvar,
+    /// The submitter parks here until the job completes.
+    done: Condvar,
+}
+
+/// A persistent worker pool with the same `par_map` / `par_tasks`
+/// surface as the crate's free functions (which route through
+/// [`WorkerPool::global`]). Threads are spawned lazily on first use,
+/// grown on demand up to the largest parallelism a job requests, and
+/// joined when the pool is dropped. One job runs at a time; submissions
+/// from foreign threads serialize, and submissions from the pool's own
+/// workers run inline (see [`on_pool_worker`]).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes jobs (one broadcast at a time).
+    submit: Mutex<()>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; workers are spawned on first use.
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(Shared::default()),
+            submit: Mutex::new(()),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide pool every `par_*` free function runs on.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn workers(&self) -> usize {
+        lock(&self.workers).len()
+    }
+
+    /// [`par_tasks_with_progress`](crate::par_tasks_with_progress) on
+    /// this pool.
+    pub fn par_tasks_with_progress<R, F, P>(
+        &self,
+        n: usize,
+        threads: ThreadCount,
+        f: F,
+        progress: P,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        P: FnMut(usize),
+    {
+        self.par_tasks_init(n, threads, || (), move |i, _| f(i), progress)
+    }
+
+    /// [`par_tasks`](crate::par_tasks) on this pool.
+    pub fn par_tasks<R, F>(&self, n: usize, threads: ThreadCount, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_tasks_with_progress(n, threads, f, |_| {})
+    }
+
+    /// [`par_map`](crate::par_map) on this pool.
+    pub fn par_map<T, R, F>(&self, items: &[T], threads: ThreadCount, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_tasks(items.len(), threads, |i| f(&items[i]))
+    }
+
+    /// The workhorse: `n` index-addressed tasks with a per-participant
+    /// state (built once per participating worker by `init`, handed
+    /// mutably to every task that worker claims). The state is how
+    /// planners reuse evaluation scratch across a round's candidates
+    /// instead of allocating per candidate.
+    pub fn par_tasks_init<R, S, I, F, P>(
+        &self,
+        n: usize,
+        threads: ThreadCount,
+        init: I,
+        f: F,
+        mut progress: P,
+    ) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+        P: FnMut(usize),
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let slots = threads.resolve().min(n);
+        if slots <= 1 || on_pool_worker() || submitting() {
+            // Sequential path: also the nested-submission fallback, so
+            // neither a pool worker nor a collecting submitter (e.g. a
+            // progress callback) fanning out again can deadlock.
+            let mut state = init();
+            return (0..n)
+                .map(|i| {
+                    let r = f(i, &mut state);
+                    progress(i + 1);
+                    r
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+        let body = move || {
+            let tx = tx.clone();
+            let mut state = init();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &mut state);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            }
+        };
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        self.run_job(slots, &body, |shared| {
+            // Collect on the submitting thread. Every task sends exactly
+            // one message unless a worker panicked, so either the count
+            // completes or the panic flag breaks the wait.
+            let mut got = 0usize;
+            while got < n {
+                match rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok((i, r)) => {
+                        debug_assert!(out[i].is_none(), "task {i} delivered twice");
+                        out[i] = Some(r);
+                        got += 1;
+                        progress(got);
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        let slot = lock(&shared.slot);
+                        if slot.job.as_ref().is_some_and(|j| j.panic.is_some()) {
+                            break;
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("job completed, every task delivered"))
+            .collect()
+    }
+
+    /// Publishes `body` as the next job, lets `collect` drain results on
+    /// the calling thread, then blocks until every participant checked
+    /// out and re-throws the first panic (`collect`'s own before any
+    /// worker's). `body` must not be touched again once this returns
+    /// (the raw task pointer dies here).
+    ///
+    /// The completion wait runs even when `collect` unwinds (a panicking
+    /// progress callback, say): returning early would free the closure
+    /// frame while workers still execute it through the raw pointer.
+    fn run_job(&self, slots: usize, body: &(dyn Fn() + Sync), collect: impl FnOnce(&Shared)) {
+        let _serial = lock(&self.submit);
+        let workers = self.ensure_workers(slots);
+        // SAFETY: `run_job` does not return before every participant
+        // finished with the pointee (the unconditional completion wait
+        // below), so erasing the lifetime for the trait-object pointer
+        // is sound.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body)
+        });
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.epoch += 1;
+            slot.job = Some(ActiveJob {
+                task,
+                slots,
+                joined: 0,
+                done: 0,
+                checked_in: 0,
+                workers,
+                panic: None,
+            });
+        }
+        self.shared.wake.notify_all();
+
+        SUBMITTING.with(|s| s.set(s.get() + 1));
+        let collected = catch_unwind(AssertUnwindSafe(|| collect(&self.shared)));
+        SUBMITTING.with(|s| s.set(s.get() - 1));
+
+        let mut slot = lock(&self.shared.slot);
+        while !slot.job.as_ref().expect("job in flight").complete() {
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let job = slot.job.take().expect("job in flight");
+        drop(slot);
+        if let Err(payload) = collected {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = job.panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Ensures at least `want` workers are alive; returns the worker
+    /// count. Called with the submit lock held, so no job is in flight
+    /// while the pool grows.
+    fn ensure_workers(&self, want: usize) -> usize {
+        let mut workers = lock(&self.workers);
+        while workers.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("paotr-pool-{}", workers.len());
+            workers.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker"),
+            );
+        }
+        workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    let mut last_epoch = 0u64;
+    let mut slot = lock(&shared.slot);
+    loop {
+        if slot.shutdown {
+            return;
+        }
+        let fresh = slot.epoch != last_epoch && slot.job.is_some();
+        if !fresh {
+            slot = shared
+                .wake
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            continue;
+        }
+        last_epoch = slot.epoch;
+        let job = slot.job.as_mut().expect("checked above");
+        job.checked_in += 1;
+        let participate = job.joined < job.slots;
+        if participate {
+            job.joined += 1;
+            let task = job.task.0;
+            drop(slot);
+            // SAFETY: the submitter keeps the pointee alive until this
+            // participant reports done (the completion wait in
+            // `run_job`), which happens strictly after this call.
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)() }));
+            slot = lock(&shared.slot);
+            let job = slot.job.as_mut().expect("job outlives its participants");
+            job.done += 1;
+            if let Err(payload) = outcome {
+                job.panic.get_or_insert(payload);
+            }
+        }
+        shared.done.notify_all();
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +432,158 @@ mod tests {
     #[test]
     fn auto_is_positive() {
         assert!(ThreadCount::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn pool_spawns_lazily_and_grows_on_demand() {
+        let pool = WorkerPool::new();
+        assert_eq!(pool.workers(), 0, "no job yet, no threads");
+        let out = pool.par_tasks(8, ThreadCount::Fixed(2), |i| i * 2);
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(pool.workers(), 2);
+        let out = pool.par_tasks(16, ThreadCount::Fixed(4), |i| i + 1);
+        assert_eq!(out.len(), 16);
+        assert_eq!(pool.workers(), 4, "grown to the widest request");
+        // narrower follow-up jobs reuse the pool without shrinking it
+        let out = pool.par_tasks(4, ThreadCount::Fixed(2), |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(pool.workers(), 4);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_many_rounds() {
+        let pool = WorkerPool::new();
+        for round in 0..200 {
+            let out = pool.par_tasks(5, ThreadCount::Fixed(3), |i| i + round);
+            assert_eq!(out, (0..5).map(|i| i + round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.workers(), 3, "200 rounds, 3 threads total");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = WorkerPool::new();
+        pool.par_tasks(4, ThreadCount::Fixed(2), |i| i);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_panics_propagate_to_the_submitter() {
+        let pool = WorkerPool::new();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_tasks(8, ThreadCount::Fixed(2), |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // the pool survives the panic and serves the next job
+        let out = pool.par_tasks(4, ThreadCount::Fixed(2), |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_job() {
+        let pool = WorkerPool::new();
+        // Each participant counts its tasks in its own state; the sum of
+        // all per-state counts must equal n (every task ran once, under
+        // exactly one state).
+        let total = AtomicUsize::new(0);
+        struct Counter<'a> {
+            local: usize,
+            total: &'a AtomicUsize,
+        }
+        impl Drop for Counter<'_> {
+            fn drop(&mut self) {
+                self.total.fetch_add(self.local, Ordering::Relaxed);
+            }
+        }
+        let out = pool.par_tasks_init(
+            100,
+            ThreadCount::Fixed(4),
+            || Counter {
+                local: 0,
+                total: &total,
+            },
+            |i, c| {
+                c.local += 1;
+                i
+            },
+            |_| {},
+        );
+        assert_eq!(out.len(), 100);
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn progress_panics_wait_for_workers_and_propagate() {
+        // A panicking progress callback must not return early from the
+        // job (workers still hold the raw task pointer); it must wait,
+        // then re-throw, leaving the pool serviceable.
+        let pool = WorkerPool::new();
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_tasks_with_progress(
+                64,
+                ThreadCount::Fixed(4),
+                |i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+                |done| {
+                    if done == 3 {
+                        panic!("progress abort");
+                    }
+                },
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            64,
+            "workers drained the job before the panic resumed"
+        );
+        let out = pool.par_tasks(4, ThreadCount::Fixed(2), |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fanning_out_from_a_progress_callback_runs_inline() {
+        let pool = WorkerPool::new();
+        let nested_sum = AtomicUsize::new(0);
+        let out = pool.par_tasks_with_progress(
+            6,
+            ThreadCount::Fixed(2),
+            |i| i,
+            |done| {
+                // re-entering the same pool from the collecting thread
+                // must not self-deadlock on the submit lock
+                let inner: usize = pool
+                    .par_tasks(3, ThreadCount::Fixed(2), |j| j + done)
+                    .into_iter()
+                    .sum();
+                nested_sum.fetch_add(inner, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert!(nested_sum.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn nested_submissions_run_inline() {
+        let pool = WorkerPool::global();
+        let out = pool.par_tasks(4, ThreadCount::Fixed(2), |i| {
+            assert!(on_pool_worker());
+            // a nested fan-out must not deadlock the pool
+            let inner: Vec<usize> =
+                WorkerPool::global().par_tasks(3, ThreadCount::Fixed(2), |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 4);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (0..3).map(|j| i * 10 + j).sum::<usize>());
+        }
     }
 }

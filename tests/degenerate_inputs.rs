@@ -1,0 +1,149 @@
+//! Planner behaviour on degenerate instances: zero-cost streams and
+//! certain / impossible (`p ∈ {0, 1}`) leaves.
+//!
+//! These inputs drive every ratio key into its `0/0` / `∞` corners —
+//! exactly where the old `partial_cmp(...).expect("never NaN")` sorts
+//! would panic if a key ever went NaN. All planner sorts now use
+//! `f64::total_cmp` with explicit index tie-breaks; these tests pin
+//! that the planners (single-query and multi-query) neither panic nor
+//! lose determinism anywhere in the degenerate corner.
+
+use paotr::core::leaf::Leaf;
+use paotr::core::plan::{Engine, QueryRef};
+use paotr::core::prob::Prob;
+use paotr::core::schedule::DnfSchedule;
+use paotr::core::stream::{StreamCatalog, StreamId};
+use paotr::core::tree::DnfTree;
+use paotr::multi::{default_planners, Workload};
+
+fn leaf(s: usize, d: u32, p: f64) -> Leaf {
+    Leaf::new(StreamId(s), d, Prob::new(p).unwrap()).unwrap()
+}
+
+/// Trees leaning on every degenerate corner at once: certain leaves
+/// (`p = 1`, can never short-circuit), impossible leaves (`p = 0`),
+/// free streams, and terms whose every key is `0/0`-shaped (zero cost,
+/// zero failure probability).
+fn degenerate_cases() -> Vec<(DnfTree, StreamCatalog)> {
+    let all_zero = StreamCatalog::from_costs([0.0, 0.0, 0.0]).unwrap();
+    let mixed = StreamCatalog::from_costs([0.0, 2.0, 0.0]).unwrap();
+    let tree = DnfTree::from_leaves(vec![
+        vec![leaf(0, 3, 1.0), leaf(1, 1, 1.0)],
+        vec![leaf(0, 5, 0.0), leaf(1, 2, 0.0)],
+        vec![leaf(2, 1, 1.0), leaf(0, 2, 0.0)],
+        vec![leaf(2, 4, 1.0)],
+    ])
+    .unwrap();
+    // Identical impossible-and-free terms: every ordering key ties.
+    let tied = DnfTree::from_leaves(vec![
+        vec![leaf(0, 2, 0.0)],
+        vec![leaf(0, 2, 0.0)],
+        vec![leaf(0, 2, 0.0)],
+    ])
+    .unwrap();
+    vec![
+        (tree.clone(), all_zero.clone()),
+        (tree, mixed),
+        (tied, all_zero),
+    ]
+}
+
+#[test]
+fn every_dnf_planner_survives_zero_cost_catalogs_and_certain_leaves() {
+    let engine = Engine::new();
+    for (case, (tree, catalog)) in degenerate_cases().into_iter().enumerate() {
+        let query = QueryRef::from(&tree);
+        for planner in engine.registry().iter() {
+            if !planner.supports(&query) {
+                continue;
+            }
+            let plan = planner
+                .plan(&query, &catalog)
+                .unwrap_or_else(|e| panic!("case {case}, `{}`: {e}", planner.name()));
+            if let Some(schedule) = plan.body.as_dnf() {
+                DnfSchedule::new(schedule.order().to_vec(), &tree)
+                    .unwrap_or_else(|e| panic!("case {case}, `{}`: {e}", planner.name()));
+            }
+            if let Some(cost) = plan.expected_cost {
+                assert!(
+                    cost.is_finite(),
+                    "case {case}, `{}`: cost {cost}",
+                    planner.name()
+                );
+            }
+            // Determinism: planning the same degenerate instance twice
+            // must give the identical plan body.
+            let again = planner.plan(&query, &catalog).unwrap();
+            assert_eq!(
+                plan.body,
+                again.body,
+                "case {case}, `{}`: unstable plan",
+                planner.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_planners_survive_zero_cost_catalogs() {
+    let engine = Engine::new();
+    for (case, (tree, catalog)) in degenerate_cases().into_iter().enumerate() {
+        let workload = Workload::from_trees(vec![tree.clone(), tree], catalog).unwrap();
+        for planner in default_planners() {
+            let jp = planner
+                .plan(&workload, &engine)
+                .unwrap_or_else(|e| panic!("case {case}, `{}`: {e}", planner.name()));
+            let mut order = jp.order.clone();
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1], "case {case}, `{}`", planner.name());
+            for cost in &jp.predicted_costs {
+                assert!(cost.is_finite(), "case {case}, `{}`", planner.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn equal_ratio_plans_break_ties_by_index_stably() {
+    // Three byte-identical terms: `read-once-dnf` and the AND-ordered
+    // family must order them by term index, run after run.
+    let tree = DnfTree::from_leaves(vec![
+        vec![leaf(0, 2, 0.5), leaf(1, 1, 0.5)],
+        vec![leaf(0, 2, 0.5), leaf(1, 1, 0.5)],
+        vec![leaf(0, 2, 0.5), leaf(1, 1, 0.5)],
+    ])
+    .unwrap();
+    let catalog = StreamCatalog::from_costs([1.0, 1.0]).unwrap();
+    let engine = Engine::new();
+    for name in [
+        "read-once-dnf",
+        "and-inc-cp-stat",
+        "and-inc-cp-dyn",
+        "general",
+    ] {
+        let mut bodies = Vec::new();
+        for _ in 0..3 {
+            engine.clear_cache(); // re-plan for real, no cached copies
+            bodies.push(
+                engine
+                    .plan_with(name, &tree, &catalog)
+                    .unwrap()
+                    .body
+                    .clone(),
+            );
+        }
+        assert_eq!(bodies[0], bodies[1], "{name}");
+        assert_eq!(bodies[1], bodies[2], "{name}");
+        if let Some(schedule) = bodies[0].as_dnf() {
+            let terms: Vec<usize> = schedule
+                .order()
+                .iter()
+                .map(|r| r.term)
+                .collect::<Vec<_>>()
+                .chunks(2)
+                .map(|c| c[0])
+                .collect();
+            assert_eq!(terms, vec![0, 1, 2], "{name}: ties must fall to term index");
+        }
+    }
+}
