@@ -80,6 +80,11 @@ fn main() -> ExitCode {
     }
     let mut baseline = load(paths[0]);
     let mut fresh = load(paths[1]);
+    // Raw (pre-normalization) medians: failure messages always report
+    // the offending entry's actual median pair, not just its group or
+    // its machine-relative ratio.
+    let raw_baseline = baseline.clone();
+    let raw_fresh = fresh.clone();
     let in_groups = |name: &str, groups: &[String]| {
         let group = name.split('/').next().unwrap_or(name);
         groups.iter().any(|g| g == group)
@@ -152,7 +157,10 @@ fn main() -> ExitCode {
     for (name, base_ns) in &baseline {
         let Some(fresh_ns) = fresh.get(name) else {
             if gated(name) {
-                failures.push(format!("`{name}` missing from the fresh run"));
+                failures.push(format!(
+                    "`{name}` missing from the fresh run (baseline median {:.4} µs)",
+                    raw_baseline[name] / 1e3
+                ));
             }
             continue;
         };
@@ -174,13 +182,25 @@ fn main() -> ExitCode {
             if regressed { "  << REGRESSION" } else { "" }
         );
         if regressed {
-            failures.push(format!(
-                "`{name}` regressed {:.1}% (median {:.4} {unit} -> {:.4} {unit}, limit +{:.0}%)",
+            // Always lead with the entry's raw median pair — under
+            // normalization the gated values are unitless ratios, which
+            // tell a reader *that* something regressed but not by how
+            // many microseconds.
+            let mut msg = format!(
+                "`{name}` regressed {:.1}% (median {:.4} µs -> {:.4} µs",
                 delta * 100.0,
-                base_ns / scale,
-                fresh_ns / scale,
-                max_regression * 100.0
-            ));
+                raw_baseline[name] / 1e3,
+                raw_fresh[name] / 1e3,
+            );
+            if normalize.is_some() {
+                msg.push_str(&format!(
+                    "; normalized {:.4} -> {:.4}",
+                    base_ns / scale,
+                    fresh_ns / scale
+                ));
+            }
+            msg.push_str(&format!(", limit +{:.0}%)", max_regression * 100.0));
+            failures.push(msg);
         }
     }
     for name in fresh.keys() {

@@ -6,6 +6,7 @@
 //! paotr explain  "<query>" [--costs ...]      # heuristic metrics per leaf/AND/stream
 //! paotr simulate "<query>" [--costs ...] [--evals N] [--retain]
 //! paotr workload [--queries N] [--overlap F] [--seed S] [--planner NAME | --compare]
+//! paotr serve    [--queries N] [--arrivals poisson|periodic] [--budget J] [--compare]
 //! ```
 //!
 //! Probabilities come from `@` annotations (default 0.5). Stream costs
@@ -13,6 +14,7 @@
 
 mod explain;
 mod schedule_cmd;
+mod serve_cmd;
 mod simulate_cmd;
 #[cfg(test)]
 mod tests;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "explain" => explain::run(rest),
         "simulate" => simulate_cmd::run(rest),
         "workload" => workload_cmd::run(rest),
+        "serve" => serve_cmd::run(rest),
         "--help" | "-h" | "help" => {
             print_help();
             Ok(())
@@ -56,7 +59,11 @@ fn print_help() {
          \x20 paotr simulate \"<query>\" [--costs A=1,B=2] [--evals N] [--retain] [--seed S]\n\
          \x20 paotr workload [--queries N] [--overlap F] [--seed S] [--evals N]\n\
          \x20                [--planner independent|shared-greedy|batch-aware | --compare]\n\
-         \x20                [--no-sim] [--threads N]\n\n\
+         \x20                [--no-sim] [--threads N]\n\
+         \x20 paotr serve    [--queries N] [--overlap F] [--seed S] [--ticks N]\n\
+         \x20                [--arrivals poisson|periodic] [--rate F] [--every N]\n\
+         \x20                [--budget J] [--defer] [--no-drift] [--drift-tolerance F]\n\
+         \x20                [--planner NAME | --compare]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
          planner names (for --heuristic; default and-inc-cp-dyn):"

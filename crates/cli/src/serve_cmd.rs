@@ -1,0 +1,310 @@
+//! `paotr serve` — serve a generated workload through the tick-driven
+//! serving runtime: arrival processes, admission control and drift
+//! re-planning, with a live summary rendered through `paotr_stats`.
+
+use paotr_core::plan::Engine;
+use paotr_exec::{
+    AcceptAll, AdmissionPolicy, ArrivalSpec, DriftConfig, EnergyBudget, ServeConfig, ServeLoop,
+    ServeReport,
+};
+use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_multi::{planner_by_name, planner_names, Workload};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut queries = 16usize;
+    let mut overlap = 0.5f64;
+    let mut seed = 0u64;
+    let mut ticks = 400usize;
+    let mut arrivals = "poisson".to_string();
+    let mut rate = 0.5f64;
+    let mut every = 1u64;
+    let mut budget: Option<f64> = None;
+    let mut defer = false;
+    let mut drift = true;
+    let mut drift_tolerance = 0.15f64;
+    let mut planner: Option<String> = None;
+    let mut compare_all = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        let take = |name: &str| -> Result<String, String> {
+            value
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        let parse_num = |name: &str, out: &mut f64| -> Result<(), String> {
+            *out = take(name)?
+                .parse()
+                .map_err(|_| format!("{name} expects a number"))?;
+            Ok(())
+        };
+        match flag {
+            "--queries" => {
+                queries = take("--queries")?
+                    .parse()
+                    .map_err(|_| "--queries expects an integer".to_string())?;
+                i += 2;
+            }
+            "--overlap" => {
+                parse_num("--overlap", &mut overlap)?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+                i += 2;
+            }
+            "--ticks" => {
+                ticks = take("--ticks")?
+                    .parse()
+                    .map_err(|_| "--ticks expects an integer".to_string())?;
+                i += 2;
+            }
+            "--arrivals" => {
+                arrivals = take("--arrivals")?;
+                i += 2;
+            }
+            "--rate" => {
+                parse_num("--rate", &mut rate)?;
+                i += 2;
+            }
+            "--every" => {
+                every = take("--every")?
+                    .parse()
+                    .map_err(|_| "--every expects an integer >= 1".to_string())?;
+                i += 2;
+            }
+            "--budget" => {
+                let mut b = 0.0;
+                parse_num("--budget", &mut b)?;
+                budget = Some(b);
+                i += 2;
+            }
+            "--defer" => {
+                defer = true;
+                i += 1;
+            }
+            "--no-drift" => {
+                drift = false;
+                i += 1;
+            }
+            "--drift-tolerance" => {
+                parse_num("--drift-tolerance", &mut drift_tolerance)?;
+                i += 2;
+            }
+            "--planner" => {
+                planner = Some(take("--planner")?);
+                i += 2;
+            }
+            "--compare" => {
+                compare_all = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if queries == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+    if ticks == 0 {
+        return Err("--ticks must be at least 1".into());
+    }
+    let arrivals = match arrivals.as_str() {
+        "poisson" => {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err("--rate expects a finite number > 0".into());
+            }
+            ArrivalSpec::Poisson { rate }
+        }
+        "periodic" => {
+            if every == 0 {
+                return Err("--every expects an integer >= 1".into());
+            }
+            ArrivalSpec::Periodic { every }
+        }
+        other => {
+            return Err(format!(
+                "--arrivals expects poisson|periodic, got `{other}`"
+            ))
+        }
+    };
+    if let Some(b) = budget {
+        if !(b.is_finite() && b >= 0.0) {
+            return Err("--budget expects a finite energy value >= 0".into());
+        }
+    }
+
+    let config = WorkloadConfig::with_overlap(queries, overlap);
+    let (trees, catalog) = workload_instance(config, seed as usize);
+    let workload = Workload::from_trees(trees, catalog).map_err(|e| e.to_string())?;
+    let engine = Engine::new();
+
+    let serve_config = ServeConfig {
+        ticks,
+        seed,
+        arrivals,
+        ticks_between: 1,
+        drift: drift.then_some(DriftConfig {
+            tolerance: drift_tolerance,
+            ..Default::default()
+        }),
+    };
+
+    println!(
+        "serving            : {} queries, {} streams, {} ticks, {} arrivals ({})",
+        workload.len(),
+        workload.catalog().len(),
+        ticks,
+        arrivals.name(),
+        match arrivals {
+            ArrivalSpec::Poisson { rate } => format!("rate {rate}/tick"),
+            ArrivalSpec::Periodic { every } => format!("every {every} ticks"),
+        }
+    );
+    println!(
+        "admission          : {}",
+        match (budget, defer) {
+            (None, _) => "accept-all (no budget)".to_string(),
+            (Some(b), false) => format!("energy-budget {b} J/tick, shed"),
+            (Some(b), true) => format!("energy-budget {b} J/tick, defer"),
+        }
+    );
+    println!(
+        "drift re-planning  : {}",
+        if drift {
+            format!("tolerance {drift_tolerance}")
+        } else {
+            "off".into()
+        }
+    );
+    println!();
+
+    let chosen: Vec<String> = if compare_all {
+        planner_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        let name = planner.as_deref().unwrap_or("shared-greedy");
+        if planner_by_name(name).is_none() {
+            return Err(format!(
+                "unknown workload planner `{name}` (expected one of: {})",
+                planner_names().join(", ")
+            ));
+        }
+        if name == "independent" {
+            vec![name.to_string()]
+        } else {
+            vec!["independent".to_string(), name.to_string()]
+        }
+    };
+
+    let mut reports: Vec<ServeReport> = Vec::new();
+    for name in &chosen {
+        let joint = planner_by_name(name)
+            .expect("validated above")
+            .plan(&workload, &engine)
+            .map_err(|e| e.to_string())?;
+        let serve = ServeLoop::new(&workload, &joint, serve_config);
+        let mut policy: Box<dyn AdmissionPolicy> = match (budget, defer) {
+            (None, _) => Box::new(AcceptAll),
+            (Some(b), false) => Box::new(EnergyBudget::shedding(b)),
+            (Some(b), true) => Box::new(EnergyBudget::deferring(b)),
+        };
+        let quarter = (ticks / 4).max(1);
+        let report = serve
+            .run_with_progress(policy.as_mut(), &engine, |t| {
+                if (t.tick + 1) % quarter as u64 == 0 {
+                    eprintln!(
+                        "  [{name}] tick {:>5}: due {:>3}  admitted {:>3}  shed {:>3}  \
+                         deferred {:>3}  energy {:>8.2}",
+                        t.tick + 1,
+                        t.due,
+                        t.admitted,
+                        t.shed,
+                        t.deferred,
+                        t.energy
+                    );
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        if let Some(b) = budget {
+            if report.max_tick_energy > b + 1e-9 {
+                return Err(format!(
+                    "budget violated: max tick energy {} > {b}",
+                    report.max_tick_energy
+                ));
+            }
+        }
+        reports.push(report);
+    }
+
+    println!();
+    print!("{}", ServeReport::summary_table(&reports).to_markdown());
+    if let Some(b) = budget {
+        println!();
+        println!(
+            "per-tick energy stayed within the {b} J budget on every tick of every run \
+             (worst observed: {:.2} J)",
+            reports
+                .iter()
+                .map(|r| r.max_tick_energy)
+                .fold(0.0, f64::max)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn serves_poisson_with_budget_end_to_end() {
+        super::run(&[
+            "--queries".into(),
+            "6".into(),
+            "--ticks".into(),
+            "40".into(),
+            "--arrivals".into(),
+            "poisson".into(),
+            "--rate".into(),
+            "0.6".into(),
+            "--budget".into(),
+            "30".into(),
+            "--compare".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn serves_periodic_accept_all() {
+        super::run(&[
+            "--queries".into(),
+            "4".into(),
+            "--ticks".into(),
+            "20".into(),
+            "--arrivals".into(),
+            "periodic".into(),
+            "--every".into(),
+            "2".into(),
+            "--no-drift".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(super::run(&["--bogus".into()]).is_err());
+        assert!(super::run(&["--arrivals".into(), "nope".into()]).is_err());
+        assert!(super::run(&["--planner".into(), "nope".into()]).is_err());
+        assert!(super::run(&["--queries".into(), "0".into()]).is_err());
+        assert!(super::run(&["--rate".into(), "0".into()]).is_err());
+        assert!(super::run(&[
+            "--arrivals".into(),
+            "periodic".into(),
+            "--every".into(),
+            "0".into()
+        ])
+        .is_err());
+        assert!(super::run(&["--budget".into(), "-1".into()]).is_err());
+    }
+}

@@ -7,7 +7,7 @@
 //! implementation the analytic evaluators ([`crate::cost::and_eval`],
 //! [`crate::cost::dnf_eval`]) are validated against.
 
-use crate::cost::execution::{execute_and_tree, execute_dnf, execute_query_tree};
+use crate::cost::execution::{execute_and_tree_impl, execute_dnf_impl, execute_query_tree};
 use crate::schedule::{AndSchedule, DnfSchedule};
 use crate::stream::StreamCatalog;
 use crate::tree::general::QueryTree;
@@ -32,7 +32,7 @@ pub fn and_tree_expected_cost(
     );
     let probs: Vec<f64> = tree.leaves().iter().map(|l| l.prob.value()).collect();
     expected_over_assignments(&probs, |assignment| {
-        execute_and_tree(tree, catalog, schedule, assignment).cost
+        execute_and_tree_impl(tree, catalog, schedule, assignment).cost
     })
 }
 
@@ -49,7 +49,7 @@ pub fn dnf_expected_cost(tree: &DnfTree, catalog: &StreamCatalog, schedule: &Dnf
     );
     let probs: Vec<f64> = tree.leaves().map(|(_, l)| l.prob.value()).collect();
     expected_over_assignments(&probs, |assignment| {
-        execute_dnf(tree, catalog, schedule, assignment).cost
+        execute_dnf_impl(tree, catalog, schedule, assignment).cost
     })
 }
 
@@ -85,7 +85,7 @@ pub fn dnf_truth_probability(tree: &DnfTree, catalog: &StreamCatalog) -> f64 {
     let probs: Vec<f64> = tree.leaves().map(|(_, l)| l.prob.value()).collect();
     let schedule = DnfSchedule::declaration_order(tree);
     expected_over_assignments(&probs, |assignment| {
-        if execute_dnf(tree, catalog, &schedule, assignment).value {
+        if execute_dnf_impl(tree, catalog, &schedule, assignment).value {
             1.0
         } else {
             0.0

@@ -14,6 +14,21 @@
 //! The returned cost is the exact cost incurred for that assignment; the
 //! analytic evaluators of this crate are all validated against expectations
 //! of this interpreter (see [`crate::cost::assignment`]).
+//!
+//! ## Scope
+//!
+//! The AND-tree and DNF *simulation* halves of this module duplicate
+//! the pull-coalescing loop that now lives once in the unified
+//! `stream_sim::runtime::Scheduler`; their public entry points
+//! ([`execute_and_tree`], [`execute_dnf`]) are therefore deprecated and
+//! gated behind the off-by-default `legacy-api` feature. The
+//! enumeration oracles in [`crate::cost::assignment`] and
+//! [`crate::cost::montecarlo`] keep using the crate-private
+//! implementations (expectations over truth assignments need an
+//! in-process interpreter, not a data-path simulator). The
+//! general-tree interpreter [`execute_query_tree`] stays public: the
+//! runtime executes DNF schedules only, so general AND-OR trees have no
+//! replacement there.
 
 use crate::schedule::{AndSchedule, DnfSchedule};
 use crate::stream::StreamCatalog;
@@ -38,7 +53,22 @@ pub struct Execution {
 ///
 /// # Panics
 /// Panics if `assignment` is shorter than the tree's leaf count.
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "single-assignment simulation lives in `stream_sim::runtime::Scheduler`; \
+            the expectation oracles are in `cost::assignment`"
+)]
 pub fn execute_and_tree(
+    tree: &AndTree,
+    catalog: &StreamCatalog,
+    schedule: &AndSchedule,
+    assignment: &[bool],
+) -> Execution {
+    execute_and_tree_impl(tree, catalog, schedule, assignment)
+}
+
+pub(crate) fn execute_and_tree_impl(
     tree: &AndTree,
     catalog: &StreamCatalog,
     schedule: &AndSchedule,
@@ -71,8 +101,23 @@ pub fn execute_and_tree(
 }
 
 /// Executes a DNF schedule under a truth assignment
-/// (`assignment` in flat term-major order, see [`flat_index`]).
+/// (`assignment` in flat term-major order, see [`LeafIndexer`]).
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    since = "0.2.0",
+    note = "single-assignment simulation lives in `stream_sim::runtime::Scheduler`; \
+            the expectation oracles are in `cost::assignment`"
+)]
 pub fn execute_dnf(
+    tree: &DnfTree,
+    catalog: &StreamCatalog,
+    schedule: &DnfSchedule,
+    assignment: &[bool],
+) -> Execution {
+    execute_dnf_impl(tree, catalog, schedule, assignment)
+}
+
+pub(crate) fn execute_dnf_impl(
     tree: &DnfTree,
     catalog: &StreamCatalog,
     schedule: &DnfSchedule,
@@ -382,7 +427,7 @@ mod tests {
     fn and_tree_all_true_pays_shared_items_once() {
         let (t, cat) = fig2();
         let s = AndSchedule::identity(3);
-        let e = execute_and_tree(&t, &cat, &s, &[true, true, true]);
+        let e = execute_and_tree_impl(&t, &cat, &s, &[true, true, true]);
         // l1 pulls A:1, l2 pulls A:+1, l3 pulls B:1 -> cost 3
         assert_eq!(e.cost, 3.0);
         assert!(e.value);
@@ -394,7 +439,7 @@ mod tests {
     fn and_tree_shortcircuits_on_false() {
         let (t, cat) = fig2();
         let s = AndSchedule::identity(3);
-        let e = execute_and_tree(&t, &cat, &s, &[false, true, true]);
+        let e = execute_and_tree_impl(&t, &cat, &s, &[false, true, true]);
         assert_eq!(e.cost, 1.0);
         assert!(!e.value);
         assert_eq!(e.evaluated, 1);
@@ -404,10 +449,10 @@ mod tests {
     fn and_tree_reversed_schedule_pays_larger_item_count_first() {
         let (t, cat) = fig2();
         let s = AndSchedule::new(vec![1, 0, 2], &t).unwrap();
-        let e = execute_and_tree(&t, &cat, &s, &[true, true, true]);
+        let e = execute_and_tree_impl(&t, &cat, &s, &[true, true, true]);
         // l2 pulls A:2 (cost 2), l1 free, l3 pulls B:1
         assert_eq!(e.cost, 3.0);
-        let e = execute_and_tree(&t, &cat, &s, &[true, false, true]);
+        let e = execute_and_tree_impl(&t, &cat, &s, &[true, false, true]);
         // l2 pulls 2 items then fails
         assert_eq!(e.cost, 2.0);
         assert_eq!(e.evaluated, 1);
@@ -446,7 +491,7 @@ mod tests {
         let (t, cat) = fig3();
         let s = fig3_schedule(&t);
         // assignment flat order: (0,0),(0,1),(0,2),(1,0),(1,1),(2,0),(2,1)
-        let e = execute_dnf(&t, &cat, &s, &[true, true, true, true, true, true, true]);
+        let e = execute_dnf_impl(&t, &cat, &s, &[true, true, true, true, true, true, true]);
         // evaluates l1 (A), l2 (B), l3 (C), l4 (D) -> AND1 true, stop.
         assert_eq!(e.evaluated, 4);
         assert_eq!(e.cost, 4.0);
@@ -460,7 +505,7 @@ mod tests {
         // AND1 fails at l3=(0,1) (C false kills AND2's C-leaf too... but they
         // are different leaves, independent values). Set: l1 true, l3 false.
         // Flat: (0,0)=t,(0,1)=f,(0,2)=x,(1,0)=t,(1,1)=t,(2,0)...
-        let e = execute_dnf(&t, &cat, &s, &[true, false, true, true, true, false, true]);
+        let e = execute_dnf_impl(&t, &cat, &s, &[true, false, true, true, true, false, true]);
         // l1: A pulled (1). l2: B pulled (1). l3: C pulled (1) -> AND1 false.
         // l4 skipped. l5=(1,1): C already in memory -> free, true ->
         // AND2 complete -> TRUE.
@@ -473,7 +518,7 @@ mod tests {
     fn dnf_all_false_costs_only_first_leaves() {
         let (t, cat) = fig3();
         let s = fig3_schedule(&t);
-        let e = execute_dnf(&t, &cat, &s, &[false; 7]);
+        let e = execute_dnf_impl(&t, &cat, &s, &[false; 7]);
         // l1 false (A, cost1) kills AND1; l2 false (B cost 1) kills AND2;
         // l6=(2,0) is B: free, false kills AND3 -> query FALSE.
         assert!(!e.value);
@@ -490,11 +535,70 @@ mod tests {
         let flat: Vec<usize> = s.order().iter().map(|&r| indexer.flat(r)).collect();
         for mask in 0..(1u32 << 7) {
             let assignment: Vec<bool> = (0..7).map(|b| mask >> b & 1 == 1).collect();
-            let e1 = execute_dnf(&t, &cat, &s, &assignment);
+            let e1 = execute_dnf_impl(&t, &cat, &s, &assignment);
             let e2 = execute_query_tree(&qt, &cat, &flat, &assignment);
             assert_eq!(e1.cost, e2.cost, "mask {mask}");
             assert_eq!(e1.value, e2.value, "mask {mask}");
             assert_eq!(e1.evaluated, e2.evaluated, "mask {mask}");
+        }
+    }
+
+    mod equivalence_props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::prelude::*;
+
+        fn dnf_instance() -> impl Strategy<Value = (DnfTree, StreamCatalog)> {
+            let leaf_s = (0usize..3, 1u32..=4, 0.0f64..=1.0);
+            let term = prop::collection::vec(leaf_s, 1..=2);
+            let terms = prop::collection::vec(term, 1..=3);
+            let costs = prop::collection::vec(0.1f64..10.0, 3);
+            (terms, costs).prop_map(|(terms, costs)| {
+                let catalog = StreamCatalog::from_costs(costs).expect("valid costs");
+                let tree = DnfTree::from_leaves(
+                    terms
+                        .into_iter()
+                        .map(|t| t.into_iter().map(|(s, d, p)| leaf(s, d, p)).collect())
+                        .collect(),
+                )
+                .expect("non-empty");
+                (tree, catalog)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The general-tree interpreter agrees with the DNF
+            /// interpreter on every truth assignment of random shared
+            /// instances and random schedules — cost, value and
+            /// evaluated count (the per-assignment equivalence the
+            /// expectation oracles alone cannot witness: opposite-sign
+            /// cost errors would cancel, and truth values never enter
+            /// an expected cost).
+            #[test]
+            fn general_tree_matches_dnf_on_random_instances(
+                (tree, catalog) in dnf_instance(),
+                seed in proptest::prelude::any::<u64>(),
+            ) {
+                let mut refs: Vec<LeafRef> = tree.leaf_refs().collect();
+                refs.shuffle(&mut StdRng::seed_from_u64(seed));
+                let s = DnfSchedule::new(refs, &tree).expect("leaf permutation");
+                let qt = QueryTree::from(tree.clone());
+                let indexer = LeafIndexer::new(&tree);
+                let flat: Vec<usize> =
+                    s.order().iter().map(|&r| indexer.flat(r)).collect();
+                let n = tree.num_leaves();
+                for mask in 0u32..(1 << n) {
+                    let assignment: Vec<bool> =
+                        (0..n).map(|b| mask >> b & 1 == 1).collect();
+                    let a = execute_dnf_impl(&tree, &catalog, &s, &assignment);
+                    let b = execute_query_tree(&qt, &catalog, &flat, &assignment);
+                    prop_assert_eq!(a.cost, b.cost, "mask {}", mask);
+                    prop_assert_eq!(a.value, b.value, "mask {}", mask);
+                    prop_assert_eq!(a.evaluated, b.evaluated, "mask {}", mask);
+                }
+            }
         }
     }
 

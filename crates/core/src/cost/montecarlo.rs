@@ -5,7 +5,7 @@
 //! analytic evaluators (used heavily in tests) and is the only tractable
 //! exact-semantics estimator for large general trees.
 
-use crate::cost::execution::{execute_and_tree, execute_dnf};
+use crate::cost::execution::{execute_and_tree_impl, execute_dnf_impl};
 use crate::schedule::{AndSchedule, DnfSchedule};
 use crate::stream::StreamCatalog;
 use crate::tree::{AndTree, DnfTree};
@@ -63,7 +63,7 @@ pub fn and_tree_cost<R: Rng + ?Sized>(
         for (a, &p) in assignment.iter_mut().zip(&probs) {
             *a = rng.gen::<f64>() < p;
         }
-        let e = execute_and_tree(tree, catalog, schedule, &assignment);
+        let e = execute_and_tree_impl(tree, catalog, schedule, &assignment);
         costs.push(e.cost);
         truths += usize::from(e.value);
     }
@@ -88,7 +88,7 @@ pub fn dnf_cost<R: Rng + ?Sized>(
         for (a, &p) in assignment.iter_mut().zip(&probs) {
             *a = rng.gen::<f64>() < p;
         }
-        let e = execute_dnf(tree, catalog, schedule, &assignment);
+        let e = execute_dnf_impl(tree, catalog, schedule, &assignment);
         costs.push(e.cost);
         truths += usize::from(e.value);
     }

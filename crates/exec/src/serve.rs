@@ -1,0 +1,469 @@
+//! The serving loop: a long-running, tick-driven multiplexer of one
+//! workload over arrival processes, with admission control and
+//! drift-triggered re-planning.
+//!
+//! Each tick the loop (1) polls every query's [`ArrivalProcess`],
+//! (2) hands the due set to the [`AdmissionPolicy`], (3) executes the
+//! admitted queries on the unified runtime (`stream_sim::runtime`
+//! [`Scheduler`] + [`EnergyMeter`] — the same scheduler the simulator
+//! and the single-query engine run on, so served energies are directly
+//! comparable to simulated and predicted ones), and (4) feeds the
+//! execution trace into per-leaf hit-rate estimators. When a query's
+//! observed rates diverge from its calibrated probabilities beyond the
+//! [`DriftConfig`] tolerance, the query is re-planned through the
+//! [`Engine`]'s cached planning path against a re-calibrated skeleton.
+
+use crate::admission::{AdmissionCtx, AdmissionPolicy};
+use crate::arrivals::{ArrivalProcess, ArrivalSpec};
+use paotr_core::error::{Error, Result};
+use paotr_core::plan::Engine;
+use paotr_core::schedule::DnfSchedule;
+use paotr_core::stream::StreamCatalog;
+use paotr_multi::{synthesize, JointPlan, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use stream_sim::{
+    gaussian_streams, EnergyMeter, EnergyModel, MemoryPolicy, Scheduler, SimQuery, TraceLog,
+};
+
+/// Drift detection knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Absolute divergence between a leaf's observed success rate and
+    /// its calibrated probability that triggers a re-plan.
+    pub tolerance: f64,
+    /// Observations a leaf needs before its rate is trusted.
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            tolerance: 0.15,
+            min_samples: 30,
+        }
+    }
+}
+
+/// Serving-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Ticks to serve.
+    pub ticks: usize,
+    /// Seed for sensor data and arrival processes.
+    pub seed: u64,
+    /// Arrival process applied to every query.
+    pub arrivals: ArrivalSpec,
+    /// Sensor ticks between consecutive serve ticks.
+    pub ticks_between: usize,
+    /// Drift-triggered re-planning; `None` disables it.
+    pub drift: Option<DriftConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            ticks: 400,
+            seed: 0,
+            arrivals: ArrivalSpec::Periodic { every: 1 },
+            ticks_between: 1,
+            drift: None,
+        }
+    }
+}
+
+/// One tick's headline numbers, for live progress callbacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStats {
+    /// The tick index.
+    pub tick: u64,
+    /// Queries due this tick.
+    pub due: usize,
+    /// Queries admitted and evaluated.
+    pub admitted: usize,
+    /// Queries shed.
+    pub shed: usize,
+    /// Queries deferred.
+    pub deferred: usize,
+    /// Energy spent this tick.
+    pub energy: f64,
+}
+
+/// The aggregate outcome of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Joint planner that produced the served plan.
+    pub planner: String,
+    /// Admission policy name.
+    pub admission: String,
+    /// Ticks served.
+    pub ticks: usize,
+    /// Total arrival events.
+    pub arrivals: u64,
+    /// Evaluations actually served.
+    pub served: u64,
+    /// Requests dropped by admission.
+    pub shed: u64,
+    /// Defer events (a request can be deferred on several ticks).
+    pub deferred: u64,
+    /// Drift-triggered re-plans.
+    pub replans: u64,
+    /// Total energy spent.
+    pub total_energy: f64,
+    /// Largest energy spent in any single tick.
+    pub max_tick_energy: f64,
+    /// Evaluations served per query (workload order).
+    pub per_query_served: Vec<u64>,
+    /// Fraction of served evaluations that came out TRUE.
+    pub truth_rate: f64,
+}
+
+impl ServeReport {
+    /// Served evaluations per tick.
+    pub fn throughput(&self) -> f64 {
+        self.served as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Mean energy per tick.
+    pub fn mean_tick_energy(&self) -> f64 {
+        self.total_energy / self.ticks.max(1) as f64
+    }
+
+    /// Energy per served evaluation (`None` when nothing was served).
+    pub fn energy_per_served(&self) -> Option<f64> {
+        (self.served > 0).then(|| self.total_energy / self.served as f64)
+    }
+
+    /// A `paotr_stats` summary table over several runs — the report the
+    /// CLI renders.
+    pub fn summary_table(reports: &[ServeReport]) -> paotr_stats::Table {
+        let mut t = paotr_stats::Table::new([
+            "planner",
+            "admission",
+            "served/tick",
+            "shed",
+            "replans",
+            "energy/tick",
+            "max tick",
+            "energy/eval",
+        ]);
+        for r in reports {
+            t.push_row([
+                r.planner.clone(),
+                r.admission.clone(),
+                format!("{:.2}", r.throughput()),
+                format!("{}", r.shed),
+                format!("{}", r.replans),
+                format!("{:.2}", r.mean_tick_energy()),
+                format!("{:.2}", r.max_tick_energy),
+                r.energy_per_served()
+                    .map(|e| format!("{e:.2}"))
+                    .unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Per-query drift estimator state (flat term-major leaf order).
+#[derive(Debug, Clone)]
+struct DriftState {
+    /// Per-leaf calibrated probability (what the current plan assumed).
+    calibrated: Vec<f64>,
+    /// Per-leaf observed successes.
+    successes: Vec<u64>,
+    /// Per-leaf observations.
+    totals: Vec<u64>,
+    /// Flat index offsets per term.
+    offsets: Vec<usize>,
+}
+
+impl DriftState {
+    fn new(tree: &paotr_core::tree::DnfTree) -> DriftState {
+        let mut offsets = Vec::with_capacity(tree.num_terms());
+        let mut acc = 0;
+        for t in tree.terms() {
+            offsets.push(acc);
+            acc += t.len();
+        }
+        DriftState {
+            calibrated: tree.leaves().map(|(_, l)| l.prob.value()).collect(),
+            successes: vec![0; acc],
+            totals: vec![0; acc],
+            offsets,
+        }
+    }
+
+    fn observe(&mut self, leaf: paotr_core::leaf::LeafRef, value: bool) {
+        let i = self.offsets[leaf.term] + leaf.leaf;
+        self.totals[i] += 1;
+        self.successes[i] += u64::from(value);
+    }
+
+    /// True when any sufficiently-observed leaf drifted past the
+    /// tolerance.
+    fn drifted(&self, cfg: &DriftConfig) -> bool {
+        self.calibrated
+            .iter()
+            .zip(&self.successes)
+            .zip(&self.totals)
+            .any(|((&p, &s), &n)| {
+                n >= cfg.min_samples && (s as f64 / n as f64 - p).abs() > cfg.tolerance
+            })
+    }
+
+    /// The re-calibrated probabilities: observed rates where trusted,
+    /// the old calibration elsewhere.
+    fn recalibrated(&self, cfg: &DriftConfig) -> Vec<f64> {
+        self.calibrated
+            .iter()
+            .zip(&self.successes)
+            .zip(&self.totals)
+            .map(|((&p, &s), &n)| {
+                if n >= cfg.min_samples {
+                    s as f64 / n as f64
+                } else {
+                    p
+                }
+            })
+            .collect()
+    }
+
+    /// Adopts a new calibration and restarts the estimators.
+    fn reset_to(&mut self, probs: Vec<f64>) {
+        self.calibrated = probs;
+        self.successes.iter_mut().for_each(|s| *s = 0);
+        self.totals.iter_mut().for_each(|t| *t = 0);
+    }
+}
+
+/// A workload wired for serving: concrete queries, the joint plan's
+/// schedules and order, and the serve configuration.
+#[derive(Debug, Clone)]
+pub struct ServeLoop {
+    queries: Vec<SimQuery>,
+    schedules: Vec<Arc<DnfSchedule>>,
+    order: Vec<usize>,
+    shared: bool,
+    weights: Vec<f64>,
+    catalog: StreamCatalog,
+    planner: String,
+    config: ServeConfig,
+    drift_seed: Vec<DriftState>,
+}
+
+impl ServeLoop {
+    /// Wires `workload` for serving under `joint`: concrete predicates
+    /// are synthesized from the abstract trees (the same lowering the
+    /// validation simulator uses), so each leaf's marginal truth rate
+    /// matches its calibrated probability.
+    pub fn new(workload: &Workload, joint: &JointPlan, config: ServeConfig) -> ServeLoop {
+        let (queries, _) = synthesize(workload);
+        ServeLoop::with_queries(queries, workload, joint, config)
+    }
+
+    /// Wires custom concrete queries (shape-compatible with the
+    /// workload's trees) — the hook drift tests use to serve data whose
+    /// true rates disagree with the calibrated probabilities.
+    ///
+    /// # Panics
+    /// Panics when a query's leaf count does not match its tree.
+    pub fn with_queries(
+        queries: Vec<SimQuery>,
+        workload: &Workload,
+        joint: &JointPlan,
+        config: ServeConfig,
+    ) -> ServeLoop {
+        assert_eq!(queries.len(), workload.len(), "one sim query per tree");
+        for (q, wq) in queries.iter().zip(workload.queries()) {
+            assert_eq!(
+                q.num_leaves(),
+                wq.tree.num_leaves(),
+                "query `{}` shape mismatch",
+                wq.name
+            );
+        }
+        let drift_seed = workload
+            .queries()
+            .iter()
+            .map(|q| DriftState::new(&q.tree))
+            .collect();
+        ServeLoop {
+            queries,
+            schedules: joint.schedules.clone(),
+            order: joint.order.clone(),
+            shared: joint.shared_execution,
+            weights: workload.weights(),
+            catalog: workload.catalog().clone(),
+            planner: joint.planner.clone(),
+            config,
+            drift_seed,
+        }
+    }
+
+    /// Serves the configured number of ticks under `policy`, using
+    /// `engine` for drift re-planning.
+    pub fn run(&self, policy: &mut dyn AdmissionPolicy, engine: &Engine) -> Result<ServeReport> {
+        self.run_with_progress(policy, engine, |_| {})
+    }
+
+    /// [`ServeLoop::run`] with a per-tick callback (live dashboards).
+    pub fn run_with_progress(
+        &self,
+        policy: &mut dyn AdmissionPolicy,
+        engine: &Engine,
+        mut on_tick: impl FnMut(&TickStats),
+    ) -> Result<ServeReport> {
+        let n = self.queries.len();
+        let n_streams = self.catalog.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Streams, warmed to the widest window (same lowering as the
+        // validation simulator).
+        let mut horizons = vec![1u32; n_streams];
+        for q in &self.queries {
+            for (k, &w) in q.max_windows(n_streams).iter().enumerate() {
+                horizons[k] = horizons[k].max(w);
+            }
+        }
+        let mut streams = gaussian_streams(&horizons, &mut rng);
+
+        let mut scheduler = Scheduler::new(n_streams, MemoryPolicy::ClearEachQuery);
+        let mut meter = EnergyMeter::new(EnergyModel::from_catalog(&self.catalog));
+
+        let mut arrivals: Vec<ArrivalProcess> = (0..n)
+            .map(|q| ArrivalProcess::new(self.config.arrivals, self.config.seed, q))
+            .collect();
+        let windows: Vec<Vec<u32>> = AdmissionCtx::query_windows(&self.queries, n_streams);
+        let costs = AdmissionCtx::stream_costs(&self.catalog);
+        let ctx = AdmissionCtx {
+            weights: &self.weights,
+            windows: &windows,
+            costs: &costs,
+            shared: self.shared,
+        };
+
+        let mut schedules = self.schedules.clone();
+        let mut drift = self.drift_seed.clone();
+        let mut pending = vec![false; n];
+        let mut trace = TraceLog::default();
+
+        let mut total_arrivals = 0u64;
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut deferred = 0u64;
+        let mut replans = 0u64;
+        let mut max_tick_energy = 0.0f64;
+        let mut per_query_served = vec![0u64; n];
+        let mut truths = 0u64;
+
+        for t in 0..self.config.ticks as u64 {
+            for (q, arrival) in arrivals.iter_mut().enumerate() {
+                let fired = arrival.poll(t);
+                total_arrivals += fired;
+                if fired > 0 {
+                    pending[q] = true;
+                }
+            }
+            let due: Vec<usize> = (0..n).filter(|&q| pending[q]).collect();
+            let admission = policy.admit(t, &due, &ctx);
+
+            // Execute the admitted set in the joint plan's order so the
+            // planned cross-query sharing materializes.
+            let energy_before = meter.total_cost();
+            let mut is_admitted = vec![false; n];
+            for &q in &admission.admitted {
+                is_admitted[q] = true;
+            }
+            let admitted_queries: Vec<&SimQuery> = admission
+                .admitted
+                .iter()
+                .map(|&q| &self.queries[q])
+                .collect();
+            if self.shared {
+                scheduler.begin_tick(&admitted_queries, &streams);
+            }
+            for &q in self.order.iter().filter(|&&q| is_admitted[q]) {
+                if !self.shared {
+                    scheduler.begin_tick(std::slice::from_ref(&self.queries[q]), &streams);
+                }
+                let traced = self.config.drift.is_some();
+                let out = scheduler.run_query(
+                    &self.queries[q],
+                    &schedules[q],
+                    &streams,
+                    &mut meter,
+                    traced.then_some(&mut trace),
+                );
+                truths += u64::from(out.value);
+                per_query_served[q] += 1;
+                served += 1;
+                pending[q] = false;
+
+                if let Some(cfg) = &self.config.drift {
+                    // Only this evaluation's records are ever needed;
+                    // clearing after each observe keeps the log bounded
+                    // over arbitrarily long serve runs.
+                    for rec in trace.records() {
+                        drift[q].observe(rec.leaf, rec.value);
+                    }
+                    trace.clear();
+                    if drift[q].drifted(cfg) {
+                        let probs = drift[q].recalibrated(cfg);
+                        let tree = self.queries[q].skeleton(&probs);
+                        let plan = engine.plan(&tree, &self.catalog)?;
+                        let schedule = plan.body.to_dnf_schedule(&tree).ok_or_else(|| {
+                            Error::InvalidWorkload(format!(
+                                "planner `{}` produced a non-schedule plan during drift re-planning",
+                                plan.planner
+                            ))
+                        })?;
+                        schedules[q] = Arc::new(schedule);
+                        drift[q].reset_to(probs);
+                        replans += 1;
+                    }
+                }
+            }
+            for &q in &admission.shed {
+                pending[q] = false;
+            }
+            shed += admission.shed.len() as u64;
+            deferred += admission.deferred.len() as u64;
+
+            let tick_energy = meter.total_cost() - energy_before;
+            max_tick_energy = max_tick_energy.max(tick_energy);
+            on_tick(&TickStats {
+                tick: t,
+                due: due.len(),
+                admitted: admission.admitted.len(),
+                shed: admission.shed.len(),
+                deferred: admission.deferred.len(),
+                energy: tick_energy,
+            });
+
+            for s in &mut streams {
+                s.advance_by(self.config.ticks_between.max(1), &mut rng);
+            }
+        }
+
+        Ok(ServeReport {
+            planner: self.planner.clone(),
+            admission: policy.name().to_string(),
+            ticks: self.config.ticks,
+            arrivals: total_arrivals,
+            served,
+            shed,
+            deferred,
+            replans,
+            total_energy: meter.total_cost(),
+            max_tick_energy,
+            per_query_served,
+            truth_rate: if served > 0 {
+                truths as f64 / served as f64
+            } else {
+                0.0
+            },
+        })
+    }
+}

@@ -2,7 +2,7 @@
 //! the paper's evaluation section.
 //!
 //! ```text
-//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [all]
+//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [all]
 //!                   [--scale F] [--full] [--threads N] [--out DIR]
 //!                   [--seed S]
 //! ```
@@ -17,6 +17,7 @@ mod common;
 mod fig4;
 mod fig5;
 mod fig6;
+mod serve;
 mod theorems;
 mod workload;
 
@@ -56,7 +57,8 @@ fn main() -> ExitCode {
                 print_help();
                 return ExitCode::SUCCESS;
             }
-            name @ ("fig4" | "fig5" | "fig6" | "theorems" | "ablation" | "workload" | "all") => {
+            name @ ("fig4" | "fig5" | "fig6" | "theorems" | "ablation" | "workload" | "serve"
+            | "all") => {
                 which.push(name.to_string());
             }
             other => {
@@ -68,10 +70,12 @@ fn main() -> ExitCode {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = vec!["fig4", "fig5", "fig6", "theorems", "ablation", "workload"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        which = vec![
+            "fig4", "fig5", "fig6", "theorems", "ablation", "workload", "serve",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     ensure_dir(&opts.out_dir);
 
@@ -141,6 +145,16 @@ fn main() -> ExitCode {
                     rows.len()
                 );
             }
+            "serve" => {
+                let rows = serve::run(&opts);
+                let (shared, advantage) = serve::report(&rows);
+                println!(
+                    "SERVE: shared-greedy serves {shared:.2} evals/tick at the tightest budget \
+                     and highest rate ({advantage:.2}x the independent baseline; {} rows -> \
+                     serve.csv)",
+                    rows.len()
+                );
+            }
             "theorems" => {
                 let samples = (200.0 * opts.scale.max(0.05)).round() as usize;
                 let report = theorems::run(&opts, samples.max(20));
@@ -168,7 +182,7 @@ fn main() -> ExitCode {
 
 fn print_help() {
     println!(
-        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [all]\n\
+        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [all]\n\
          \x20                        [--scale F | --full] [--threads N] [--out DIR] [--seed S]\n\n\
          Regenerates the figures and statistics of \"Cost-Optimal Execution of\n\
          Boolean Query Trees with Shared Streams\" (IPDPS 2014)."

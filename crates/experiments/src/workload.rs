@@ -26,8 +26,9 @@ pub struct Row {
     pub sharing_ratio: f64,
     /// Mean predicted speedup vs. independent.
     pub predicted_speedup: f64,
-    /// Mean measured (simulated-energy) speedup vs. independent.
-    pub simulated_speedup: f64,
+    /// Mean measured (simulated-energy) speedup vs. independent;
+    /// `None` for prediction-only cells (no simulation ran).
+    pub simulated_speedup: Option<f64>,
 }
 
 /// Workload sizes swept with full shared-pull simulation.
@@ -90,7 +91,7 @@ pub fn run(opts: &Options) -> Vec<Row> {
                     planner: name.clone(),
                     sharing_ratio: sharing / n,
                     predicted_speedup: speedup / n,
-                    simulated_speedup: sim / n,
+                    simulated_speedup: Some(sim / n),
                 });
             }
             done += 1;
@@ -130,7 +131,7 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 planner: name.clone(),
                 sharing_ratio: sharing / n,
                 predicted_speedup: speedup / n,
-                simulated_speedup: f64::NAN,
+                simulated_speedup: None,
             });
         }
         eprintln!("  large_workload cell done (overlap {overlap})");
@@ -149,16 +150,21 @@ fn write_csv(opts: &Options, rows: &[Row]) {
     )
     .expect("write csv header");
     for r in rows {
+        // Prediction-only cells have no measured speedup: serialize
+        // `n/a` instead of printing NaN into the CSV.
+        let sim = r
+            .simulated_speedup
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "n/a".into());
         writeln!(
             f,
-            "{},{},{:.4},{},{:.4},{:.4},{:.4}",
+            "{},{},{:.4},{},{:.4},{:.4},{sim}",
             r.queries,
             r.overlap,
             r.measured_overlap,
             r.planner,
             r.sharing_ratio,
             r.predicted_speedup,
-            r.simulated_speedup
         )
         .expect("write csv row");
     }
@@ -175,7 +181,7 @@ pub fn report(rows: &[Row]) -> (f64, bool) {
                 && r.overlap == *OVERLAPS.last().unwrap()
                 && r.planner == "shared-greedy"
         })
-        .map(|r| r.simulated_speedup)
+        .filter_map(|r| r.simulated_speedup)
         .next()
         .unwrap_or(1.0);
     // sharing ratio should be monotone-ish in overlap for shared-greedy
@@ -223,9 +229,14 @@ mod tests {
             .filter(|r| r.queries == LARGE_WORKLOAD_QUERIES)
             .collect();
         assert_eq!(large.len(), LARGE_OVERLAPS.len() * 3);
-        assert!(large.iter().all(|r| r.simulated_speedup.is_nan()));
+        assert!(large.iter().all(|r| r.simulated_speedup.is_none()));
         let (best, _) = report(&rows);
         assert!(best > 1.0, "16-query/0.8-overlap speedup {best} <= 1");
-        assert!(dir.join("workload.csv").exists());
+        let csv = std::fs::read_to_string(dir.join("workload.csv")).unwrap();
+        assert!(
+            csv.contains(",n/a"),
+            "prediction-only rows serialize n/a, not NaN"
+        );
+        assert!(!csv.contains("NaN"), "no NaN may reach the CSV");
     }
 }

@@ -18,6 +18,9 @@ pub enum Experiment {
     Fig6,
     /// Multi-query workloads over one shared catalog.
     Workload,
+    /// Serving-loop arrival processes (one stream of arrival times per
+    /// query of a served workload).
+    Serve,
     /// Free-form experiments (tests, examples).
     Custom(u64),
 }
@@ -29,6 +32,7 @@ impl Experiment {
             Experiment::Fig5 => 0x0f19_64b5_17c4_0005,
             Experiment::Fig6 => 0x0f19_64b5_17c4_0006,
             Experiment::Workload => 0x0f19_64b5_17c4_0010,
+            Experiment::Serve => 0x0f19_64b5_17c4_0020,
             Experiment::Custom(t) => t ^ 0xc0ff_ee00_dead_beef,
         }
     }

@@ -23,8 +23,8 @@ use crate::workload::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stream_sim::{
-    Comparator, EnergyModel, MemoryPolicy, Predicate, SensorModel, SensorSource, SimLeaf, SimQuery,
-    SimStream, WindowOp,
+    gaussian_streams, Comparator, EnergyMeter, EnergyModel, MemoryPolicy, Predicate, Scheduler,
+    SensorModel, SensorSource, SimLeaf, SimQuery, WindowOp,
 };
 
 /// Simulation parameters.
@@ -108,13 +108,15 @@ pub fn synthesize(workload: &Workload) -> (Vec<SimQuery>, Vec<SensorSource>) {
     (queries, sources)
 }
 
-/// Runs `joint` against simulated sensors and reports measured energy.
-/// Shared-memory execution follows `joint.shared_execution`: joint
-/// plans share one device memory per tick, the independent baseline
-/// wipes memory between queries.
+/// Runs `joint` against simulated sensors and reports measured energy —
+/// a thin adapter over the unified runtime: one [`Scheduler`] tick per
+/// evaluation round, metered by one [`EnergyMeter`]. Shared-memory
+/// execution follows `joint.shared_execution`: joint plans share one
+/// device memory per tick, the independent baseline wipes memory
+/// between queries.
 pub fn simulate(workload: &Workload, joint: &JointPlan, config: SimConfig) -> WorkloadSimReport {
     let catalog = workload.catalog();
-    let (queries, sources) = synthesize(workload);
+    let (queries, _sources) = synthesize(workload);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Per-stream history horizon: the widest window any query uses.
@@ -124,21 +126,10 @@ pub fn simulate(workload: &Workload, joint: &JointPlan, config: SimConfig) -> Wo
             horizons[k] = horizons[k].max(w);
         }
     }
-    let mut streams: Vec<SimStream> = sources
-        .into_iter()
-        .zip(&horizons)
-        .map(|(src, &w)| SimStream::new(src, (w as usize) * 2))
-        .collect();
-    let warm = horizons.iter().copied().max().unwrap_or(1) as usize;
-    for s in &mut streams {
-        s.advance_by(warm, &mut rng);
-    }
+    let mut streams = gaussian_streams(&horizons, &mut rng);
 
-    let mut engine = stream_sim::Engine::new(
-        catalog.len(),
-        MemoryPolicy::ClearEachQuery,
-        EnergyModel::from_catalog(catalog),
-    );
+    let mut scheduler = Scheduler::new(catalog.len(), MemoryPolicy::ClearEachQuery);
+    let mut meter = EnergyMeter::new(EnergyModel::from_catalog(catalog));
 
     // Evaluation order: the joint plan's, with each query's schedule.
     let ordered: Vec<(&SimQuery, &paotr_core::schedule::DnfSchedule)> = joint
@@ -152,7 +143,8 @@ pub fn simulate(workload: &Workload, joint: &JointPlan, config: SimConfig) -> Wo
     let mut truths = vec![0usize; n];
     let mut items = vec![0u64; catalog.len()];
     for _ in 0..config.ticks {
-        let outcomes = engine.evaluate_workload(&ordered, &streams, joint.shared_execution, None);
+        let outcomes =
+            scheduler.run_tick(&ordered, &streams, joint.shared_execution, &mut meter, None);
         for (pos, out) in outcomes.iter().enumerate() {
             let q = joint.order[pos];
             energy[q] += out.cost;

@@ -5,8 +5,11 @@
 //! evaluations out every greedy round; this crate provides the
 //! embarrassingly-parallel plumbing without pulling in a full framework:
 //!
-//! * [`par_map`] / [`par_map_indexed`] — dynamic (work-stealing-style)
-//!   scheduling via a shared atomic work index over a slice;
+//! * [`par_map`] / [`par_map_indexed`] — dynamic scheduling via chunked
+//!   atomic-index claiming over a slice: the range is split into
+//!   `2 × workers` chunks, each participant drains its own chunks and
+//!   then *steals* from the others', so wide cheap-item sweeps don't
+//!   contend on one cursor and a slow chunk doesn't serialize the rest;
 //! * [`par_tasks`] — the same, generating work items from an index range
 //!   (avoids materializing inputs);
 //! * [`par_tasks_with_progress`] — adds a completion callback for progress

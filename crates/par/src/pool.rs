@@ -240,19 +240,41 @@ impl WorkerPool {
                 .collect();
         }
 
-        let next = AtomicUsize::new(0);
+        // Chunked work-stealing claiming: the task range is split into
+        // `2 × slots` chunks, each with its own atomic cursor. A
+        // participant drains its own chunk pair first (no contention on
+        // a single shared cache line for wide, cheap-item sweeps), then
+        // sweeps the remaining chunks stealing whatever is left — so a
+        // slow task in one chunk never serializes the rest of the
+        // range behind it.
+        struct Chunk {
+            next: AtomicUsize,
+            end: usize,
+        }
+        let chunk_count = (2 * slots).min(n);
+        let chunks: Vec<Chunk> = (0..chunk_count)
+            .map(|c| Chunk {
+                next: AtomicUsize::new(c * n / chunk_count),
+                end: (c + 1) * n / chunk_count,
+            })
+            .collect();
+        let participant = AtomicUsize::new(0);
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
         let body = move || {
             let tx = tx.clone();
+            let me = participant.fetch_add(1, Ordering::Relaxed);
             let mut state = init();
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i, &mut state);
-                if tx.send((i, r)).is_err() {
-                    break;
+            'chunks: for offset in 0..chunk_count {
+                let chunk = &chunks[(me * 2 + offset) % chunk_count];
+                loop {
+                    let i = chunk.next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunk.end {
+                        break;
+                    }
+                    let r = f(i, &mut state);
+                    if tx.send((i, r)).is_err() {
+                        break 'chunks;
+                    }
                 }
             }
         };
@@ -422,6 +444,37 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chunked_claiming_covers_every_task_for_awkward_shapes() {
+        // n not divisible by the chunk count, n smaller than 2×slots,
+        // n equal to the chunk count: every index must be produced
+        // exactly once, in order.
+        let pool = WorkerPool::new();
+        for (n, threads) in [(97usize, 8usize), (5, 4), (16, 8), (3, 2), (1000, 3)] {
+            let out = pool.par_tasks(n, ThreadCount::Fixed(threads), |i| i);
+            assert_eq!(out, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn one_slow_chunk_does_not_serialize_the_sweep() {
+        // A pathological workload where the first chunk's tasks are
+        // slow: the other participants must steal the rest rather than
+        // idle. We can only assert correctness portably, but with
+        // per-chunk cursors every task still runs exactly once.
+        let pool = WorkerPool::new();
+        let ran = AtomicUsize::new(0);
+        let out = pool.par_tasks(128, ThreadCount::Fixed(4), |i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 128);
+        assert_eq!(out, (0..128).map(|i| i * 3).collect::<Vec<_>>());
+    }
 
     #[test]
     fn fixed_clamps_to_one() {

@@ -1,41 +1,34 @@
-//! The pull-based query execution engine.
+//! The pull-based query execution engine — now a thin adapter over the
+//! unified runtime.
 //!
 //! Evaluates a [`SimQuery`] at the current tick, following a schedule:
 //! leaves are visited in schedule order, skipped when short-circuited,
 //! and each evaluated leaf pulls the *missing* items of its window from
 //! its stream (shared device memory makes overlapping windows cheap),
-//! paying the energy model. This is the concrete counterpart of
-//! [`paotr_core::cost::execution`]: there truth values come from an
+//! paying the energy model. This is the concrete counterpart of the
+//! abstract cost model in `paotr_core`: there truth values come from an
 //! assignment, here from real predicates over real (simulated) data.
+//!
+//! The scheduling loop, the memory policy and the energy accounting all
+//! live in [`crate::runtime`] ([`Scheduler`] + [`EnergyMeter`]); this
+//! type only bundles them with the historical `evaluate` /
+//! `evaluate_workload` surface.
 
-use crate::device::{DeviceMemory, MemoryPolicy};
+use crate::device::MemoryPolicy;
 use crate::energy::EnergyModel;
 use crate::query::SimQuery;
+use crate::runtime::{EnergyMeter, Scheduler};
 use crate::stream::SimStream;
-use crate::trace::{LeafRecord, TraceLog};
+use crate::trace::TraceLog;
 use paotr_core::schedule::DnfSchedule;
 
-/// Result of one query evaluation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryOutcome {
-    /// Truth value of the query.
-    pub value: bool,
-    /// Energy spent on this evaluation.
-    pub cost: f64,
-    /// Leaves actually evaluated.
-    pub evaluated: usize,
-    /// Items pulled per stream during this evaluation.
-    pub items_pulled: Vec<u32>,
-}
+pub use crate::runtime::QueryOutcome;
 
 /// The query-processing device: memory, policy and energy meter.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    memory: DeviceMemory,
-    policy: MemoryPolicy,
-    energy: EnergyModel,
-    total_cost: f64,
-    evaluations: u64,
+    scheduler: Scheduler,
+    meter: EnergyMeter,
 }
 
 impl Engine {
@@ -47,22 +40,19 @@ impl Engine {
             "energy model must cover every stream"
         );
         Engine {
-            memory: DeviceMemory::new(n_streams),
-            policy,
-            energy,
-            total_cost: 0.0,
-            evaluations: 0,
+            scheduler: Scheduler::new(n_streams, policy),
+            meter: EnergyMeter::new(energy),
         }
     }
 
     /// Total energy spent since construction.
     pub fn total_cost(&self) -> f64 {
-        self.total_cost
+        self.meter.total_cost()
     }
 
     /// Number of query evaluations performed.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations
+        self.meter.evaluations()
     }
 
     /// Evaluates `query` under `schedule` against the given streams
@@ -80,13 +70,15 @@ impl Engine {
         streams: &[SimStream],
         trace: Option<&mut TraceLog>,
     ) -> QueryOutcome {
-        self.apply_policy(std::slice::from_ref(&query), streams);
-        self.run_query(query, schedule, streams, trace)
+        self.scheduler
+            .begin_tick(std::slice::from_ref(&query), streams);
+        self.scheduler
+            .run_query(query, schedule, streams, &mut self.meter, trace)
     }
 
     /// Evaluates a whole workload at the current tick: every query in
-    /// order, against **one shared [`DeviceMemory`]**, so items pulled
-    /// by an earlier query are free for every later query this tick
+    /// order, against **one shared device memory**, so items pulled by
+    /// an earlier query are free for every later query this tick
     /// (`shared = true`). The memory policy is applied once per tick
     /// (for [`MemoryPolicy::Retain`], horizons are the per-stream
     /// maxima over the whole workload).
@@ -105,124 +97,10 @@ impl Engine {
         queries: &[(&SimQuery, &DnfSchedule)],
         streams: &[SimStream],
         shared: bool,
-        mut trace: Option<&mut TraceLog>,
+        trace: Option<&mut TraceLog>,
     ) -> Vec<QueryOutcome> {
-        if shared {
-            let all: Vec<&SimQuery> = queries.iter().map(|(q, _)| *q).collect();
-            self.apply_policy(&all, streams);
-        }
-        queries
-            .iter()
-            .map(|(query, schedule)| {
-                if !shared {
-                    self.apply_policy(std::slice::from_ref(query), streams);
-                }
-                self.run_query(query, schedule, streams, trace.as_deref_mut())
-            })
-            .collect()
-    }
-
-    /// Applies the memory policy for the evaluation of `queries` at the
-    /// current tick: clear everything, or (Retain) prune items older
-    /// than the workload's per-stream relevance horizon.
-    fn apply_policy<Q: std::borrow::Borrow<SimQuery>>(
-        &mut self,
-        queries: &[Q],
-        streams: &[SimStream],
-    ) {
-        if self.policy == MemoryPolicy::ClearEachQuery {
-            self.memory.clear();
-            return;
-        }
-        let mut horizons = vec![0u32; streams.len()];
-        for q in queries {
-            for (k, &w) in q.borrow().max_windows(streams.len()).iter().enumerate() {
-                horizons[k] = horizons[k].max(w);
-            }
-        }
-        for (k, &w) in horizons.iter().enumerate() {
-            if w > 0 {
-                let now = streams[k].now();
-                let horizon = now.saturating_sub(u64::from(w) - 1);
-                self.memory.prune(paotr_core::stream::StreamId(k), horizon);
-            }
-        }
-    }
-
-    /// The evaluation loop proper: follows the schedule with AND/OR
-    /// short-circuiting, paying only for items missing from memory.
-    fn run_query(
-        &mut self,
-        query: &SimQuery,
-        schedule: &DnfSchedule,
-        streams: &[SimStream],
-        mut trace: Option<&mut TraceLog>,
-    ) -> QueryOutcome {
-        assert_eq!(
-            schedule.len(),
-            query.num_leaves(),
-            "schedule does not cover the query's leaves"
-        );
-        let n_terms = query.terms().len();
-        let mut term_failed = vec![false; n_terms];
-        let mut remaining: Vec<usize> = query.terms().iter().map(Vec::len).collect();
-        let mut alive = n_terms;
-        let mut items_pulled = vec![0u32; streams.len()];
-        let mut cost = 0.0;
-        let mut evaluated = 0;
-        let mut value = false;
-
-        for &r in schedule.order() {
-            if term_failed[r.term] || remaining[r.term] == 0 {
-                continue;
-            }
-            let leaf = query.leaf(r);
-            let k = leaf.stream;
-            let stream = &streams[k.0];
-            let now = stream.now();
-            let window = leaf.predicate.window;
-            let missing = self.memory.missing(k, now, window);
-            let pull_cost = self.energy.pull_cost(k, missing);
-            cost += pull_cost;
-            items_pulled[k.0] += missing;
-            self.memory.insert_window(k, now, window);
-            let data = stream
-                .recent(window as usize)
-                .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window"));
-            let truth = leaf.predicate.eval(&data);
-            evaluated += 1;
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(LeafRecord {
-                    tick: now,
-                    leaf: r,
-                    value: truth,
-                    items_paid: missing,
-                    cost: pull_cost,
-                });
-            }
-            if truth {
-                remaining[r.term] -= 1;
-                if remaining[r.term] == 0 {
-                    value = true;
-                    break;
-                }
-            } else {
-                term_failed[r.term] = true;
-                alive -= 1;
-                if alive == 0 {
-                    break;
-                }
-            }
-        }
-
-        self.total_cost += cost;
-        self.evaluations += 1;
-        QueryOutcome {
-            value,
-            cost,
-            evaluated,
-            items_pulled,
-        }
+        self.scheduler
+            .run_tick(queries, streams, shared, &mut self.meter, trace)
     }
 }
 

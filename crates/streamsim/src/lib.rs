@@ -15,7 +15,13 @@
 //! * [`query`] — DNF queries over concrete predicates, and their abstract
 //!   scheduling skeletons;
 //! * [`energy`] — per-item energy model (plus a wake-up surcharge knob);
-//! * [`engine`] — the pull-based, short-circuiting query executor;
+//! * [`runtime`] — the **unified tick-driven execution runtime**: the
+//!   [`StreamSource`] read interface, the pull-coalescing
+//!   [`Scheduler`] and the [`EnergyMeter`] — the single implementation
+//!   every execution path (single-query engine, multi-query shared
+//!   ticks, the serving loop) runs on;
+//! * [`engine`] — the historical single-query surface, now a thin
+//!   adapter over [`runtime`];
 //! * [`trace`] — execution traces and probability calibration ("inferred
 //!   from historical traces", as the paper assumes);
 //! * [`simulate`] — the calibrate–schedule–measure pipeline.
@@ -25,6 +31,7 @@ pub mod energy;
 pub mod engine;
 pub mod predicate;
 pub mod query;
+pub mod runtime;
 pub mod simulate;
 pub mod source;
 pub mod stream;
@@ -32,9 +39,10 @@ pub mod trace;
 
 pub use device::{DeviceMemory, MemoryPolicy};
 pub use energy::EnergyModel;
-pub use engine::{Engine, QueryOutcome};
+pub use engine::Engine;
 pub use predicate::{Comparator, Predicate, WindowOp};
 pub use query::{SimLeaf, SimQuery};
+pub use runtime::{gaussian_streams, EnergyMeter, QueryOutcome, Scheduler, StreamSource};
 pub use simulate::{run_pipeline, PipelineConfig, PipelineReport};
 pub use source::{SensorModel, SensorSource};
 pub use stream::SimStream;

@@ -1,0 +1,412 @@
+//! The unified tick-driven execution runtime.
+//!
+//! Every execution path of the workspace — the single-query
+//! [`Engine`](crate::engine::Engine), the multi-query shared-pull loop
+//! in `paotr_multi::sim`, and the serving loop in `paotr_exec` — runs
+//! on the three pieces of this module:
+//!
+//! * [`StreamSource`] — the read interface a stream must offer the
+//!   executor (`now` + `recent`), implemented by the sensor-backed
+//!   [`SimStream`] and by anything else that can serve windows;
+//! * [`Scheduler`] — the tick-driven pull scheduler: executes any set
+//!   of `(SimQuery, DnfSchedule)` pairs against **one shared
+//!   [`DeviceMemory`]**, coalescing per-stream pulls (a later leaf or
+//!   query only pays for items missing from memory) and applying the
+//!   [`MemoryPolicy`] per tick or per query;
+//! * [`EnergyMeter`] — the single energy/trace accounting
+//!   implementation: per-leaf pull pricing through an [`EnergyModel`],
+//!   lifetime totals, and per-stream item counters.
+//!
+//! The split matters because the pull-coalescing loop is the semantics
+//! the paper's cost model prices; having exactly one implementation
+//! (instead of the three that previously lived in `engine.rs`,
+//! `multi/sim.rs` and `core/cost/execution.rs`) is what makes the
+//! serving-layer features — admission control, drift re-planning —
+//! safe to build: they observe the same energies the planners predict.
+
+use crate::device::{DeviceMemory, MemoryPolicy};
+use crate::energy::EnergyModel;
+use crate::query::SimQuery;
+use crate::source::{SensorModel, SensorSource};
+use crate::stream::SimStream;
+use crate::trace::{LeafRecord, TraceLog};
+use paotr_core::schedule::DnfSchedule;
+use paotr_core::stream::StreamId;
+use rand::Rng;
+use std::borrow::Borrow;
+
+/// The read interface the [`Scheduler`] needs from a stream: a clock
+/// and a window pull. Advancement (producing items) stays with the
+/// owner — the serving loop, the simulation pipeline — so data stays
+/// deterministic under one seed regardless of how it is executed.
+pub trait StreamSource {
+    /// Timestamp of the most recent item (items are stamped 1, 2, ...;
+    /// 0 means nothing has been produced yet).
+    fn now(&self) -> u64;
+
+    /// The last `n` items, newest first; `None` while fewer exist.
+    fn recent(&self, n: usize) -> Option<Vec<f64>>;
+}
+
+impl StreamSource for SimStream {
+    fn now(&self) -> u64 {
+        SimStream::now(self)
+    }
+
+    fn recent(&self, n: usize) -> Option<Vec<f64>> {
+        SimStream::recent(self, n)
+    }
+}
+
+/// Result of one query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Truth value of the query.
+    pub value: bool,
+    /// Energy spent on this evaluation.
+    pub cost: f64,
+    /// Leaves actually evaluated.
+    pub evaluated: usize,
+    /// Items pulled per stream during this evaluation.
+    pub items_pulled: Vec<u32>,
+}
+
+/// The single energy/trace accounting implementation: prices every pull
+/// through one [`EnergyModel`] and accumulates lifetime totals.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    model: EnergyModel,
+    total: f64,
+    evaluations: u64,
+    items: Vec<u64>,
+}
+
+impl EnergyMeter {
+    /// A meter over the given pricing model.
+    pub fn new(model: EnergyModel) -> EnergyMeter {
+        let items = vec![0; model.len()];
+        EnergyMeter {
+            model,
+            total: 0.0,
+            evaluations: 0,
+            items,
+        }
+    }
+
+    /// The pricing model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Total energy spent since construction.
+    pub fn total_cost(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of query evaluations metered.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Lifetime items pulled per stream.
+    pub fn items_pulled(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Prices a pull of `items` new items from stream `k`, adds it to
+    /// the totals and returns the energy charged.
+    pub fn charge(&mut self, k: StreamId, items: u32) -> f64 {
+        let cost = self.model.pull_cost(k, items);
+        self.total += cost;
+        self.items[k.0] += u64::from(items);
+        cost
+    }
+
+    fn count_evaluation(&mut self) {
+        self.evaluations += 1;
+    }
+}
+
+/// The tick-driven pull scheduler: one shared [`DeviceMemory`], a
+/// [`MemoryPolicy`], and the short-circuiting schedule interpreter.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    memory: DeviceMemory,
+    policy: MemoryPolicy,
+}
+
+impl Scheduler {
+    /// A scheduler over `n_streams` streams.
+    pub fn new(n_streams: usize, policy: MemoryPolicy) -> Scheduler {
+        Scheduler {
+            memory: DeviceMemory::new(n_streams),
+            policy,
+        }
+    }
+
+    /// The configured memory policy.
+    pub fn policy(&self) -> MemoryPolicy {
+        self.policy
+    }
+
+    /// The device memory (read access, e.g. for diagnostics).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Applies the memory policy for the evaluation of `queries` at the
+    /// current tick: clear everything, or ([`MemoryPolicy::Retain`])
+    /// prune items older than the set's per-stream relevance horizon.
+    pub fn begin_tick<Q: Borrow<SimQuery>, S: StreamSource>(
+        &mut self,
+        queries: &[Q],
+        streams: &[S],
+    ) {
+        if self.policy == MemoryPolicy::ClearEachQuery {
+            self.memory.clear();
+            return;
+        }
+        let mut horizons = vec![0u32; streams.len()];
+        for q in queries {
+            for (k, &w) in q.borrow().max_windows(streams.len()).iter().enumerate() {
+                horizons[k] = horizons[k].max(w);
+            }
+        }
+        for (k, &w) in horizons.iter().enumerate() {
+            if w > 0 {
+                let now = streams[k].now();
+                let horizon = now.saturating_sub(u64::from(w) - 1);
+                self.memory.prune(StreamId(k), horizon);
+            }
+        }
+    }
+
+    /// The evaluation loop proper: follows the schedule with AND/OR
+    /// short-circuiting, paying (through `meter`) only for items
+    /// missing from memory, optionally appending per-leaf records to a
+    /// trace. Call [`Scheduler::begin_tick`] first to apply the memory
+    /// policy — or use [`Scheduler::run_tick`], which sequences both.
+    ///
+    /// # Panics
+    /// Panics if a stream is too cold to provide a required window or
+    /// if the schedule shape does not match the query.
+    pub fn run_query<S: StreamSource>(
+        &mut self,
+        query: &SimQuery,
+        schedule: &DnfSchedule,
+        streams: &[S],
+        meter: &mut EnergyMeter,
+        mut trace: Option<&mut TraceLog>,
+    ) -> QueryOutcome {
+        assert_eq!(
+            schedule.len(),
+            query.num_leaves(),
+            "schedule does not cover the query's leaves"
+        );
+        let n_terms = query.terms().len();
+        let mut term_failed = vec![false; n_terms];
+        let mut remaining: Vec<usize> = query.terms().iter().map(Vec::len).collect();
+        let mut alive = n_terms;
+        let mut items_pulled = vec![0u32; streams.len()];
+        let mut cost = 0.0;
+        let mut evaluated = 0;
+        let mut value = false;
+
+        for &r in schedule.order() {
+            if term_failed[r.term] || remaining[r.term] == 0 {
+                continue;
+            }
+            let leaf = query.leaf(r);
+            let k = leaf.stream;
+            let stream = &streams[k.0];
+            let now = stream.now();
+            let window = leaf.predicate.window;
+            let missing = self.memory.missing(k, now, window);
+            let pull_cost = meter.charge(k, missing);
+            cost += pull_cost;
+            items_pulled[k.0] += missing;
+            self.memory.insert_window(k, now, window);
+            let data = stream
+                .recent(window as usize)
+                .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window"));
+            let truth = leaf.predicate.eval(&data);
+            evaluated += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(LeafRecord {
+                    tick: now,
+                    leaf: r,
+                    value: truth,
+                    items_paid: missing,
+                    cost: pull_cost,
+                });
+            }
+            if truth {
+                remaining[r.term] -= 1;
+                if remaining[r.term] == 0 {
+                    value = true;
+                    break;
+                }
+            } else {
+                term_failed[r.term] = true;
+                alive -= 1;
+                if alive == 0 {
+                    break;
+                }
+            }
+        }
+
+        meter.count_evaluation();
+        QueryOutcome {
+            value,
+            cost,
+            evaluated,
+            items_pulled,
+        }
+    }
+
+    /// Executes a whole tick: every `(query, schedule)` pair in order.
+    ///
+    /// With `shared = true` the memory policy is applied once for the
+    /// whole set and all queries run against one shared memory — items
+    /// pulled by an earlier query are free for every later query this
+    /// tick. With `shared = false` the policy is applied before *each*
+    /// query, exactly as if the queries were evaluated one at a time
+    /// (under [`MemoryPolicy::ClearEachQuery`] every query pays its own
+    /// pulls — the independent baseline).
+    ///
+    /// # Panics
+    /// As [`Scheduler::run_query`], for each pair.
+    pub fn run_tick<S: StreamSource>(
+        &mut self,
+        queries: &[(&SimQuery, &DnfSchedule)],
+        streams: &[S],
+        shared: bool,
+        meter: &mut EnergyMeter,
+        mut trace: Option<&mut TraceLog>,
+    ) -> Vec<QueryOutcome> {
+        if shared {
+            let all: Vec<&SimQuery> = queries.iter().map(|(q, _)| *q).collect();
+            self.begin_tick(&all, streams);
+        }
+        queries
+            .iter()
+            .map(|(query, schedule)| {
+                if !shared {
+                    self.begin_tick(std::slice::from_ref(query), streams);
+                }
+                self.run_query(query, schedule, streams, meter, trace.as_deref_mut())
+            })
+            .collect()
+    }
+}
+
+/// Catalog-backed synthetic sources: one standard-normal Gaussian
+/// sensor per stream (`horizons[k]` is stream `k`'s relevance horizon —
+/// the widest window any query uses on it), warmed far enough that
+/// every window is servable from tick one. Consumes `rng` exactly in
+/// stream order, so data is deterministic under one seed.
+pub fn gaussian_streams<R: Rng + ?Sized>(horizons: &[u32], rng: &mut R) -> Vec<SimStream> {
+    let mut streams: Vec<SimStream> = horizons
+        .iter()
+        .map(|&w| {
+            SimStream::new(
+                SensorSource::new(SensorModel::Gaussian {
+                    mean: 0.0,
+                    std_dev: 1.0,
+                }),
+                (w.max(1) as usize) * 2,
+            )
+        })
+        .collect();
+    let warm = horizons.iter().copied().max().unwrap_or(1).max(1) as usize;
+    for s in &mut streams {
+        s.advance_by(warm, rng);
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Comparator, Predicate, WindowOp};
+    use crate::query::SimLeaf;
+    use paotr_core::stream::StreamCatalog;
+    use rand::prelude::*;
+
+    fn constant_stream(v: f64, ticks: usize) -> SimStream {
+        let mut s = SimStream::new(SensorSource::new(SensorModel::Constant(v)), 64);
+        let mut rng = StdRng::seed_from_u64(0);
+        s.advance_by(ticks, &mut rng);
+        s
+    }
+
+    fn leaf(stream: usize, window: u32, thr: f64) -> SimLeaf {
+        SimLeaf {
+            stream: StreamId(stream),
+            predicate: Predicate::new(WindowOp::Avg, window, Comparator::Lt, thr),
+        }
+    }
+
+    fn meter(costs: &[f64]) -> EnergyMeter {
+        let cat = StreamCatalog::from_costs(costs.iter().copied()).unwrap();
+        EnergyMeter::new(EnergyModel::from_catalog(&cat))
+    }
+
+    #[test]
+    fn meter_accumulates_totals_and_items() {
+        let mut m = meter(&[2.0, 1.0]);
+        assert_eq!(m.charge(StreamId(0), 3), 6.0);
+        assert_eq!(m.charge(StreamId(1), 2), 2.0);
+        assert_eq!(m.charge(StreamId(0), 0), 0.0);
+        assert_eq!(m.total_cost(), 8.0);
+        assert_eq!(m.items_pulled(), &[3, 2]);
+        assert_eq!(m.evaluations(), 0);
+        assert_eq!(m.model().len(), 2);
+    }
+
+    #[test]
+    fn run_tick_shared_coalesces_pulls_across_queries() {
+        let q0 = SimQuery::new(vec![vec![leaf(0, 8, 70.0)]]).unwrap();
+        let q1 = SimQuery::new(vec![vec![leaf(0, 5, 70.0)]]).unwrap();
+        let streams = vec![constant_stream(50.0, 20)];
+        let s0 = DnfSchedule::from_order_unchecked(q0.leaf_refs());
+        let s1 = DnfSchedule::from_order_unchecked(q1.leaf_refs());
+        let pairs = [(&q0, &s0), (&q1, &s1)];
+
+        let mut sched = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        let mut m = meter(&[1.0]);
+        let outs = sched.run_tick(&pairs, &streams, true, &mut m, None);
+        assert_eq!(outs[0].cost, 8.0);
+        assert_eq!(outs[1].cost, 0.0, "q0's items are free for q1");
+        assert_eq!(m.total_cost(), 8.0);
+        assert_eq!(m.evaluations(), 2);
+
+        let mut sched = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        let mut m = meter(&[1.0]);
+        let outs = sched.run_tick(&pairs, &streams, false, &mut m, None);
+        assert_eq!(outs[1].cost, 5.0, "isolated queries repay the pull");
+        assert_eq!(m.total_cost(), 13.0);
+    }
+
+    #[test]
+    fn scheduler_policy_and_memory_are_observable() {
+        let sched = Scheduler::new(2, MemoryPolicy::Retain);
+        assert_eq!(sched.policy(), MemoryPolicy::Retain);
+        assert_eq!(sched.memory().held_count(StreamId(0)), 0);
+    }
+
+    #[test]
+    fn gaussian_streams_are_warm_and_seed_deterministic() {
+        let horizons = [3u32, 7, 1];
+        let mut rng = StdRng::seed_from_u64(9);
+        let streams = gaussian_streams(&horizons, &mut rng);
+        assert_eq!(streams.len(), 3);
+        for (s, &w) in streams.iter().zip(&horizons) {
+            assert_eq!(s.now(), 7, "warmed to the widest horizon");
+            assert!(s.recent(w as usize).is_some());
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let again = gaussian_streams(&horizons, &mut rng);
+        assert_eq!(streams[1].recent(7), again[1].recent(7));
+    }
+}

@@ -57,6 +57,14 @@ impl TraceLog {
     pub fn total_cost(&self) -> f64 {
         self.records.iter().map(|r| r.cost).sum()
     }
+
+    /// Drops every record, keeping the allocation. Long-running loops
+    /// that only inspect the records of the evaluation just executed
+    /// (e.g. drift estimation in the serving loop) call this to keep
+    /// the log bounded.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
 }
 
 /// Per-leaf success-probability estimates from a trace, flat term-major

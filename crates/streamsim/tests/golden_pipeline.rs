@@ -1,0 +1,81 @@
+// Golden constants are pinned at full captured precision on purpose.
+#![allow(clippy::excessive_precision)]
+
+//! Golden pin of the calibrate–schedule–measure pipeline on the seed
+//! telehealth scenario, captured before the engine was ported onto the
+//! unified runtime (`Scheduler` + `EnergyMeter`). The adapter must
+//! reproduce the pre-refactor energies and calibration estimates.
+
+use paotr_core::stream::{StreamCatalog, StreamId};
+use stream_sim::{
+    run_pipeline, Comparator, PipelineConfig, Predicate, SensorModel, SensorSource, SimLeaf,
+    SimQuery, WindowOp,
+};
+
+#[test]
+fn telehealth_pipeline_matches_pre_refactor_trace() {
+    let hr = SensorModel::Sine {
+        offset: 80.0,
+        amplitude: 25.0,
+        period: 97.0,
+        noise: 3.0,
+    };
+    let spo2 = SensorModel::RandomWalk {
+        start: 0.97,
+        step: 0.004,
+        min: 0.85,
+        max: 1.0,
+    };
+    let q = SimQuery::new(vec![
+        vec![SimLeaf {
+            stream: StreamId(0),
+            predicate: Predicate::new(WindowOp::Avg, 5, Comparator::Gt, 100.0),
+        }],
+        vec![
+            SimLeaf {
+                stream: StreamId(0),
+                predicate: Predicate::new(WindowOp::Avg, 3, Comparator::Lt, 60.0),
+            },
+            SimLeaf {
+                stream: StreamId(1),
+                predicate: Predicate::new(WindowOp::Min, 4, Comparator::Lt, 0.92),
+            },
+        ],
+    ])
+    .unwrap();
+    let cat = StreamCatalog::from_costs([1.0, 4.0]).unwrap();
+    let engine = paotr_core::plan::Engine::new();
+    let report = run_pipeline(
+        &q,
+        vec![SensorSource::new(hr), SensorSource::new(spo2)],
+        &cat,
+        PipelineConfig {
+            warmup_evaluations: 100,
+            measure_evaluations: 200,
+            ..Default::default()
+        },
+        |tree, cat| {
+            let plan = engine.plan(tree, cat).expect("DNF skeletons plan");
+            plan.body
+                .to_dnf_schedule(tree)
+                .expect("schedule-shaped plan")
+        },
+    );
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+    assert!(
+        close(report.mean_cost, 8.35999999999999943e0),
+        "mean_cost {:.17e}",
+        report.mean_cost
+    );
+    assert!(close(report.truth_rate, 4.24999999999999989e-1));
+    assert_eq!(report.items_pulled, vec![1000, 168]);
+    let golden_probs = [
+        1.86274509803921573e-1,
+        2.38095238095238082e-1,
+        4.76190476190476164e-2,
+    ];
+    assert_eq!(report.estimated_probs.len(), golden_probs.len());
+    for (got, want) in report.estimated_probs.iter().zip(&golden_probs) {
+        assert!(close(*got, *want), "prob {got:.17e} vs {want:.17e}");
+    }
+}

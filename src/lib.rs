@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the PAOTR workspace public API.
 pub use paotr_core as core;
+pub use paotr_exec as exec;
 pub use paotr_gen as gen;
 pub use paotr_multi as multi;
 pub use paotr_par as par;

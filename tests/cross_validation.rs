@@ -109,25 +109,24 @@ proptest! {
         prop_assert!((scaled_cost - lambda * base).abs() < 1e-9 * (1.0 + scaled_cost.abs()));
     }
 
-    /// The general-tree interpreter agrees with the DNF interpreter on
-    /// every truth assignment.
+    /// The general-tree enumeration oracle agrees with the DNF
+    /// enumeration oracle (and the analytic evaluator) on the same
+    /// schedule. The per-assignment DNF-vs-general interpreter
+    /// comparison lives with the interpreters in
+    /// `paotr_core::cost::execution`'s unit tests; here both are
+    /// exercised through the ungated expectation surface.
     #[test]
-    fn general_interpreter_matches_dnf(inst in dnf_instance(3, 2, 3), seed in any::<u64>()) {
+    fn general_oracle_matches_dnf_oracle(inst in dnf_instance(3, 2, 3), seed in any::<u64>()) {
         prop_assume!(inst.num_leaves() <= 6);
         let s = random_schedule(&inst, seed);
         let qt = QueryTree::from(inst.tree.clone());
         let indexer = paotr::core::cost::LeafIndexer::new(&inst.tree);
         let flat: Vec<usize> = s.order().iter().map(|&r| indexer.flat(r)).collect();
-        let n = inst.num_leaves();
-        for mask in 0u32..(1 << n) {
-            let assignment: Vec<bool> = (0..n).map(|b| mask >> b & 1 == 1).collect();
-            let a = paotr::core::cost::execution::execute_dnf(
-                &inst.tree, &inst.catalog, &s, &assignment);
-            let b = paotr::core::cost::execution::execute_query_tree(
-                &qt, &inst.catalog, &flat, &assignment);
-            prop_assert_eq!(a.cost, b.cost);
-            prop_assert_eq!(a.value, b.value);
-        }
+        let dnf = assignment::dnf_expected_cost(&inst.tree, &inst.catalog, &s);
+        let general = assignment::query_tree_expected_cost(&qt, &inst.catalog, &flat);
+        prop_assert!((dnf - general).abs() < 1e-9 * (1.0 + dnf.abs()));
+        let analytic = dnf_eval::expected_cost(&inst.tree, &inst.catalog, &s);
+        prop_assert!((dnf - analytic).abs() < 1e-9 * (1.0 + dnf.abs()));
     }
 }
 
