@@ -1,0 +1,89 @@
+//! Serving-daemon benchmarks: session churn through the incremental
+//! re-plan path, the steady-state tick loop, and snapshot round trips.
+//! This is the `BENCH_daemon.json` source in CI
+//! (`cargo bench --bench daemon -- --smoke`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paotr_gen::{churn_script, random_query_source, ChurnConfig, ChurnEvent};
+use paotr_serverd::{Config, Daemon, Snapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn daemon_config() -> Config {
+    Config {
+        seed: 1,
+        budget: Some(20.0),
+        max_window: 16,
+        ..Config::default()
+    }
+}
+
+/// A daemon warmed up with `n` registered sessions.
+fn warm_daemon(n: usize) -> Daemon {
+    let cfg = ChurnConfig::default();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut daemon = Daemon::new(daemon_config()).unwrap();
+    for _ in 0..n {
+        let src = random_query_source(&cfg, &mut rng);
+        daemon.register(&src, 1.0).unwrap();
+    }
+    daemon
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("daemon");
+    group.sample_size(10);
+
+    // 200 scripted register/unregister/tick events, including the
+    // churn-triggered incremental re-plans.
+    let script = churn_script(
+        &ChurnConfig {
+            events: 200,
+            ..ChurnConfig::default()
+        },
+        0,
+        0,
+    );
+    group.bench_function(BenchmarkId::new("churn", "200ev"), |b| {
+        b.iter(|| {
+            let mut daemon = Daemon::new(daemon_config()).unwrap();
+            let mut live: Vec<u64> = Vec::new();
+            for ev in &script {
+                match ev {
+                    ChurnEvent::Register { source, weight } => {
+                        live.push(daemon.register(source, *weight).unwrap());
+                    }
+                    ChurnEvent::Unregister { nth_live } => {
+                        daemon.unregister(live.remove(*nth_live)).unwrap();
+                    }
+                    ChurnEvent::Tick { n } => {
+                        daemon.run_ticks(*n).unwrap();
+                    }
+                }
+            }
+            daemon.tick()
+        })
+    });
+
+    // Steady state: 100 budgeted ticks over 16 live sessions, no churn.
+    group.bench_function(BenchmarkId::new("tick", "16q_100ticks"), |b| {
+        let mut daemon = warm_daemon(16);
+        b.iter(|| daemon.run_ticks(100).unwrap().total_energy())
+    });
+
+    // Snapshot round trip: render, parse, and restore 16 sessions.
+    group.bench_function(BenchmarkId::new("snapshot-roundtrip", "16q"), |b| {
+        let mut daemon = warm_daemon(16);
+        daemon.run_ticks(50).unwrap();
+        b.iter(|| {
+            let rendered = daemon.snapshot().render();
+            let snap = Snapshot::parse(&rendered).unwrap();
+            Daemon::from_snapshot(&snap).unwrap().tick()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_daemon);
+criterion_main!(benches);

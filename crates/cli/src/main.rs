@@ -7,11 +7,13 @@
 //! paotr simulate "<query>" [--costs ...] [--evals N] [--retain]
 //! paotr workload [--queries N] [--overlap F] [--seed S] [--planner NAME | --compare]
 //! paotr serve    [--queries N] [--arrivals poisson|periodic] [--budget J] [--compare]
+//! paotr serve    --daemon [--budget J] [--listen ADDR] [--snapshot PATH]
 //! ```
 //!
 //! Probabilities come from `@` annotations (default 0.5). Stream costs
 //! default to 1.0.
 
+mod daemon_cmd;
 mod explain;
 mod schedule_cmd;
 mod serve_cmd;
@@ -63,7 +65,10 @@ fn print_help() {
          \x20 paotr serve    [--queries N] [--overlap F] [--seed S] [--ticks N]\n\
          \x20                [--arrivals poisson|periodic] [--rate F] [--every N]\n\
          \x20                [--budget J] [--defer] [--no-drift] [--drift-tolerance F]\n\
-         \x20                [--planner NAME | --compare]\n\n\
+         \x20                [--planner NAME | --compare] [--check-budget J]\n\
+         \x20 paotr serve    --daemon [--seed S] [--planner NAME] [--budget J] [--shed]\n\
+         \x20                [--replan-after N] [--max-sessions N] [--max-window N]\n\
+         \x20                [--listen ADDR] [--snapshot PATH]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
          planner names (for --heuristic; default and-inc-cp-dyn):"

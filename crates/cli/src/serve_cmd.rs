@@ -11,6 +11,12 @@ use paotr_gen::workload::{workload_instance, WorkloadConfig};
 use paotr_multi::{planner_by_name, planner_names, Workload};
 
 pub fn run(args: &[String]) -> Result<(), String> {
+    // `--daemon` switches to the long-running protocol daemon; every
+    // other flag then belongs to `daemon_cmd`.
+    if args.iter().any(|a| a == "--daemon") {
+        let rest: Vec<String> = args.iter().filter(|a| *a != "--daemon").cloned().collect();
+        return crate::daemon_cmd::run(&rest);
+    }
     let mut queries = 16usize;
     let mut overlap = 0.5f64;
     let mut seed = 0u64;
@@ -24,6 +30,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut drift_tolerance = 0.15f64;
     let mut planner: Option<String> = None;
     let mut compare_all = false;
+    let mut check_budget: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -103,6 +110,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 compare_all = true;
                 i += 1;
             }
+            "--check-budget" => {
+                let mut b = 0.0;
+                parse_num("--check-budget", &mut b)?;
+                check_budget = Some(b);
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -134,6 +147,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(b) = budget {
         if !(b.is_finite() && b >= 0.0) {
             return Err("--budget expects a finite energy value >= 0".into());
+        }
+    }
+    if let Some(b) = check_budget {
+        if !(b.is_finite() && b >= 0.0) {
+            return Err("--check-budget expects a finite energy value >= 0".into());
         }
     }
 
@@ -212,8 +230,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
             (Some(b), true) => Box::new(EnergyBudget::deferring(b)),
         };
         let quarter = (ticks / 4).max(1);
+        // Track the hottest tick so a budget violation names the
+        // offending tick, not just the worst energy.
+        let mut worst_tick = 0u64;
+        let mut worst_energy = 0.0f64;
         let report = serve
             .run_with_progress(policy.as_mut(), &engine, |t| {
+                if t.energy > worst_energy {
+                    worst_energy = t.energy;
+                    worst_tick = t.tick;
+                }
                 if (t.tick + 1) % quarter as u64 == 0 {
                     eprintln!(
                         "  [{name}] tick {:>5}: due {:>3}  admitted {:>3}  shed {:>3}  \
@@ -228,11 +254,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 }
             })
             .map_err(|e| e.to_string())?;
-        if let Some(b) = budget {
+        // Hard post-hoc check: `--budget` is enforced by admission, so a
+        // violation here is a runtime bug; `--check-budget` audits a run
+        // that had no admission ceiling. Either way the offense is fatal.
+        if let Some(b) = check_budget.or(budget) {
             if report.max_tick_energy > b + 1e-9 {
                 return Err(format!(
-                    "budget violated: max tick energy {} > {b}",
-                    report.max_tick_energy
+                    "budget violated at tick {worst_tick}: {worst_energy:.3} J > {b} J/tick \
+                     (planner {name})"
                 ));
             }
         }

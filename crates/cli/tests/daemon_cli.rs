@@ -1,0 +1,163 @@
+//! Integration tests for `paotr serve` daemon mode and the hard
+//! budget-violation exit, run against the real binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_paotr");
+
+fn run_daemon(extra: &[&str], script: &str) -> std::process::Output {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--daemon", "--seed", "3"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    child.wait_with_output().expect("daemon exit")
+}
+
+#[test]
+fn daemon_serves_a_scripted_session_over_stdin() {
+    let script = "\
+{\"cmd\":\"register\",\"query\":\"AVG(hr, 4) > 0.2 AND spo2 < 0.5\"}\n\
+{\"cmd\":\"register\",\"query\":\"MAX(accel, 6) > 0.0 @ 0.4\",\"weight\":2.0}\n\
+{\"cmd\":\"tick\",\"n\":10}\n\
+{\"cmd\":\"unregister\",\"id\":0}\n\
+{\"cmd\":\"tick\",\"n\":5}\n\
+{\"cmd\":\"stats\"}\n\
+{\"cmd\":\"shutdown\"}\n";
+    let out = run_daemon(&["--budget", "15"], script);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 7, "one response per command: {stdout}");
+    for line in &lines {
+        assert!(line.starts_with("{\"ok\":true"), "bad response: {line}");
+    }
+    assert!(lines[5].contains("\"tick\":15"), "stats: {}", lines[5]);
+    assert!(lines[5].contains("\"registers\":2"), "stats: {}", lines[5]);
+}
+
+#[test]
+fn daemon_snapshot_flag_survives_a_restart() {
+    let path = std::env::temp_dir().join("paotr_daemon_cli.snap");
+    let path = path.to_str().unwrap();
+    std::fs::remove_file(path).ok();
+
+    let out = run_daemon(
+        &["--snapshot", path],
+        "{\"cmd\":\"register\",\"query\":\"AVG(hr, 4) > 0.2\"}\n\
+         {\"cmd\":\"tick\",\"n\":8}\n\
+         {\"cmd\":\"shutdown\"}\n",
+    );
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("saved snapshot"),
+        "first run must save the snapshot"
+    );
+
+    let out = run_daemon(
+        &["--snapshot", path],
+        "{\"cmd\":\"stats\"}\n{\"cmd\":\"shutdown\"}\n",
+    );
+    std::fs::remove_file(path).ok();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("restored snapshot"),
+        "second run must restore the snapshot"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.lines().next().unwrap().contains("\"tick\":8"),
+        "restored daemon must continue from tick 8: {stdout}"
+    );
+}
+
+#[test]
+fn malformed_requests_get_error_responses_but_do_not_kill_the_daemon() {
+    let out = run_daemon(
+        &[],
+        "not json\n{\"cmd\":\"nope\"}\n{\"cmd\":\"stats\"}\n{\"cmd\":\"shutdown\"}\n",
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].starts_with("{\"ok\":false"));
+    assert!(lines[1].starts_with("{\"ok\":false"));
+    assert!(lines[2].starts_with("{\"ok\":true"));
+}
+
+/// The hard budget-violation check exits non-zero and prints the
+/// offending tick. `--check-budget` audits without an admission
+/// ceiling, so an impossibly small budget is guaranteed to fire.
+#[test]
+fn budget_violation_exits_nonzero_and_names_the_offending_tick() {
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--queries",
+            "4",
+            "--ticks",
+            "10",
+            "--arrivals",
+            "periodic",
+            "--every",
+            "1",
+            "--no-drift",
+            "--check-budget",
+            "0.0001",
+        ])
+        .output()
+        .expect("run serve");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a budget violation must exit with code 1"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("budget violated at tick"),
+        "stderr must name the offending tick: {stderr}"
+    );
+}
+
+/// A generous `--check-budget` on the same run passes: the violation
+/// path only fires when a tick actually exceeds the limit.
+#[test]
+fn generous_check_budget_passes() {
+    let out = Command::new(BIN)
+        .args([
+            "serve",
+            "--queries",
+            "4",
+            "--ticks",
+            "10",
+            "--arrivals",
+            "periodic",
+            "--every",
+            "1",
+            "--no-drift",
+            "--check-budget",
+            "1000000",
+        ])
+        .output()
+        .expect("run serve");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -17,7 +17,8 @@
 use paotr_core::stream::StreamId;
 
 /// What the policy may look at: per-query weights, per-query per-stream
-/// maximum windows, per-stream item costs, and the execution mode.
+/// maximum windows, per-stream item costs, request ages, and the
+/// execution mode.
 #[derive(Debug, Clone)]
 pub struct AdmissionCtx<'a> {
     /// Per-query weights (workload order).
@@ -26,6 +27,15 @@ pub struct AdmissionCtx<'a> {
     pub windows: &'a [Vec<u32>],
     /// Per-stream per-item costs.
     pub costs: &'a [f64],
+    /// Tick on which each query's pending request first arrived (only
+    /// meaningful for queries in the due set). Deferred requests keep
+    /// their original arrival tick, so equal-weight ties resolve
+    /// oldest-request-first instead of by workload index — without this
+    /// a request could starve behind an endless run of equal-weight
+    /// fresh arrivals with lower indices, and soak runs under churn
+    /// would not be reproducible across registries that number their
+    /// queries differently.
+    pub pending_since: &'a [u64],
     /// True when admitted queries share one device memory per tick
     /// (joint plans); false for the isolated independent baseline.
     pub shared: bool,
@@ -177,10 +187,17 @@ impl AdmissionPolicy for EnergyBudget {
     }
 
     fn admit(&mut self, _tick: u64, due: &[usize], ctx: &AdmissionCtx<'_>) -> Admission {
-        // Heaviest weight first; ties broken by workload index so the
-        // decision is deterministic.
+        // Heaviest weight first; equal weights rank oldest pending
+        // request first (insertion tick, so deferred requests cannot
+        // starve behind fresh equal-weight arrivals), then workload
+        // index so the decision is fully deterministic.
         let mut ranked: Vec<usize> = due.to_vec();
-        ranked.sort_by(|&a, &b| ctx.weights[b].total_cmp(&ctx.weights[a]).then(a.cmp(&b)));
+        ranked.sort_by(|&a, &b| {
+            ctx.weights[b]
+                .total_cmp(&ctx.weights[a])
+                .then(ctx.pending_since[a].cmp(&ctx.pending_since[b]))
+                .then(a.cmp(&b))
+        });
         let mut acc = vec![0u32; ctx.costs.len()];
         let mut used = 0.0f64;
         let mut out = Admission::default();
@@ -207,6 +224,8 @@ impl AdmissionPolicy for EnergyBudget {
 mod tests {
     use super::*;
 
+    const ZERO_SINCE: [u64; 8] = [0; 8];
+
     fn ctx<'a>(
         weights: &'a [f64],
         windows: &'a [Vec<u32>],
@@ -217,6 +236,7 @@ mod tests {
             weights,
             windows,
             costs,
+            pending_since: &ZERO_SINCE[..weights.len()],
             shared,
         }
     }
@@ -274,6 +294,38 @@ mod tests {
         let c = ctx(&weights, &windows, &costs, true);
         let a = EnergyBudget::shedding(0.0).admit(0, &[0], &c);
         assert_eq!(a.admitted, vec![0], "free pulls fit a zero budget");
+    }
+
+    /// Regression (PR 5 follow-on): among equal-weight due requests the
+    /// oldest pending one is admitted first. Before the explicit
+    /// insertion-tick tie-break, a request deferred for many ticks
+    /// could lose every round to a fresh equal-weight arrival with a
+    /// lower workload index.
+    #[test]
+    fn equal_weight_ties_admit_the_oldest_pending_request_first() {
+        let weights = [1.0, 1.0, 1.0];
+        // One stream, every query needs the same 5-item window; isolated
+        // execution so a budget of 5 admits exactly one query per tick.
+        let windows = vec![vec![5], vec![5], vec![5]];
+        let costs = [1.0];
+        // q2 has been pending since tick 0 (deferred earlier); q0 just
+        // arrived on tick 1. Index order would pick q0 — the tie-break
+        // must pick the older q2.
+        let pending_since = [1u64, 1, 0];
+        let c = AdmissionCtx {
+            weights: &weights,
+            windows: &windows,
+            costs: &costs,
+            pending_since: &pending_since,
+            shared: false,
+        };
+        let a = EnergyBudget::deferring(5.0).admit(1, &[0, 2], &c);
+        assert_eq!(a.admitted, vec![2], "oldest pending request wins the tie");
+        assert_eq!(a.deferred, vec![0]);
+        // Equal ages fall back to workload index.
+        let a = EnergyBudget::deferring(5.0).admit(1, &[0, 1], &c);
+        assert_eq!(a.admitted, vec![0]);
+        assert_eq!(a.deferred, vec![1]);
     }
 
     #[test]

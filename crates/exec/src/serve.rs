@@ -166,9 +166,16 @@ impl ServeReport {
     }
 }
 
-/// Per-query drift estimator state (flat term-major leaf order).
-#[derive(Debug, Clone)]
-struct DriftState {
+/// Per-query drift estimator state (flat term-major leaf order): the
+/// calibrated probabilities the current plan assumed plus observed
+/// success counters per leaf.
+///
+/// Public because long-lived serving layers (the `paotr_serverd`
+/// daemon) persist this calibration state across restarts — it is
+/// exactly the "estimated from historical traces" state the paper
+/// assumes, and it outlives any single query's session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftState {
     /// Per-leaf calibrated probability (what the current plan assumed).
     calibrated: Vec<f64>,
     /// Per-leaf observed successes.
@@ -180,7 +187,8 @@ struct DriftState {
 }
 
 impl DriftState {
-    fn new(tree: &paotr_core::tree::DnfTree) -> DriftState {
+    /// Fresh estimators calibrated to `tree`'s leaf probabilities.
+    pub fn new(tree: &paotr_core::tree::DnfTree) -> DriftState {
         let mut offsets = Vec::with_capacity(tree.num_terms());
         let mut acc = 0;
         for t in tree.terms() {
@@ -195,7 +203,8 @@ impl DriftState {
         }
     }
 
-    fn observe(&mut self, leaf: paotr_core::leaf::LeafRef, value: bool) {
+    /// Records one leaf evaluation.
+    pub fn observe(&mut self, leaf: paotr_core::leaf::LeafRef, value: bool) {
         let i = self.offsets[leaf.term] + leaf.leaf;
         self.totals[i] += 1;
         self.successes[i] += u64::from(value);
@@ -203,7 +212,7 @@ impl DriftState {
 
     /// True when any sufficiently-observed leaf drifted past the
     /// tolerance.
-    fn drifted(&self, cfg: &DriftConfig) -> bool {
+    pub fn drifted(&self, cfg: &DriftConfig) -> bool {
         self.calibrated
             .iter()
             .zip(&self.successes)
@@ -215,7 +224,7 @@ impl DriftState {
 
     /// The re-calibrated probabilities: observed rates where trusted,
     /// the old calibration elsewhere.
-    fn recalibrated(&self, cfg: &DriftConfig) -> Vec<f64> {
+    pub fn recalibrated(&self, cfg: &DriftConfig) -> Vec<f64> {
         self.calibrated
             .iter()
             .zip(&self.successes)
@@ -231,10 +240,49 @@ impl DriftState {
     }
 
     /// Adopts a new calibration and restarts the estimators.
-    fn reset_to(&mut self, probs: Vec<f64>) {
+    pub fn reset_to(&mut self, probs: Vec<f64>) {
         self.calibrated = probs;
         self.successes.iter_mut().for_each(|s| *s = 0);
         self.totals.iter_mut().for_each(|t| *t = 0);
+    }
+
+    /// The calibrated per-leaf probabilities (flat term-major order).
+    pub fn calibrated(&self) -> &[f64] {
+        &self.calibrated
+    }
+
+    /// Observed successes per leaf (flat term-major order).
+    pub fn successes(&self) -> &[u64] {
+        &self.successes
+    }
+
+    /// Observations per leaf (flat term-major order).
+    pub fn totals(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Restores persisted estimator state (snapshot restore). Lengths
+    /// must match the tree this state was built for.
+    pub fn restore(
+        &mut self,
+        calibrated: Vec<f64>,
+        successes: Vec<u64>,
+        totals: Vec<u64>,
+    ) -> std::result::Result<(), String> {
+        let n = self.calibrated.len();
+        if calibrated.len() != n || successes.len() != n || totals.len() != n {
+            return Err(format!(
+                "calibration state covers {} leaves, query has {n}",
+                calibrated.len()
+            ));
+        }
+        if successes.iter().zip(&totals).any(|(s, t)| s > t) {
+            return Err("leaf successes exceed observations".into());
+        }
+        self.calibrated = calibrated;
+        self.successes = successes;
+        self.totals = totals;
+        Ok(())
     }
 }
 
@@ -337,16 +385,14 @@ impl ServeLoop {
             .collect();
         let windows: Vec<Vec<u32>> = AdmissionCtx::query_windows(&self.queries, n_streams);
         let costs = AdmissionCtx::stream_costs(&self.catalog);
-        let ctx = AdmissionCtx {
-            weights: &self.weights,
-            windows: &windows,
-            costs: &costs,
-            shared: self.shared,
-        };
 
         let mut schedules = self.schedules.clone();
         let mut drift = self.drift_seed.clone();
-        let mut pending = vec![false; n];
+        // `Some(t)` = a request has been pending since tick `t`; deferred
+        // requests keep their original arrival tick so admission's
+        // equal-weight tie-break serves the oldest request first.
+        let mut pending: Vec<Option<u64>> = vec![None; n];
+        let mut pending_since = vec![0u64; n];
         let mut trace = TraceLog::default();
 
         let mut total_arrivals = 0u64;
@@ -362,11 +408,21 @@ impl ServeLoop {
             for (q, arrival) in arrivals.iter_mut().enumerate() {
                 let fired = arrival.poll(t);
                 total_arrivals += fired;
-                if fired > 0 {
-                    pending[q] = true;
+                if fired > 0 && pending[q].is_none() {
+                    pending[q] = Some(t);
                 }
             }
-            let due: Vec<usize> = (0..n).filter(|&q| pending[q]).collect();
+            let due: Vec<usize> = (0..n).filter(|&q| pending[q].is_some()).collect();
+            for q in 0..n {
+                pending_since[q] = pending[q].unwrap_or(t);
+            }
+            let ctx = AdmissionCtx {
+                weights: &self.weights,
+                windows: &windows,
+                costs: &costs,
+                pending_since: &pending_since,
+                shared: self.shared,
+            };
             let admission = policy.admit(t, &due, &ctx);
 
             // Execute the admitted set in the joint plan's order so the
@@ -399,7 +455,7 @@ impl ServeLoop {
                 truths += u64::from(out.value);
                 per_query_served[q] += 1;
                 served += 1;
-                pending[q] = false;
+                pending[q] = None;
 
                 if let Some(cfg) = &self.config.drift {
                     // Only this evaluation's records are ever needed;
@@ -426,7 +482,7 @@ impl ServeLoop {
                 }
             }
             for &q in &admission.shed {
-                pending[q] = false;
+                pending[q] = None;
             }
             shed += admission.shed.len() as u64;
             deferred += admission.deferred.len() as u64;

@@ -1,0 +1,196 @@
+//! Scripted churn: deterministic register/unregister/tick event streams
+//! for the serving daemon's soak and bench harnesses.
+//!
+//! A churn script is a sequence of [`ChurnEvent`]s addressed by
+//! `(config, instance)` through [`Experiment::Daemon`] seeding, so soak
+//! failures reproduce from their script coordinates alone. Queries are
+//! emitted as **qlang source strings** (this crate does not depend on
+//! the qlang parser): random DNF shapes over a bounded stream pool,
+//! with windows capped so every script is admissible under a daemon's
+//! `max_window`.
+
+use crate::seeds::{instance_seed, Experiment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted daemon event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// Register a new query.
+    Register {
+        /// qlang source text.
+        source: String,
+        /// Admission weight.
+        weight: f64,
+    },
+    /// Unregister the `nth_live` oldest live session (0-based; always
+    /// valid for a consumer replaying the script in order).
+    Unregister {
+        /// Index into the live set, in registration order.
+        nth_live: usize,
+    },
+    /// Advance the daemon by `n` ticks.
+    Tick {
+        /// Tick count (`>= 1`).
+        n: u64,
+    },
+}
+
+/// Churn script shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Events to generate.
+    pub events: usize,
+    /// Ceiling on concurrently live sessions (registers beyond it
+    /// become ticks).
+    pub max_live: usize,
+    /// Size of the stream-name pool (`s0`, `s1`, ...).
+    pub streams: usize,
+    /// Maximum DNF terms per query.
+    pub max_terms: usize,
+    /// Maximum predicates per term.
+    pub max_leaves_per_term: usize,
+    /// Maximum aggregate window (keep at or below the daemon's
+    /// `max_window`).
+    pub max_window: u32,
+    /// Maximum ticks per [`ChurnEvent::Tick`] burst.
+    pub max_tick_burst: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            events: 1000,
+            max_live: 24,
+            streams: 12,
+            max_terms: 3,
+            max_leaves_per_term: 3,
+            max_window: 16,
+            max_tick_burst: 4,
+        }
+    }
+}
+
+const AGGS: [&str; 5] = ["AVG", "MAX", "MIN", "SUM", "LAST"];
+const CMPS: [&str; 4] = ["<", "<=", ">", ">="];
+
+/// One random qlang predicate, e.g. `AVG(s3, 7) < 0.215 @ 0.4`.
+fn random_predicate<R: Rng + ?Sized>(cfg: &ChurnConfig, rng: &mut R) -> String {
+    let agg = AGGS[rng.gen_range(0..AGGS.len())];
+    let stream = rng.gen_range(0..cfg.streams.max(1));
+    let window = rng.gen_range(1..=cfg.max_window.max(1));
+    let cmp = CMPS[rng.gen_range(0..CMPS.len())];
+    let threshold = rng.gen_range(-1.0..1.0);
+    let mut p = format!("{agg}(s{stream}, {window}) {cmp} {threshold:.3}");
+    if rng.gen_range(0.0..1.0) < 0.3 {
+        let prob = rng.gen_range(0.05..0.95);
+        p.push_str(&format!(" @ {prob:.2}"));
+    }
+    p
+}
+
+/// One random DNF-shaped qlang query under `cfg`'s shape bounds.
+pub fn random_query_source<R: Rng + ?Sized>(cfg: &ChurnConfig, rng: &mut R) -> String {
+    let n_terms = rng.gen_range(1..=cfg.max_terms.max(1));
+    let terms: Vec<String> = (0..n_terms)
+        .map(|_| {
+            let n_leaves = rng.gen_range(1..=cfg.max_leaves_per_term.max(1));
+            let leaves: Vec<String> = (0..n_leaves).map(|_| random_predicate(cfg, rng)).collect();
+            if n_terms > 1 && n_leaves > 1 {
+                format!("({})", leaves.join(" AND "))
+            } else {
+                leaves.join(" AND ")
+            }
+        })
+        .collect();
+    terms.join(" OR ")
+}
+
+/// The deterministic churn script at `(config, instance)`.
+pub fn churn_script(cfg: &ChurnConfig, config_idx: usize, instance: usize) -> Vec<ChurnEvent> {
+    let seed = instance_seed(Experiment::Daemon, config_idx, instance);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(cfg.events);
+    let mut live = 0usize;
+    for _ in 0..cfg.events {
+        let roll = rng.gen_range(0.0..1.0);
+        if roll < 0.35 && live < cfg.max_live {
+            events.push(ChurnEvent::Register {
+                source: random_query_source(cfg, &mut rng),
+                weight: rng.gen_range(0.5..4.0),
+            });
+            live += 1;
+        } else if roll < 0.55 && live > 0 {
+            events.push(ChurnEvent::Unregister {
+                nth_live: rng.gen_range(0..live),
+            });
+            live -= 1;
+        } else {
+            events.push(ChurnEvent::Tick {
+                n: rng.gen_range(1..=cfg.max_tick_burst.max(1)),
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_distinct() {
+        let cfg = ChurnConfig::default();
+        assert_eq!(churn_script(&cfg, 0, 0), churn_script(&cfg, 0, 0));
+        assert_ne!(churn_script(&cfg, 0, 0), churn_script(&cfg, 0, 1));
+        assert_eq!(churn_script(&cfg, 0, 0).len(), cfg.events);
+    }
+
+    #[test]
+    fn unregister_indices_are_always_valid() {
+        let cfg = ChurnConfig {
+            events: 5000,
+            ..ChurnConfig::default()
+        };
+        let mut live = 0usize;
+        let mut saw_unregister = false;
+        for ev in churn_script(&cfg, 1, 2) {
+            match ev {
+                ChurnEvent::Register { source, weight } => {
+                    assert!(!source.is_empty());
+                    assert!(weight > 0.0);
+                    live += 1;
+                    assert!(live <= cfg.max_live);
+                }
+                ChurnEvent::Unregister { nth_live } => {
+                    assert!(nth_live < live, "{nth_live} out of {live}");
+                    live -= 1;
+                    saw_unregister = true;
+                }
+                ChurnEvent::Tick { n } => {
+                    assert!((1..=cfg.max_tick_burst).contains(&n));
+                }
+            }
+        }
+        assert!(saw_unregister, "a 5000-event script must exercise churn");
+    }
+
+    #[test]
+    fn sources_respect_shape_bounds() {
+        let cfg = ChurnConfig {
+            max_window: 8,
+            streams: 3,
+            ..ChurnConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let src = random_query_source(&cfg, &mut rng);
+            assert!(src.split(" OR ").count() <= cfg.max_terms);
+            for tok in src.split(['(', ',', ')']) {
+                if let Ok(w) = tok.trim().parse::<u32>() {
+                    assert!(w <= cfg.max_window, "window {w} in `{src}`");
+                }
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! leaf's stream uniformly from `round(leaves / rho)` streams.
 
 pub mod and_grid;
+pub mod churn;
 pub mod distributions;
 pub mod dnf_grid;
 pub mod seeds;
@@ -24,6 +25,7 @@ pub use and_grid::{
     fig4_grid, random_and_instance, AndConfig, FIG4_INSTANCES_PER_CONFIG, LEAF_COUNTS,
     SHARING_RATIOS,
 };
+pub use churn::{churn_script, random_query_source, ChurnConfig, ChurnEvent};
 pub use distributions::ParamDistributions;
 pub use dnf_grid::{
     fig5_grid, fig6_grid, random_dnf_instance, DnfConfig, Shape, DNF_INSTANCES_PER_CONFIG,

@@ -21,6 +21,9 @@ pub enum Experiment {
     /// Serving-loop arrival processes (one stream of arrival times per
     /// query of a served workload).
     Serve,
+    /// Daemon churn scripts (register/unregister/tick event streams for
+    /// the serving daemon's soak and bench harnesses).
+    Daemon,
     /// Free-form experiments (tests, examples).
     Custom(u64),
 }
@@ -33,6 +36,7 @@ impl Experiment {
             Experiment::Fig6 => 0x0f19_64b5_17c4_0006,
             Experiment::Workload => 0x0f19_64b5_17c4_0010,
             Experiment::Serve => 0x0f19_64b5_17c4_0020,
+            Experiment::Daemon => 0x0f19_64b5_17c4_0040,
             Experiment::Custom(t) => t ^ 0xc0ff_ee00_dead_beef,
         }
     }

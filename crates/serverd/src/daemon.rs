@@ -1,0 +1,756 @@
+//! The serving daemon: explicit-tick execution of the live session set
+//! under admission control, drift re-planning, and the line-protocol
+//! serve loops.
+//!
+//! Ticks advance only on explicit `tick` commands, so scripted runs
+//! (tests, the soak harness, the bench group) are fully deterministic:
+//! the same command script against the same seed produces the same
+//! energies, the same admission decisions, and the same snapshots.
+//! Between ticks the registry absorbs churn by patching; a full joint
+//! re-plan runs after [`Config::replan_after`] churn events (or on an
+//! explicit `replan` command) through the engine's plan cache.
+//!
+//! Stream `k`'s sensor data is a pure function of `(seed, k, tick)`:
+//! every stream owns a dedicated RNG seeded from the daemon seed and
+//! the stream index, is warmed by [`Config::max_window`] items at
+//! creation, and advances by exactly one item per tick. A restored
+//! daemon replays each stream to its snapshot tick, so serving after a
+//! restart continues on the same data the uninterrupted run would have
+//! seen.
+
+use crate::json::{parse as json_parse, Json};
+use crate::proto::{error_response, ok_response, parse_command, Command};
+use crate::registry::SessionRegistry;
+use crate::snapshot::{SessionSnap, Snapshot};
+use crate::telemetry::Telemetry;
+use crate::{Error, Result};
+use paotr_core::plan::Engine;
+use paotr_exec::{AcceptAll, AdmissionCtx, AdmissionPolicy, DriftConfig, EnergyBudget};
+use paotr_gen::seeds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use stream_sim::{
+    EnergyMeter, EnergyModel, MemoryPolicy, Scheduler, SensorModel, SensorSource, SimQuery,
+    SimStream, TraceLog,
+};
+
+/// Domain separation for per-stream RNG seeds.
+const STREAM_SALT: u64 = 0x5eed_57ea_4000_0000;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Seed for all sensor data.
+    pub seed: u64,
+    /// Joint planner (a `paotr_multi::planner_names()` entry).
+    pub planner: String,
+    /// Per-tick worst-case energy budget; `None` admits everything.
+    pub budget: Option<f64>,
+    /// Over-budget requests are deferred (true) or shed (false).
+    pub defer: bool,
+    /// Drift-triggered re-planning; `None` disables trace estimation.
+    pub drift: Option<DriftConfig>,
+    /// Churn events (register/unregister) that trigger a full joint
+    /// re-plan at the next tick; 0 re-plans only on explicit `replan`.
+    pub replan_after: u64,
+    /// Hard ceiling on live sessions (keeps daemon memory bounded).
+    pub max_sessions: usize,
+    /// Hard ceiling on any predicate window (bounds stream buffers).
+    pub max_window: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            seed: 0,
+            planner: "shared-greedy".into(),
+            budget: None,
+            defer: true,
+            drift: Some(DriftConfig::default()),
+            replan_after: 8,
+            max_sessions: 64,
+            max_window: 64,
+        }
+    }
+}
+
+impl Config {
+    /// Serializes to the snapshot JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::from_u64(self.seed)),
+            ("planner", Json::Str(self.planner.clone())),
+            ("budget", self.budget.map(Json::Num).unwrap_or(Json::Null)),
+            ("defer", Json::Bool(self.defer)),
+            (
+                "drift",
+                self.drift
+                    .map(|d| {
+                        Json::obj([
+                            ("tolerance", Json::Num(d.tolerance)),
+                            ("min_samples", Json::from_u64(d.min_samples)),
+                        ])
+                    })
+                    .unwrap_or(Json::Null),
+            ),
+            ("replan_after", Json::from_u64(self.replan_after)),
+            ("max_sessions", Json::from_u64(self.max_sessions as u64)),
+            ("max_window", Json::from_u64(u64::from(self.max_window))),
+        ])
+    }
+
+    /// Deserializes from the snapshot JSON object.
+    pub fn from_json(v: &Json) -> std::result::Result<Config, String> {
+        let missing = |k: &str| format!("config: missing or invalid `{k}`");
+        let drift = match v.get("drift") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(DriftConfig {
+                tolerance: d
+                    .get("tolerance")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("drift.tolerance"))?,
+                min_samples: d
+                    .get("min_samples")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("drift.min_samples"))?,
+            }),
+        };
+        let budget = match v.get("budget") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(b.as_f64().ok_or_else(|| missing("budget"))?),
+        };
+        Ok(Config {
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("seed"))?,
+            planner: v
+                .get("planner")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("planner"))?
+                .to_string(),
+            budget,
+            defer: v
+                .get("defer")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| missing("defer"))?,
+            drift,
+            replan_after: v
+                .get("replan_after")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("replan_after"))?,
+            max_sessions: v
+                .get("max_sessions")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("max_sessions"))? as usize,
+            max_window: v
+                .get("max_window")
+                .and_then(Json::as_u64)
+                .filter(|&w| w <= u64::from(u32::MAX))
+                .ok_or_else(|| missing("max_window"))? as u32,
+        })
+    }
+}
+
+/// Per-tick energies of one `run_ticks` batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Tick index of the batch's first tick.
+    pub start_tick: u64,
+    /// Energy spent on each tick of the batch, in order.
+    pub energies: Vec<f64>,
+}
+
+impl BatchReport {
+    /// Ticks in the batch.
+    pub fn ticks(&self) -> u64 {
+        self.energies.len() as u64
+    }
+
+    /// Total energy across the batch.
+    pub fn total_energy(&self) -> f64 {
+        self.energies.iter().sum()
+    }
+
+    /// Largest single-tick energy in the batch.
+    pub fn max_energy(&self) -> f64 {
+        self.energies.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// The long-running daemon: registry + streams + telemetry + engine.
+#[derive(Debug)]
+pub struct Daemon {
+    config: Config,
+    engine: Engine,
+    registry: SessionRegistry,
+    telemetry: Telemetry,
+    tick: u64,
+    churn_since_replan: u64,
+    /// Pending request per session: the tick it first arrived.
+    pending: BTreeMap<u64, u64>,
+    streams: Vec<SimStream>,
+    stream_rngs: Vec<StdRng>,
+    trace: TraceLog,
+}
+
+impl Daemon {
+    /// An empty daemon under `config`.
+    pub fn new(config: Config) -> Result<Daemon> {
+        let registry =
+            SessionRegistry::new(&config.planner, config.max_sessions, config.max_window)?;
+        Ok(Daemon {
+            config,
+            engine: Engine::new(),
+            registry,
+            telemetry: Telemetry::default(),
+            tick: 0,
+            churn_since_replan: 0,
+            pending: BTreeMap::new(),
+            streams: Vec::new(),
+            stream_rngs: Vec::new(),
+            trace: TraceLog::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The live session registry.
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
+    }
+
+    /// The live counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The current tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The planning engine (exposed for cache statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Churn events since the last full joint re-plan.
+    pub fn churn_since_replan(&self) -> u64 {
+        self.churn_since_replan
+    }
+
+    /// Requests currently pending admission (the defer queue). Bounded
+    /// by the number of live sessions.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records in the internal trace buffer (drained after every
+    /// evaluation, so this is 0 between ticks).
+    pub fn trace_len(&self) -> usize {
+        self.trace.records().len()
+    }
+
+    /// Registers a qlang query; returns its session id.
+    pub fn register(&mut self, source: &str, weight: f64) -> Result<u64> {
+        let id = self
+            .registry
+            .register(source, weight, self.tick, &self.engine)?;
+        self.churn_since_replan += 1;
+        self.telemetry.registers += 1;
+        Ok(id)
+    }
+
+    /// Removes a live session.
+    pub fn unregister(&mut self, id: u64) -> Result<()> {
+        self.registry.unregister(id)?;
+        self.pending.remove(&id);
+        self.churn_since_replan += 1;
+        self.telemetry.unregisters += 1;
+        Ok(())
+    }
+
+    /// Forces a full joint re-plan of the live set.
+    pub fn replan(&mut self) -> Result<()> {
+        self.registry.replan(&self.engine)?;
+        self.telemetry.churn_replans += 1;
+        self.churn_since_replan = 0;
+        Ok(())
+    }
+
+    /// Serves `n` ticks and returns the batch's per-tick energies.
+    pub fn run_ticks(&mut self, n: u64) -> Result<BatchReport> {
+        let start_tick = self.tick;
+        self.ensure_streams();
+        let mut energies = Vec::with_capacity(n as usize);
+        let mut scheduler = Scheduler::new(self.streams.len(), MemoryPolicy::ClearEachQuery);
+        for _ in 0..n {
+            if self.config.replan_after > 0
+                && self.churn_since_replan >= self.config.replan_after
+                && !self.registry.is_empty()
+            {
+                self.replan()?;
+            }
+            energies.push(self.run_one_tick(&mut scheduler)?);
+        }
+        Ok(BatchReport {
+            start_tick,
+            energies,
+        })
+    }
+
+    fn run_one_tick(&mut self, scheduler: &mut Scheduler) -> Result<f64> {
+        let t = self.tick;
+        let ids: Vec<u64> = self.registry.sessions().map(|s| s.id).collect();
+        let n = ids.len();
+
+        // Every live session is due every tick; deferred requests keep
+        // their original arrival tick for the admission tie-break.
+        for &id in &ids {
+            self.pending.entry(id).or_insert(t);
+        }
+
+        let n_streams = self.registry.catalog().len();
+        let weights: Vec<f64> = self.registry.sessions().map(|s| s.weight).collect();
+        let windows: Vec<Vec<u32>> = self
+            .registry
+            .sessions()
+            .map(|s| s.sim.max_windows(n_streams))
+            .collect();
+        let costs = AdmissionCtx::stream_costs(self.registry.catalog());
+        let pending_since: Vec<u64> = ids.iter().map(|id| self.pending[id]).collect();
+        let due: Vec<usize> = (0..n).collect();
+        let ctx = AdmissionCtx {
+            weights: &weights,
+            windows: &windows,
+            costs: &costs,
+            pending_since: &pending_since,
+            shared: self.registry.shared(),
+        };
+        let admission = match self.config.budget {
+            None => AcceptAll.admit(t, &due, &ctx),
+            Some(b) => {
+                let mut policy = if self.config.defer {
+                    EnergyBudget::deferring(b)
+                } else {
+                    EnergyBudget::shedding(b)
+                };
+                policy.admit(t, &due, &ctx)
+            }
+        };
+
+        let mut is_admitted = vec![false; n];
+        for &q in &admission.admitted {
+            is_admitted[q] = true;
+        }
+        let idx_of: BTreeMap<u64, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let run_order: Vec<u64> = self
+            .registry
+            .order()
+            .iter()
+            .copied()
+            .filter(|id| idx_of.get(id).is_some_and(|&i| is_admitted[i]))
+            .collect();
+
+        let mut meter = EnergyMeter::new(EnergyModel::from_catalog(self.registry.catalog()));
+        let traced = self.config.drift.is_some();
+        if self.registry.shared() {
+            let admitted_sims: Vec<&SimQuery> = run_order
+                .iter()
+                .map(|id| &self.registry.session(*id).expect("live id").sim)
+                .collect();
+            scheduler.begin_tick(&admitted_sims, &self.streams);
+        }
+        for &id in &run_order {
+            let (value, records) = {
+                let session = self.registry.session(id).expect("live id");
+                if !self.registry.shared() {
+                    scheduler.begin_tick(std::slice::from_ref(&session.sim), &self.streams);
+                }
+                let out = scheduler.run_query(
+                    &session.sim,
+                    &session.schedule,
+                    &self.streams,
+                    &mut meter,
+                    traced.then_some(&mut self.trace),
+                );
+                let records: Vec<(paotr_core::leaf::LeafRef, bool)> = self
+                    .trace
+                    .records()
+                    .iter()
+                    .map(|r| (r.leaf, r.value))
+                    .collect();
+                self.trace.clear();
+                (out.value, records)
+            };
+            self.telemetry.evals += 1;
+            self.telemetry.truths += u64::from(value);
+            self.pending.remove(&id);
+
+            if let Some(cfg) = self.config.drift {
+                self.registry.observe(id, &records)?;
+                let session = self.registry.session(id).expect("live id");
+                if session.drift.drifted(&cfg) {
+                    let probs = session.drift.recalibrated(&cfg);
+                    self.registry.recalibrate(id, probs, &self.engine)?;
+                    self.telemetry.drift_replans += 1;
+                }
+            }
+        }
+        for &q in &admission.shed {
+            self.pending.remove(&ids[q]);
+            self.telemetry.shed += 1;
+        }
+        self.telemetry.deferred += admission.deferred.len() as u64;
+
+        let tick_energy = meter.total_cost();
+        self.telemetry.ticks += 1;
+        self.telemetry.last_tick_energy = tick_energy;
+        self.telemetry.total_energy += tick_energy;
+        self.telemetry.max_tick_energy = self.telemetry.max_tick_energy.max(tick_energy);
+
+        for (s, rng) in self.streams.iter_mut().zip(&mut self.stream_rngs) {
+            s.advance_by(1, rng);
+        }
+        self.tick += 1;
+        Ok(tick_energy)
+    }
+
+    /// Creates (and warms) streams for catalog entries that do not have
+    /// one yet. Stream `k`'s data depends only on `(seed, k, tick)`.
+    fn ensure_streams(&mut self) {
+        while self.streams.len() < self.registry.catalog().len() {
+            let k = self.streams.len() as u64;
+            let mut rng =
+                StdRng::seed_from_u64(seeds::mix(self.config.seed ^ seeds::mix(STREAM_SALT ^ k)));
+            let mut stream = SimStream::new(
+                SensorSource::new(SensorModel::Gaussian {
+                    mean: 0.0,
+                    std_dev: 1.0,
+                }),
+                self.config.max_window as usize,
+            );
+            stream.advance_by(
+                self.config.max_window as usize + self.tick as usize,
+                &mut rng,
+            );
+            self.streams.push(stream);
+            self.stream_rngs.push(rng);
+        }
+    }
+
+    /// The daemon's full persistent state as a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            version: crate::snapshot::SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            tick: self.tick,
+            next_id: self.registry.next_id(),
+            churn_since_replan: self.churn_since_replan,
+            shared: self.registry.shared(),
+            catalog: (0..self.registry.catalog().len())
+                .map(|k| {
+                    let id = paotr_core::stream::StreamId(k);
+                    (
+                        self.registry.catalog().name(id),
+                        self.registry.catalog().cost(id),
+                    )
+                })
+                .collect(),
+            sessions: self
+                .registry
+                .sessions()
+                .map(|s| SessionSnap {
+                    id: s.id,
+                    source: s.source.clone(),
+                    weight: s.weight,
+                    registered_tick: s.registered_tick,
+                    calibrated: s.drift.calibrated().to_vec(),
+                    successes: s.drift.successes().to_vec(),
+                    totals: s.drift.totals().to_vec(),
+                    schedule: s
+                        .schedule
+                        .order()
+                        .iter()
+                        .map(|r| (r.term, r.leaf))
+                        .collect(),
+                    pending_since: self.pending.get(&s.id).copied(),
+                })
+                .collect(),
+            order: self.registry.order().to_vec(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    /// Restores a daemon from a snapshot: sessions are recompiled from
+    /// their sources against the persisted catalog, calibration and
+    /// schedules are adopted verbatim, and every stream is replayed to
+    /// the snapshot tick. Counters continue exactly from their
+    /// persisted values.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Daemon> {
+        let (registry, pending) = snap.restore_registry()?;
+        let mut daemon = Daemon {
+            config: snap.config.clone(),
+            engine: Engine::new(),
+            registry,
+            telemetry: snap.telemetry.clone(),
+            tick: snap.tick,
+            churn_since_replan: snap.churn_since_replan,
+            pending,
+            streams: Vec::new(),
+            stream_rngs: Vec::new(),
+            trace: TraceLog::default(),
+        };
+        daemon.ensure_streams();
+        Ok(daemon)
+    }
+
+    /// Saves a snapshot to `path`.
+    pub fn save_snapshot(&self, path: &str) -> Result<()> {
+        self.snapshot().save(path).map_err(Error::Snapshot)
+    }
+
+    /// Restores a daemon from a snapshot file.
+    pub fn load_snapshot(path: &str) -> Result<Daemon> {
+        let snap = Snapshot::load(path).map_err(Error::Snapshot)?;
+        Daemon::from_snapshot(&snap)
+    }
+
+    /// Handles one protocol line; returns the response line and whether
+    /// a shutdown was requested.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let cmd = match parse_command(line) {
+            Ok(c) => c,
+            Err(e) => return (error_response(&e), false),
+        };
+        let resp = match cmd {
+            Command::Register { query, weight } => self
+                .register(&query, weight)
+                .map(|id| ok_response([("id", Json::from_u64(id))])),
+            Command::Unregister { id } => self.unregister(id).map(|()| ok_response([])),
+            Command::Tick { n } => self.run_ticks(n).map(|batch| {
+                ok_response([
+                    ("ticks", Json::from_u64(batch.ticks())),
+                    ("tick", Json::from_u64(self.tick)),
+                    ("energy", Json::Num(batch.total_energy())),
+                    ("max_tick_energy", Json::Num(batch.max_energy())),
+                ])
+            }),
+            Command::Stats => Ok(ok_response([
+                ("tick", Json::from_u64(self.tick)),
+                ("sessions", Json::from_u64(self.registry.len() as u64)),
+                (
+                    "headroom",
+                    self.telemetry
+                        .headroom(self.config.budget)
+                        .map(Json::Num)
+                        .unwrap_or(Json::Null),
+                ),
+                ("stats", self.telemetry.to_json()),
+                (
+                    "table",
+                    Json::Str(
+                        self.telemetry
+                            .table(self.registry.len(), self.config.budget)
+                            .to_markdown(),
+                    ),
+                ),
+            ])),
+            Command::Plan => {
+                let digest = self.registry.plan_digest();
+                let plan = json_parse(&digest).expect("digest is valid JSON");
+                Ok(ok_response([("plan", plan)]))
+            }
+            Command::Replan => self.replan().map(|()| ok_response([])),
+            Command::Snapshot { path: Some(path) } => self
+                .save_snapshot(&path)
+                .map(|()| ok_response([("path", Json::Str(path))])),
+            Command::Snapshot { path: None } => {
+                let doc = self.snapshot().to_json();
+                Ok(ok_response([("snapshot", doc)]))
+            }
+            Command::Shutdown => return (ok_response([]), true),
+        };
+        match resp {
+            Ok(r) => (r, false),
+            Err(e) => (error_response(&e.to_string()), false),
+        }
+    }
+
+    /// Serves the line protocol until EOF or a `shutdown` command.
+    /// Returns true when shutdown was requested (vs. plain EOF).
+    pub fn serve<R: BufRead, W: Write>(
+        &mut self,
+        reader: R,
+        writer: &mut W,
+    ) -> std::io::Result<bool> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, stop) = self.handle_line(&line);
+            writeln!(writer, "{resp}")?;
+            writer.flush()?;
+            if stop {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Serves connections from `listener` one at a time until a client
+    /// sends `shutdown`. Session state persists across connections.
+    pub fn serve_tcp(&mut self, listener: &std::net::TcpListener) -> std::io::Result<()> {
+        for conn in listener.incoming() {
+            let stream = conn?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            if self.serve(reader, &mut writer)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "AVG(A,8) < 0.5 AND MAX(B,4) > 0.0";
+    const Q2: &str = "(B < 0.2 AND C < 0.3) OR AVG(C,6) > 0.1";
+    const Q3: &str = "LAST(A,2) < 0.5";
+
+    fn daemon(budget: Option<f64>) -> Daemon {
+        Daemon::new(Config {
+            budget,
+            ..Config::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn ticks_are_deterministic_under_one_seed() {
+        let run = || {
+            let mut d = daemon(None);
+            d.register(Q1, 1.0).unwrap();
+            d.register(Q2, 2.0).unwrap();
+            d.run_ticks(25).unwrap().energies
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budget_bounds_every_tick() {
+        let mut d = daemon(Some(10.0));
+        d.register(Q1, 1.0).unwrap();
+        d.register(Q2, 2.0).unwrap();
+        d.register(Q3, 0.5).unwrap();
+        let batch = d.run_ticks(40).unwrap();
+        for (i, &e) in batch.energies.iter().enumerate() {
+            assert!(e <= 10.0 + 1e-9, "tick {i} spent {e}");
+        }
+        assert!(d.telemetry().deferred > 0, "the budget must actually bind");
+    }
+
+    #[test]
+    fn unconstrained_daemon_serves_everything_every_tick() {
+        let mut d = daemon(None);
+        d.register(Q1, 1.0).unwrap();
+        d.register(Q3, 1.0).unwrap();
+        d.run_ticks(10).unwrap();
+        let t = d.telemetry();
+        assert_eq!(t.evals, 20);
+        assert_eq!(t.shed + t.deferred, 0);
+    }
+
+    #[test]
+    fn churn_triggers_a_full_replan_at_the_next_tick() {
+        let mut d = Daemon::new(Config {
+            replan_after: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        d.register(Q1, 1.0).unwrap();
+        d.register(Q2, 1.0).unwrap();
+        assert_eq!(d.churn_since_replan(), 2);
+        d.run_ticks(1).unwrap();
+        assert_eq!(d.churn_since_replan(), 0);
+        assert_eq!(d.telemetry().churn_replans, 1);
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let mut d = daemon(None);
+        let (r, stop) = d.handle_line(r#"{"cmd":"register","query":"AVG(A,4) < 0.0","weight":2}"#);
+        assert!(!stop);
+        assert_eq!(r, r#"{"ok":true,"id":0}"#);
+        let (r, _) = d.handle_line(r#"{"cmd":"tick","n":3}"#);
+        assert!(r.starts_with(r#"{"ok":true,"ticks":3,"tick":3,"#), "{r}");
+        let (r, _) = d.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(r.contains(r#""sessions":1"#), "{r}");
+        assert!(r.contains(r#""ticks":3"#), "{r}");
+        let (r, _) = d.handle_line(r#"{"cmd":"plan"}"#);
+        assert!(r.contains(r#""order":[0]"#), "{r}");
+        let (r, _) = d.handle_line(r#"{"cmd":"unregister","id":0}"#);
+        assert_eq!(r, r#"{"ok":true}"#);
+        let (r, _) = d.handle_line(r#"{"cmd":"unregister","id":0}"#);
+        assert!(r.contains(r#""ok":false"#), "{r}");
+        let (r, stop) = d.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(r, r#"{"ok":true}"#);
+        assert!(stop);
+    }
+
+    #[test]
+    fn serve_loop_answers_line_per_line_and_survives_garbage() {
+        let script = concat!(
+            "{\"cmd\":\"register\",\"query\":\"a < 1\"}\n",
+            "this is not json\n",
+            "\n",
+            "{\"cmd\":\"tick\"}\n",
+            "{\"cmd\":\"shutdown\"}\n",
+        );
+        let mut out = Vec::new();
+        let mut d = daemon(None);
+        let shutdown = d
+            .serve(BufReader::new(script.as_bytes()), &mut out)
+            .unwrap();
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4, "one response per non-empty line");
+        assert!(lines[0].contains(r#""ok":true"#));
+        assert!(lines[1].contains(r#""ok":false"#));
+    }
+
+    #[test]
+    fn tcp_serving_works_end_to_end() {
+        use std::io::{BufRead, Write};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut d = daemon(None);
+            d.serve_tcp(&listener).unwrap();
+            d.telemetry().ticks
+        });
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut ask = |line: &str| {
+            writeln!(writer, "{line}").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            resp
+        };
+        assert!(ask(r#"{"cmd":"register","query":"AVG(x,3) > 0.0"}"#).contains(r#""id":0"#));
+        assert!(ask(r#"{"cmd":"tick","n":5}"#).contains(r#""ok":true"#));
+        assert!(ask(r#"{"cmd":"shutdown"}"#).contains(r#""ok":true"#));
+        assert_eq!(server.join().unwrap(), 5);
+    }
+}

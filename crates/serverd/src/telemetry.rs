@@ -1,0 +1,196 @@
+//! Live daemon counters.
+//!
+//! One flat struct of monotone counters plus last-tick gauges. The
+//! counters are part of the snapshot format — after a restore they
+//! continue exactly from their persisted values, so long-lived
+//! dashboards see one uninterrupted series across daemon restarts.
+
+use crate::json::Json;
+
+/// The daemon's lifetime counters and last-tick gauges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Ticks served since the daemon (or its snapshot lineage) started.
+    pub ticks: u64,
+    /// Query evaluations served.
+    pub evals: u64,
+    /// Served evaluations that came out TRUE.
+    pub truths: u64,
+    /// Successful `register` commands.
+    pub registers: u64,
+    /// Successful `unregister` commands.
+    pub unregisters: u64,
+    /// Requests dropped by admission.
+    pub shed: u64,
+    /// Defer events (one request can be deferred on several ticks).
+    pub deferred: u64,
+    /// Drift-triggered per-query re-plans.
+    pub drift_replans: u64,
+    /// Churn-triggered full joint re-plans.
+    pub churn_replans: u64,
+    /// Total energy spent.
+    pub total_energy: f64,
+    /// Largest energy spent in any single tick.
+    pub max_tick_energy: f64,
+    /// Energy spent in the most recent tick.
+    pub last_tick_energy: f64,
+}
+
+impl Telemetry {
+    /// Evaluations served per tick.
+    pub fn evals_per_tick(&self) -> f64 {
+        self.evals as f64 / self.ticks.max(1) as f64
+    }
+
+    /// Energy still available under `budget` relative to the most
+    /// recent tick's spend (`None` without a budget).
+    pub fn headroom(&self, budget: Option<f64>) -> Option<f64> {
+        budget.map(|b| b - self.last_tick_energy)
+    }
+
+    /// Serializes to the snapshot/stats JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ticks", Json::from_u64(self.ticks)),
+            ("evals", Json::from_u64(self.evals)),
+            ("truths", Json::from_u64(self.truths)),
+            ("registers", Json::from_u64(self.registers)),
+            ("unregisters", Json::from_u64(self.unregisters)),
+            ("shed", Json::from_u64(self.shed)),
+            ("deferred", Json::from_u64(self.deferred)),
+            ("drift_replans", Json::from_u64(self.drift_replans)),
+            ("churn_replans", Json::from_u64(self.churn_replans)),
+            ("total_energy", Json::Num(self.total_energy)),
+            ("max_tick_energy", Json::Num(self.max_tick_energy)),
+            ("last_tick_energy", Json::Num(self.last_tick_energy)),
+        ])
+    }
+
+    /// Deserializes from the snapshot/stats JSON object.
+    pub fn from_json(v: &Json) -> Result<Telemetry, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("telemetry: missing or invalid `{k}`"))
+        };
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("telemetry: missing or invalid `{k}`"))
+        };
+        Ok(Telemetry {
+            ticks: u("ticks")?,
+            evals: u("evals")?,
+            truths: u("truths")?,
+            registers: u("registers")?,
+            unregisters: u("unregisters")?,
+            shed: u("shed")?,
+            deferred: u("deferred")?,
+            drift_replans: u("drift_replans")?,
+            churn_replans: u("churn_replans")?,
+            total_energy: f("total_energy")?,
+            max_tick_energy: f("max_tick_energy")?,
+            last_tick_energy: f("last_tick_energy")?,
+        })
+    }
+
+    /// A `paotr_stats` rendering of the live state — what the `stats`
+    /// protocol command returns under `"table"`.
+    pub fn table(&self, live_sessions: usize, budget: Option<f64>) -> paotr_stats::Table {
+        let mut t = paotr_stats::Table::new(["metric", "value"]);
+        let rows: Vec<(&str, String)> = vec![
+            ("ticks", self.ticks.to_string()),
+            ("live sessions", live_sessions.to_string()),
+            ("evals", self.evals.to_string()),
+            ("evals/tick", format!("{:.2}", self.evals_per_tick())),
+            (
+                "truth rate",
+                if self.evals > 0 {
+                    format!("{:.3}", self.truths as f64 / self.evals as f64)
+                } else {
+                    "n/a".into()
+                },
+            ),
+            ("registers", self.registers.to_string()),
+            ("unregisters", self.unregisters.to_string()),
+            ("shed", self.shed.to_string()),
+            ("deferred", self.deferred.to_string()),
+            ("drift re-plans", self.drift_replans.to_string()),
+            ("churn re-plans", self.churn_replans.to_string()),
+            ("total energy", format!("{:.2}", self.total_energy)),
+            ("max tick energy", format!("{:.2}", self.max_tick_energy)),
+            ("last tick energy", format!("{:.2}", self.last_tick_energy)),
+            (
+                "energy headroom",
+                self.headroom(budget)
+                    .map(|h| format!("{h:.2}"))
+                    .unwrap_or_else(|| "unbounded".into()),
+            ),
+        ];
+        for (k, v) in rows {
+            t.push_row([k.to_string(), v]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telemetry {
+        Telemetry {
+            ticks: 100,
+            evals: 480,
+            truths: 200,
+            registers: 9,
+            unregisters: 3,
+            shed: 4,
+            deferred: 16,
+            drift_replans: 2,
+            churn_replans: 1,
+            total_energy: 1234.5,
+            max_tick_energy: 19.25,
+            last_tick_energy: 11.5,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let t = sample();
+        let back = Telemetry::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let mut j = sample().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "shed");
+        }
+        let err = Telemetry::from_json(&j).unwrap_err();
+        assert!(err.contains("shed"), "{err}");
+    }
+
+    #[test]
+    fn headroom_and_rates() {
+        let t = sample();
+        assert_eq!(t.headroom(Some(20.0)), Some(8.5));
+        assert_eq!(t.headroom(None), None);
+        assert!((t.evals_per_tick() - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_every_counter() {
+        let md = sample().table(6, Some(20.0)).to_markdown();
+        for needle in [
+            "live sessions",
+            "6",
+            "drift re-plans",
+            "energy headroom",
+            "8.50",
+        ] {
+            assert!(md.contains(needle), "missing `{needle}` in:\n{md}");
+        }
+    }
+}

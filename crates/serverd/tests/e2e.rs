@@ -1,0 +1,181 @@
+//! End-to-end daemon acceptance: scripted protocol run, budget
+//! compliance on every tick, snapshot/restart continuity, and
+//! incremental-vs-cold re-plan equality.
+
+use paotr_core::plan::Engine;
+use paotr_serverd::json::{parse, Json};
+use paotr_serverd::{Config, Daemon};
+use std::io::BufReader;
+
+const BUDGET: f64 = 25.0;
+
+const QUERIES: [&str; 8] = [
+    "AVG(hr, 8) > 0.2 AND MAX(hr, 4) > 0.5",
+    "(AVG(spo2, 6) < 0.1 AND hr > 0.0) OR LAST(accel, 2) > 0.8",
+    "MIN(accel, 5) < -0.5 @ 0.3",
+    "SUM(temp, 10) > 1.0 AND AVG(hr, 8) > 0.0",
+    "(temp < 0.4 AND spo2 < 0.2) OR (MAX(accel, 7) > 0.6 AND hr < 0.9)",
+    "AVG(gyro, 12) < 0.0",
+    "LAST(spo2, 1) < 0.5 AND MAX(gyro, 6) > -0.2",
+    "(AVG(temp, 3) > 0.1 @ 0.7) OR MIN(hr, 2) < -1.0",
+];
+
+fn config() -> Config {
+    Config {
+        seed: 42,
+        budget: Some(BUDGET),
+        replan_after: 4,
+        max_window: 32,
+        ..Config::default()
+    }
+}
+
+fn drive(daemon: &mut Daemon, script: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    daemon
+        .serve(BufReader::new(script.as_bytes()), &mut out)
+        .unwrap();
+    std::str::from_utf8(&out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .collect()
+}
+
+fn assert_ok(resp: &Json) {
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+}
+
+#[test]
+fn scripted_lifecycle_meets_all_acceptance_criteria() {
+    let snap_path = std::env::temp_dir().join("paotr_serverd_e2e.snap");
+    let snap_path = snap_path.to_str().unwrap();
+
+    // Script: register 8 queries, 40 ticks, unregister 3 mid-flight,
+    // 60 more ticks, force a re-plan, inspect, snapshot, shut down.
+    let mut script = String::new();
+    for (i, q) in QUERIES.iter().enumerate() {
+        let weight = 0.5 + i as f64 * 0.5;
+        script.push_str(&format!(
+            "{{\"cmd\":\"register\",\"query\":\"{q}\",\"weight\":{weight}}}\n"
+        ));
+    }
+    for _ in 0..40 {
+        script.push_str("{\"cmd\":\"tick\"}\n");
+    }
+    for id in [1, 4, 6] {
+        script.push_str(&format!("{{\"cmd\":\"unregister\",\"id\":{id}}}\n"));
+    }
+    for _ in 0..60 {
+        script.push_str("{\"cmd\":\"tick\"}\n");
+    }
+    script.push_str("{\"cmd\":\"replan\"}\n{\"cmd\":\"plan\"}\n{\"cmd\":\"stats\"}\n");
+    script.push_str(&format!(
+        "{{\"cmd\":\"snapshot\",\"path\":\"{snap_path}\"}}\n"
+    ));
+    script.push_str("{\"cmd\":\"shutdown\"}\n");
+
+    let mut daemon = Daemon::new(config()).unwrap();
+    let responses = drive(&mut daemon, &script);
+    assert_eq!(responses.len(), 8 + 40 + 3 + 60 + 3 + 1 + 1);
+    for r in &responses {
+        assert_ok(r);
+    }
+
+    // (a) every tick of the first run respects the budget — tick
+    // commands run one tick each, so `energy` is that tick's spend.
+    let mut ticked = 0;
+    for r in &responses {
+        if let Some(e) = r.get("energy").and_then(Json::as_f64) {
+            assert!(e <= BUDGET + 1e-9, "tick response over budget: {e}");
+            ticked += 1;
+        }
+    }
+    assert_eq!(ticked, 100);
+    // The budget must actually bind for the test to mean anything.
+    let stats = responses[8 + 40 + 3 + 60 + 2].get("stats").unwrap();
+    let deferred = stats.get("deferred").and_then(Json::as_u64).unwrap();
+    let shed = stats.get("shed").and_then(Json::as_u64).unwrap();
+    assert!(deferred + shed > 0, "budget never bound — raise the load");
+
+    // Restart from the snapshot.
+    let mut restored = Daemon::load_snapshot(snap_path).unwrap();
+    std::fs::remove_file(snap_path).ok();
+
+    // (b) counters continue exactly from the snapshot values.
+    assert_eq!(restored.tick(), 100);
+    let t = restored.telemetry();
+    assert_eq!(t.ticks, 100);
+    assert_eq!(t.registers, 8);
+    assert_eq!(t.unregisters, 3);
+    assert_eq!(
+        t.evals,
+        stats.get("evals").and_then(Json::as_u64).unwrap(),
+        "restored evals must equal the pre-restart stats response"
+    );
+    assert_eq!(t.deferred, deferred);
+    assert_eq!(t.shed, shed);
+    let energy_before = t.total_energy;
+
+    // The restored plan is the one the protocol reported pre-restart.
+    let plan_resp = &responses[8 + 40 + 3 + 60 + 1];
+    assert_eq!(
+        plan_resp.get("plan").unwrap().to_string_compact(),
+        restored.registry().plan_digest(),
+        "plan state must survive the snapshot round trip"
+    );
+
+    // (a) every tick of the restored run respects the budget too.
+    for _ in 0..100 {
+        let batch = restored.run_ticks(1).unwrap();
+        assert!(batch.max_energy() <= BUDGET + 1e-9);
+    }
+    let t = restored.telemetry();
+    assert_eq!(t.ticks, 200, "counters continue, not restart");
+    assert!(t.total_energy > energy_before);
+
+    // (c) after more churn, the incremental re-plan through the live
+    // engine's cached path is byte-identical to a cold full re-plan of
+    // the surviving set.
+    restored.unregister(0).unwrap();
+    restored
+        .register("AVG(hr, 8) > 0.2 AND gyro < 0.0", 1.5)
+        .unwrap();
+    restored.replan().unwrap();
+    let warm = restored.registry().plan_digest();
+    let cold = restored
+        .registry()
+        .cold_plan_digest(&Engine::new())
+        .unwrap();
+    assert_eq!(
+        warm, cold,
+        "incremental re-plan diverged from a cold re-plan"
+    );
+    assert!(
+        restored.engine().cache_stats().hits > 0,
+        "the incremental path must actually hit the plan cache"
+    );
+}
+
+#[test]
+fn restored_run_matches_the_uninterrupted_run_tick_for_tick() {
+    let mut a = Daemon::new(config()).unwrap();
+    for (i, q) in QUERIES.iter().enumerate() {
+        a.register(q, 1.0 + i as f64).unwrap();
+    }
+    a.run_ticks(50).unwrap();
+    let snap = a.snapshot();
+    let uninterrupted = a.run_ticks(50).unwrap();
+
+    let mut b = Daemon::from_snapshot(&snap).unwrap();
+    let resumed = b.run_ticks(50).unwrap();
+    assert_eq!(
+        uninterrupted, resumed,
+        "a restored daemon must serve the same data the uninterrupted run saw"
+    );
+    assert_eq!(a.telemetry(), b.telemetry());
+}

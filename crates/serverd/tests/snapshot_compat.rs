@@ -1,0 +1,83 @@
+//! Snapshot format compatibility: the committed v1 fixture must keep
+//! restoring (and re-rendering byte-identically) on every future build.
+//!
+//! Regenerate after an intentional format bump with:
+//! `cargo test -p paotr-serverd --test snapshot_compat -- --ignored`
+
+use paotr_serverd::{Config, Daemon, Snapshot, SnapshotError};
+
+const FIXTURE: &str = include_str!("fixtures/snapshot_v1.snap");
+
+fn fixture_daemon() -> Daemon {
+    let mut d = Daemon::new(Config {
+        seed: 7,
+        budget: Some(18.0),
+        replan_after: 3,
+        max_sessions: 16,
+        max_window: 24,
+        ..Config::default()
+    })
+    .unwrap();
+    d.register("AVG(hr, 8) > 0.2 AND MAX(hr, 4) > 0.5", 1.0)
+        .unwrap();
+    d.register("(spo2 < 0.1 AND hr > 0.0) OR LAST(accel, 2) > 0.8", 2.0)
+        .unwrap();
+    d.register("MIN(accel, 5) < -0.5 @ 0.3", 0.75).unwrap();
+    d.run_ticks(20).unwrap();
+    d.unregister(1).unwrap();
+    d.run_ticks(10).unwrap();
+    d
+}
+
+#[test]
+fn committed_fixture_parses_and_restores() {
+    let snap = Snapshot::parse(FIXTURE).expect("committed fixture must stay parseable");
+    assert_eq!(snap.version, 1);
+    let daemon = Daemon::from_snapshot(&snap).expect("committed fixture must stay restorable");
+    assert_eq!(daemon.tick(), 30);
+    assert_eq!(daemon.registry().len(), 2);
+    assert_eq!(daemon.telemetry().ticks, 30);
+    assert_eq!(daemon.telemetry().registers, 3);
+    assert_eq!(daemon.telemetry().unregisters, 1);
+    assert!(daemon.telemetry().total_energy > 0.0);
+}
+
+#[test]
+fn committed_fixture_re_renders_byte_identically() {
+    let snap = Snapshot::parse(FIXTURE).unwrap();
+    assert_eq!(
+        snap.render(),
+        FIXTURE,
+        "snapshot rendering changed — bump SNAPSHOT_VERSION and add a new fixture"
+    );
+}
+
+#[test]
+fn restored_fixture_keeps_serving_under_its_budget() {
+    let snap = Snapshot::parse(FIXTURE).unwrap();
+    let mut daemon = Daemon::from_snapshot(&snap).unwrap();
+    let budget = daemon.config().budget.unwrap();
+    let batch = daemon.run_ticks(20).unwrap();
+    assert!(batch.max_energy() <= budget + 1e-9);
+    assert_eq!(daemon.telemetry().ticks, 50);
+}
+
+#[test]
+fn future_versions_are_rejected_with_a_typed_error() {
+    let bumped = FIXTURE.replacen("\"version\":1", "\"version\":2", 1);
+    assert!(matches!(
+        Snapshot::parse(&bumped),
+        Err(SnapshotError::UnsupportedVersion(2))
+    ));
+}
+
+/// Not a test: rewrites the committed fixture from the current code.
+#[test]
+#[ignore = "regenerates tests/fixtures/snapshot_v1.snap in the source tree"]
+fn regenerate_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v1.snap"
+    );
+    std::fs::write(path, fixture_daemon().snapshot().render()).unwrap();
+}

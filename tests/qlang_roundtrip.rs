@@ -66,6 +66,25 @@ proptest! {
         prop_assert_eq!(&reparsed, &expr, "source: {}", printed);
     }
 
+    /// parse -> compile -> Display -> re-parse is a fixed point: the
+    /// pretty-printed form of a parsed-and-compiled query parses back to
+    /// the same AST, and printing that AST reproduces the same text.
+    #[test]
+    fn parse_compile_display_reparse_is_a_fixed_point(expr in expr_strategy()) {
+        let source = expr.to_string();
+        let parsed = qlang::parse(&source)
+            .unwrap_or_else(|e| panic!("parse failed on `{source}`: {e}"));
+        // Compilation must succeed on anything the printer emits...
+        qlang::compile(&parsed, &Default::default())
+            .unwrap_or_else(|e| panic!("compile failed on `{source}`: {e}"));
+        // ...and Display is a fixed point from the first print onward.
+        let printed = parsed.to_string();
+        let reparsed = qlang::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed on `{printed}`: {e}"));
+        prop_assert_eq!(&reparsed, &parsed, "source: {}", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
     /// Compilation discovers each distinct stream exactly once and maps
     /// every predicate to a leaf with the declared window.
     #[test]
@@ -117,4 +136,39 @@ fn parse_errors_carry_positions() {
         // render never panics and points inside the line
         let _ = err.render(src);
     }
+}
+
+/// Exact error spans: the diagnostic points at the offending token, not
+/// merely somewhere inside the source.
+#[test]
+fn parse_error_spans_are_exact() {
+    // Unbalanced parenthesis: the error lands at end of input, where
+    // the `)` was expected.
+    let err = qlang::parse("(a < 1").expect_err("unbalanced parens");
+    assert!(
+        err.message.contains("`)`"),
+        "message should name the missing `)`: {}",
+        err.message
+    );
+    assert_eq!(err.offset, "(a < 1".len());
+
+    // Bad stream name: a numeric literal where an identifier must go —
+    // the span points at the literal, inside the aggregate call.
+    let err = qlang::parse("AVG(5, 3) < 1").expect_err("bad stream name");
+    assert!(
+        err.message.contains("stream name"),
+        "message should mention the stream name: {}",
+        err.message
+    );
+    assert_eq!(err.offset, "AVG(".len());
+
+    // Dangling operator: AND with no right-hand side — the span points
+    // at end of input, where the predicate was expected.
+    let err = qlang::parse("a < 1 AND").expect_err("dangling operator");
+    assert!(
+        err.message.contains("predicate"),
+        "message should ask for a predicate: {}",
+        err.message
+    );
+    assert_eq!(err.offset, "a < 1 AND".len());
 }

@@ -1,0 +1,102 @@
+//! Daemon soak: replay deterministic churn scripts through the serving
+//! daemon and assert bounded memory and per-tick budget compliance.
+//!
+//! The smoke variant (always on; CI runs it in the `daemon-smoke` job)
+//! replays >= 10k events. The full soak multiplies the event count and
+//! runs behind `--ignored`:
+//! `cargo test --test soak -- --ignored full_soak`.
+
+use paotr::gen::{churn_script, ChurnConfig, ChurnEvent};
+use paotr::serverd::{Config, Daemon};
+
+const BUDGET: f64 = 10.0;
+
+/// Hard ceilings asserted throughout the run. `MAX_SESSIONS` bounds the
+/// registry; the defer queue is bounded by the live-session count; the
+/// trace log must be drained every tick.
+const MAX_SESSIONS: usize = 24;
+
+fn soak_config() -> Config {
+    Config {
+        seed: 11,
+        budget: Some(BUDGET),
+        replan_after: 6,
+        max_sessions: MAX_SESSIONS,
+        max_window: 16,
+        ..Config::default()
+    }
+}
+
+/// Replays `events` churn events at `(config_idx, instance)` and checks
+/// the memory/budget invariants after every event.
+fn run_soak(events: usize, config_idx: usize, instance: usize) {
+    let cfg = ChurnConfig {
+        events,
+        max_live: MAX_SESSIONS,
+        max_window: 16,
+        ..ChurnConfig::default()
+    };
+    let script = churn_script(&cfg, config_idx, instance);
+    assert_eq!(script.len(), events);
+
+    let mut daemon = Daemon::new(soak_config()).unwrap();
+    // Live ids in registration order, to resolve `nth_live` indices.
+    let mut live: Vec<u64> = Vec::new();
+    let mut ticked = 0u64;
+
+    for (i, ev) in script.iter().enumerate() {
+        match ev {
+            ChurnEvent::Register { source, weight } => {
+                let id = daemon
+                    .register(source, *weight)
+                    .unwrap_or_else(|e| panic!("event {i}: register failed: {e}"));
+                live.push(id);
+            }
+            ChurnEvent::Unregister { nth_live } => {
+                let id = live.remove(*nth_live);
+                daemon.unregister(id).unwrap();
+            }
+            ChurnEvent::Tick { n } => {
+                let batch = daemon.run_ticks(*n).unwrap();
+                ticked += n;
+                assert!(
+                    batch.max_energy() <= BUDGET + 1e-9,
+                    "event {i}: tick energy {} over budget",
+                    batch.max_energy()
+                );
+            }
+        }
+        // Bounded memory: every structure that grows with load has a
+        // churn-independent ceiling.
+        assert!(daemon.registry().len() <= MAX_SESSIONS);
+        assert_eq!(daemon.registry().len(), live.len());
+        assert!(
+            daemon.pending_requests() <= live.len(),
+            "event {i}: defer queue larger than the live set"
+        );
+        assert_eq!(daemon.trace_len(), 0, "event {i}: trace log not drained");
+    }
+
+    assert_eq!(daemon.tick(), ticked);
+    assert_eq!(daemon.telemetry().ticks, ticked);
+    assert!(ticked > 0, "script never ticked — degenerate soak");
+    assert!(
+        daemon.telemetry().deferred + daemon.telemetry().shed > 0,
+        "budget never bound — the soak exercised nothing"
+    );
+}
+
+/// CI smoke: >= 10k churn events, bounded memory asserted in-loop.
+#[test]
+fn soak_smoke_10k_events() {
+    run_soak(10_000, 0, 0);
+}
+
+/// Full soak: an order of magnitude more churn, plus a second script to
+/// vary the event mix. Run with `cargo test --test soak -- --ignored`.
+#[test]
+#[ignore = "long-running full soak; CI runs the smoke variant"]
+fn full_soak() {
+    run_soak(100_000, 0, 1);
+    run_soak(50_000, 1, 0);
+}
