@@ -23,6 +23,7 @@ fn serve_loop(drift: bool) -> (ServeLoop, Engine) {
         arrivals: ArrivalSpec::Poisson { rate: 0.8 },
         ticks_between: 1,
         drift: drift.then(DriftConfig::default),
+        arrange: None,
     };
     (ServeLoop::new(&workload, &joint, config), engine)
 }

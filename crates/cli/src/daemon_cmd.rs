@@ -1,7 +1,8 @@
 //! `paotr serve --daemon` — the long-running serving daemon.
 //!
 //! Speaks the newline-delimited JSON protocol from `paotr_serverd` over
-//! stdin/stdout, or over TCP with `--listen ADDR`. With `--snapshot
+//! stdin/stdout, or over TCP with `--listen ADDR` (concurrent clients,
+//! one thread per connection over the shared daemon). With `--snapshot
 //! PATH` the daemon restores its state from `PATH` at startup (when the
 //! file exists) and writes it back on clean shutdown, so restarts
 //! continue tick-for-tick where the previous process stopped.
@@ -9,6 +10,7 @@
 use paotr_serverd::{Config, Daemon};
 use std::io::{BufReader, Write};
 use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut config = Config::default();
@@ -67,6 +69,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--max-window expects an integer >= 1".to_string())?;
                 i += 2;
             }
+            "--arrange" => {
+                config.arrange.get_or_insert_with(Default::default);
+                i += 1;
+            }
+            "--arrange-grace" => {
+                let grace = take("--arrange-grace")?
+                    .parse()
+                    .map_err(|_| "--arrange-grace expects an integer".to_string())?;
+                config.arrange.get_or_insert_with(Default::default).grace = grace;
+                i += 2;
+            }
             "--listen" => {
                 listen = Some(take("--listen")?);
                 i += 2;
@@ -106,9 +119,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "daemon listening on {}",
             listener.local_addr().map_err(|e| e.to_string())?
         );
-        daemon
-            .serve_tcp(&listener)
+        let shared = Arc::new(Mutex::new(daemon));
+        Daemon::serve_tcp_shared(Arc::clone(&shared), &listener)
             .map_err(|e| format!("serve: {e}"))?;
+        daemon = Arc::try_unwrap(shared)
+            .map_err(|_| "a connection thread outlived the serve loop".to_string())?
+            .into_inner()
+            .map_err(|_| "a connection thread panicked holding the daemon".to_string())?;
         true
     } else {
         let stdin = std::io::stdin();

@@ -31,6 +31,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut planner: Option<String> = None;
     let mut compare_all = false;
     let mut check_budget: Option<f64> = None;
+    let mut arrange = false;
+    let mut arrange_grace = paotr_exec::ArrangeConfig::default().grace;
 
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +118,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 check_budget = Some(b);
                 i += 2;
             }
+            "--arrange" => {
+                arrange = true;
+                i += 1;
+            }
+            "--arrange-grace" => {
+                arrange_grace = take("--arrange-grace")?
+                    .parse()
+                    .map_err(|_| "--arrange-grace expects an integer".to_string())?;
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -168,6 +180,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         drift: drift.then_some(DriftConfig {
             tolerance: drift_tolerance,
             ..Default::default()
+        }),
+        arrange: arrange.then_some(paotr_exec::ArrangeConfig {
+            grace: arrange_grace,
         }),
     };
 
@@ -270,6 +285,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     println!();
     print!("{}", ServeReport::summary_table(&reports).to_markdown());
+    if arrange {
+        println!();
+        for r in &reports {
+            println!(
+                "arrangements [{:>13}]: {} maintained, {} items served from rings, \
+                 {} pulled + {} maintained items ({:.2} J pulls + {:.2} J maintenance)",
+                r.planner,
+                r.arrangements,
+                r.arrangement_hit_items,
+                r.pulled_items,
+                r.maintained_items,
+                r.pull_energy,
+                r.maintain_energy
+            );
+        }
+    }
     if let Some(b) = budget {
         println!();
         println!(

@@ -13,6 +13,7 @@
 //! | [`montecarlo`] | sampling | any tree | `O(samples * L)` |
 
 pub mod and_eval;
+pub mod arrange;
 pub mod assignment;
 pub mod dnf_eval;
 pub mod execution;
@@ -20,6 +21,7 @@ pub mod incremental;
 pub mod model;
 pub mod montecarlo;
 
+pub use arrange::ArrangeTerm;
 pub use execution::{Execution, LeafIndexer};
 pub use incremental::DnfCostEvaluator;
 pub use model::{CostModel, EvalScratch};

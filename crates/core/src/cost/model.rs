@@ -206,6 +206,39 @@ impl CostModel {
         self.appended_cost(order, &[], coverage, scratch)
     }
 
+    /// Expected cost of `order` when the streams flagged in `arranged`
+    /// (catalog-indexed; may be empty) are served from maintained
+    /// arrangements: their pulls are free — the maintenance that pays
+    /// for them is priced separately, per stream, by
+    /// [`crate::cost::arrange::ArrangeTerm`] — while unarranged streams
+    /// keep their full re-pull cost. Implemented as full prior coverage
+    /// on the arranged streams, so the short-circuiting expectation
+    /// stays exact.
+    pub fn expected_cost_arranged(
+        &self,
+        order: &[LeafRef],
+        arranged: &[bool],
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        assert!(
+            arranged.is_empty() || arranged.len() == self.catalog_len,
+            "arranged must be empty or have one entry per catalog stream"
+        );
+        if arranged.iter().all(|&a| !a) {
+            return self.expected_cost_with_coverage(order, &[], scratch);
+        }
+        let coverage: Vec<f64> = (0..self.catalog_len)
+            .map(|k| {
+                if arranged[k] {
+                    f64::from(self.max_window(StreamId(k)))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.expected_cost_with_coverage(order, &coverage, scratch)
+    }
+
     /// Expected cost of the (possibly partial) schedule `prefix ⧺ tail`
     /// without materializing the concatenation — the *schedule-delta*
     /// primitive of the dynamic heuristics: evaluating
@@ -764,6 +797,29 @@ mod tests {
                 "literal {literal} vs kernel {kernel}"
             );
         }
+    }
+
+    #[test]
+    fn arranged_streams_cost_nothing_to_pull() {
+        let (t, cat) = example();
+        let model = CostModel::new(&t, &cat);
+        let mut scratch = model.make_scratch();
+        let s = DnfSchedule::declaration_order(&t);
+        let full = model.expected_cost_arranged(s.order(), &[], &mut scratch);
+        assert_eq!(full, model.expected_cost(&s, &mut scratch));
+        // Arranging stream 0 removes exactly its item contribution.
+        let arranged = model.expected_cost_arranged(s.order(), &[true, false, false], &mut scratch);
+        model.expected_cost(&s, &mut scratch);
+        let items0 = model
+            .items_per_stream(&scratch)
+            .find(|(k, _)| *k == StreamId(0))
+            .map(|(_, i)| i)
+            .unwrap();
+        let expect = model.expected_cost(&s, &mut scratch) - items0 * 2.0;
+        assert!((arranged - expect).abs() < 1e-12, "{arranged} vs {expect}");
+        // Arranging everything makes evaluation free.
+        let all = model.expected_cost_arranged(s.order(), &[true, true, true], &mut scratch);
+        assert!(all.abs() < 1e-12, "{all}");
     }
 
     #[test]

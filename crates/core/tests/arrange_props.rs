@@ -1,0 +1,100 @@
+//! Property test pinning the maintain-vs-repull crossover
+//! (`cost::arrange::ArrangeTerm`) against brute-force simulation.
+//!
+//! The analytic term claims: with `readers` independent readers each
+//! touching a stream with probability `p` per tick, re-pulling costs
+//! `window * (1 - (1-p)^readers)` expected items per tick, while
+//! maintaining costs `min(delta, window)` plus the amortized one-time
+//! fill. The simulation below plays the same process with real coin
+//! flips and real per-item energy and checks that whenever the two
+//! regimes are separated by more than sampling noise, the analytic
+//! [`should_materialize`] decision picks the cheaper side.
+//!
+//! [`should_materialize`]: paotr_core::cost::ArrangeTerm::should_materialize
+
+use paotr_core::cost::ArrangeTerm;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// Ticks simulated per case — also the fill-amortization horizon, so
+/// the analytic `window / horizon` term and the simulated one-time
+/// fill describe the same experiment.
+const TICKS: u64 = 4096;
+
+/// Simulated item bills over [`TICKS`] ticks: `(repull, maintain)`.
+///
+/// Re-pull: every tick, each reader flips its access coin; any access
+/// means one shared pull of the full window (shared execution already
+/// coalesces readers). Maintain: `min(delta, window)` items per tick
+/// regardless of access, plus the one-time `window`-item fill.
+fn simulate(window: u32, readers: u32, p: f64, delta: u32, seed: u64) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut repull = 0u64;
+    for _ in 0..TICKS {
+        let any = (0..readers).any(|_| rng.gen_bool(p));
+        if any {
+            repull += u64::from(window);
+        }
+    }
+    let maintain = TICKS * u64::from(delta.min(window)) + u64::from(window);
+    (repull, maintain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crossover_matches_brute_force_simulated_energy(
+        window in 1u32..=16,
+        readers in 1u32..=8,
+        p in 0.01f64..0.99,
+        delta in 1u32..=6,
+        item_cost in 0.1f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let term = ArrangeTerm::independent_readers(
+            window, readers, p, f64::from(delta), TICKS as f64,
+        );
+
+        // Skip the near-crossover band: when the analytic gap over the
+        // whole run is within sampling noise of the repull sum
+        // (binomial with TICKS trials), a finite simulation cannot
+        // distinguish the sides. 6 sigma keeps flakes out without
+        // hiding real disagreements.
+        let p_any = 1.0 - (1.0 - p).powi(readers as i32);
+        let noise = f64::from(window) * (TICKS as f64 * p_any * (1.0 - p_any)).sqrt();
+        prop_assume!((term.savings() * TICKS as f64).abs() > 6.0 * noise + f64::from(window));
+
+        let (repull_items, maintain_items) = simulate(window, readers, p, delta, seed);
+        let repull_energy = repull_items as f64 * item_cost;
+        let maintain_energy = maintain_items as f64 * item_cost;
+        prop_assert_eq!(
+            term.should_materialize(),
+            repull_energy > maintain_energy,
+            "window {} readers {} p {} delta {}: analytic savings/tick {:.4}, \
+             simulated {:.1} J repull vs {:.1} J maintain",
+            window, readers, p, delta, term.savings(), repull_energy, maintain_energy
+        );
+    }
+
+    /// The analytic repull rate itself must match the simulated mean
+    /// (this is the closed form the crossover stands on).
+    #[test]
+    fn analytic_repull_rate_matches_simulation(
+        window in 1u32..=16,
+        readers in 1u32..=8,
+        p in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let term = ArrangeTerm::independent_readers(window, readers, p, 1.0, TICKS as f64);
+        let (repull_items, _) = simulate(window, readers, p, 1, seed);
+        let simulated_rate = repull_items as f64 / TICKS as f64;
+        let p_any = 1.0 - (1.0 - p).powi(readers as i32);
+        let sigma = f64::from(window) * (p_any * (1.0 - p_any) / TICKS as f64).sqrt();
+        prop_assert!(
+            (simulated_rate - term.repull_items).abs() <= 6.0 * sigma + 1e-9,
+            "analytic {} items/tick vs simulated {} (sigma {})",
+            term.repull_items, simulated_rate, sigma
+        );
+    }
+}

@@ -57,3 +57,4 @@ pub mod serve;
 pub use admission::{AcceptAll, Admission, AdmissionCtx, AdmissionPolicy, EnergyBudget};
 pub use arrivals::{ArrivalProcess, ArrivalSpec};
 pub use serve::{DriftConfig, DriftState, ServeConfig, ServeLoop, ServeReport, TickStats};
+pub use stream_sim::{ArrangeConfig, ArrangeStats, ArrangementStore};

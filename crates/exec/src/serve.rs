@@ -24,7 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use stream_sim::{
-    gaussian_streams, EnergyMeter, EnergyModel, MemoryPolicy, Scheduler, SimQuery, TraceLog,
+    gaussian_streams, ArrangeConfig, ArrangementStore, EnergyMeter, EnergyModel, MemoryPolicy,
+    Scheduler, SimQuery, TraceLog,
 };
 
 /// Drift detection knobs.
@@ -59,6 +60,10 @@ pub struct ServeConfig {
     pub ticks_between: usize,
     /// Drift-triggered re-planning; `None` disables it.
     pub drift: Option<DriftConfig>,
+    /// Maintain the joint plan's materialization set as persistent
+    /// arrangements (`None` re-pulls every tick, the pre-arrangement
+    /// behaviour). Only effective under shared execution.
+    pub arrange: Option<ArrangeConfig>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             arrivals: ArrivalSpec::Periodic { every: 1 },
             ticks_between: 1,
             drift: None,
+            arrange: None,
         }
     }
 }
@@ -117,6 +123,19 @@ pub struct ServeReport {
     pub per_query_served: Vec<u64>,
     /// Fraction of served evaluations that came out TRUE.
     pub truth_rate: f64,
+    /// Stream items paid for by query pulls.
+    pub pulled_items: u64,
+    /// Stream items paid for by arrangement maintenance (0 with
+    /// arrangements off).
+    pub maintained_items: u64,
+    /// Energy spent on query pulls.
+    pub pull_energy: f64,
+    /// Energy spent on arrangement maintenance.
+    pub maintain_energy: f64,
+    /// Arrangements live at the end of the run.
+    pub arrangements: usize,
+    /// Items served from maintained rings instead of priced pulls.
+    pub arrangement_hit_items: u64,
 }
 
 impl ServeReport {
@@ -133,6 +152,13 @@ impl ServeReport {
     /// Energy per served evaluation (`None` when nothing was served).
     pub fn energy_per_served(&self) -> Option<f64> {
         (self.served > 0).then(|| self.total_energy / self.served as f64)
+    }
+
+    /// Total stream items physically fetched from sensors: query pulls
+    /// plus arrangement maintenance — the acceptance metric arranged
+    /// serving is judged on.
+    pub fn fetched_items(&self) -> u64 {
+        self.pulled_items + self.maintained_items
     }
 
     /// A `paotr_stats` summary table over several runs — the report the
@@ -299,6 +325,9 @@ pub struct ServeLoop {
     planner: String,
     config: ServeConfig,
     drift_seed: Vec<DriftState>,
+    /// The joint plan's materialization set: `(stream, window)` pairs
+    /// to maintain when serving with arrangements enabled.
+    materialized: Vec<(paotr_core::stream::StreamId, u32)>,
 }
 
 impl ServeLoop {
@@ -347,6 +376,11 @@ impl ServeLoop {
             planner: joint.planner.clone(),
             config,
             drift_seed,
+            materialized: joint
+                .materialized
+                .iter()
+                .map(|m| (m.stream, m.window))
+                .collect(),
         }
     }
 
@@ -377,7 +411,19 @@ impl ServeLoop {
         }
         let mut streams = gaussian_streams(&horizons, &mut rng);
 
-        let mut scheduler = Scheduler::new(n_streams, MemoryPolicy::ClearEachQuery);
+        // With arrangements on, the serving loop is the (sole) reader
+        // of every materialized stream: acquire the joint plan's
+        // materialization set once and maintain it for the whole run.
+        let mut scheduler = match self.config.arrange {
+            Some(cfg) if self.shared && !self.materialized.is_empty() => {
+                let mut store = ArrangementStore::new(cfg);
+                for &(k, window) in &self.materialized {
+                    store.acquire(k, window);
+                }
+                Scheduler::with_arrangements(n_streams, store)
+            }
+            _ => Scheduler::new(n_streams, MemoryPolicy::ClearEachQuery),
+        };
         let mut meter = EnergyMeter::new(EnergyModel::from_catalog(&self.catalog));
 
         let mut arrivals: Vec<ArrivalProcess> = (0..n)
@@ -428,6 +474,7 @@ impl ServeLoop {
             // Execute the admitted set in the joint plan's order so the
             // planned cross-query sharing materializes.
             let energy_before = meter.total_cost();
+            scheduler.maintain_tick(&streams, &mut meter);
             let mut is_admitted = vec![false; n];
             for &q in &admission.admitted {
                 is_admitted[q] = true;
@@ -503,6 +550,7 @@ impl ServeLoop {
             }
         }
 
+        let stats = scheduler.arrangements().map(|s| s.stats());
         Ok(ServeReport {
             planner: self.planner.clone(),
             admission: policy.name().to_string(),
@@ -520,6 +568,12 @@ impl ServeLoop {
             } else {
                 0.0
             },
+            pulled_items: meter.items_pulled().iter().sum(),
+            maintained_items: meter.items_maintained().iter().sum(),
+            pull_energy: meter.pull_cost_total(),
+            maintain_energy: meter.maintain_cost_total(),
+            arrangements: stats.map_or(0, |s| s.arrangements),
+            arrangement_hit_items: stats.map_or(0, |s| s.hit_items),
         })
     }
 }

@@ -2,7 +2,7 @@
 //! the paper's evaluation section.
 //!
 //! ```text
-//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [all]
+//! paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [arrange] [all]
 //!                   [--scale F] [--full] [--threads N] [--out DIR]
 //!                   [--seed S]
 //! ```
@@ -13,6 +13,7 @@
 //! Artifacts (CSV, SVG, Markdown) land in `--out` (default `results/`).
 
 mod ablation;
+mod arrange;
 mod common;
 mod fig4;
 mod fig5;
@@ -58,7 +59,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             name @ ("fig4" | "fig5" | "fig6" | "theorems" | "ablation" | "workload" | "serve"
-            | "all") => {
+            | "arrange" | "all") => {
                 which.push(name.to_string());
             }
             other => {
@@ -71,7 +72,7 @@ fn main() -> ExitCode {
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = vec![
-            "fig4", "fig5", "fig6", "theorems", "ablation", "workload", "serve",
+            "fig4", "fig5", "fig6", "theorems", "ablation", "workload", "serve", "arrange",
         ]
         .into_iter()
         .map(String::from)
@@ -155,6 +156,17 @@ fn main() -> ExitCode {
                     rows.len()
                 );
             }
+            "arrange" => {
+                let rows = arrange::run(&opts);
+                let (queries, saving) = arrange::report(&rows);
+                println!(
+                    "ARRANGE: maintained arrangements fetch {:.1}% fewer stream items than \
+                     re-pull at {queries} queries / {:.0}% overlap ({} rows -> arrange.csv)",
+                    saving * 100.0,
+                    arrange::OVERLAP * 100.0,
+                    rows.len()
+                );
+            }
             "theorems" => {
                 let samples = (200.0 * opts.scale.max(0.05)).round() as usize;
                 let report = theorems::run(&opts, samples.max(20));
@@ -182,7 +194,7 @@ fn main() -> ExitCode {
 
 fn print_help() {
     println!(
-        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [all]\n\
+        "usage: paotr-experiments [fig4] [fig5] [fig6] [theorems] [ablation] [workload] [serve] [arrange] [all]\n\
          \x20                        [--scale F | --full] [--threads N] [--out DIR] [--seed S]\n\n\
          Regenerates the figures and statistics of \"Cost-Optimal Execution of\n\
          Boolean Query Trees with Shared Streams\" (IPDPS 2014)."

@@ -40,6 +40,7 @@
 
 use crate::cost::{isolated_costs, predict_shared};
 use crate::workload::{extract_schedule, Workload};
+use paotr_core::cost::arrange::{ArrangeTerm, DEFAULT_HORIZON};
 use paotr_core::cost::model::{CostModel, EvalScratch};
 use paotr_core::error::Result;
 use paotr_core::plan::{Engine, Plan};
@@ -73,8 +74,69 @@ pub struct JointPlan {
     /// Whether the plan assumes one shared memory per tick (joint
     /// planners) or isolated per-query memory (the baseline).
     pub shared_execution: bool,
+    /// Streams the plan recommends maintaining as persistent
+    /// arrangements during recurring serving (empty for the
+    /// `independent` baseline, and for one-shot execution). Computed
+    /// post-hoc from the committed plan's expected per-stream traffic,
+    /// so order, schedules and predicted costs are identical whether or
+    /// not a runtime acts on it.
+    pub materialized: Vec<Materialization>,
     /// Wall-clock time spent planning the workload.
     pub planning_time: Duration,
+}
+
+/// One stream a joint plan recommends maintaining as a persistent
+/// arrangement (see the `paotr-arrange` crate), with the crossover term
+/// that justified it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Materialization {
+    /// The stream to maintain.
+    pub stream: StreamId,
+    /// Ring size: the widest window any query needs on the stream.
+    pub window: u32,
+    /// The maintain-vs-repull term the decision was priced with.
+    pub term: ArrangeTerm,
+}
+
+/// The materialization pass shared by the joint planners: price every
+/// stream's maintain-vs-repull crossover against the plan's expected
+/// per-tick pull traffic (`final_coverage`, catalog-indexed) and keep
+/// the streams where maintenance wins. Recurring serving advances every
+/// stream by one item per tick, so `delta = 1`; the fill amortizes over
+/// the default serving horizon.
+fn materialization_pass(workload: &Workload, final_coverage: &[f64]) -> Vec<Materialization> {
+    let n_streams = workload.catalog().len();
+    let mut windows = vec![0u32; n_streams];
+    let mut readers = vec![0u32; n_streams];
+    for q in workload.queries() {
+        let mut touched = vec![false; n_streams];
+        for (_, l) in q.tree.leaves() {
+            windows[l.stream.0] = windows[l.stream.0].max(l.items);
+            touched[l.stream.0] = true;
+        }
+        for (k, &t) in touched.iter().enumerate() {
+            readers[k] += u32::from(t);
+        }
+    }
+    (0..n_streams)
+        .filter_map(|k| {
+            if windows[k] == 0 {
+                return None;
+            }
+            let term = ArrangeTerm {
+                window: windows[k],
+                readers: readers[k],
+                delta: 1.0,
+                repull_items: final_coverage[k],
+                horizon: DEFAULT_HORIZON,
+            };
+            term.should_materialize().then_some(Materialization {
+                stream: StreamId(k),
+                window: windows[k],
+                term,
+            })
+        })
+        .collect()
 }
 
 impl JointPlan {
@@ -215,6 +277,7 @@ impl WorkloadPlanner for IndependentPlanner {
             plans: base.plans,
             schedules: base.schedules,
             shared_execution: false,
+            materialized: Vec::new(),
             planning_time: started.elapsed(),
         })
     }
@@ -535,6 +598,7 @@ impl WorkloadPlanner for SharedGreedyPlanner {
             independent_costs: base.costs,
             predicted_costs: predicted,
             shared_execution: true,
+            materialized: materialization_pass(workload, &coverage),
             planning_time: started.elapsed(),
         })
     }
@@ -624,6 +688,7 @@ impl WorkloadPlanner for BatchAwarePlanner {
             independent_costs: base.costs,
             predicted_costs: prediction.per_query,
             shared_execution: true,
+            materialized: materialization_pass(workload, &prediction.final_coverage),
             planning_time: started.elapsed(),
         })
     }
@@ -755,6 +820,40 @@ mod tests {
         assert_eq!(seq.predicted_costs, par.predicted_costs);
         assert_eq!(seq.plans, par.plans);
         assert_eq!(seq.schedules, par.schedules);
+        assert_eq!(seq.materialized, par.materialized);
+    }
+
+    #[test]
+    fn joint_planners_materialize_hot_streams_only() {
+        let w = overlapping_workload();
+        let engine = Engine::new();
+        for planner in [
+            &SharedGreedyPlanner::default() as &dyn WorkloadPlanner,
+            &BatchAwarePlanner,
+        ] {
+            let jp = planner.plan(&w, &engine).unwrap();
+            let streams: Vec<usize> = jp.materialized.iter().map(|m| m.stream.0).collect();
+            // Stream 0 carries all four queries' windows (up to 5
+            // items): its expected shared traffic dwarfs the one-item
+            // maintenance delta.
+            assert!(streams.contains(&0), "{}: {streams:?}", planner.name());
+            // Stream 3 is one 1-item leaf behind an OR: re-pulling at
+            // most one item sometimes can never beat maintaining one
+            // item every tick.
+            assert!(!streams.contains(&3), "{}: {streams:?}", planner.name());
+            for m in &jp.materialized {
+                assert!(m.term.should_materialize());
+                assert_eq!(m.window, m.term.window);
+                assert!(m.term.readers > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn independent_baseline_never_materializes() {
+        let w = overlapping_workload();
+        let jp = IndependentPlanner.plan(&w, &Engine::new()).unwrap();
+        assert!(jp.materialized.is_empty());
     }
 
     #[test]

@@ -24,16 +24,20 @@ use crate::registry::SessionRegistry;
 use crate::snapshot::{SessionSnap, Snapshot};
 use crate::telemetry::Telemetry;
 use crate::{Error, Result};
+use paotr_core::cost::ArrangeTerm;
 use paotr_core::plan::Engine;
+use paotr_core::stream::StreamId;
 use paotr_exec::{AcceptAll, AdmissionCtx, AdmissionPolicy, DriftConfig, EnergyBudget};
 use paotr_gen::seeds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use stream_sim::{
-    EnergyMeter, EnergyModel, MemoryPolicy, Scheduler, SensorModel, SensorSource, SimQuery,
-    SimStream, TraceLog,
+    ArrangeConfig, ArrangementStore, EnergyMeter, EnergyModel, MemoryPolicy, Scheduler,
+    SensorModel, SensorSource, SimQuery, SimStream, TraceLog,
 };
 
 /// Domain separation for per-stream RNG seeds.
@@ -59,6 +63,8 @@ pub struct Config {
     pub max_sessions: usize,
     /// Hard ceiling on any predicate window (bounds stream buffers).
     pub max_window: u32,
+    /// Persistent stream arrangements; `None` re-pulls every window.
+    pub arrange: Option<ArrangeConfig>,
 }
 
 impl Default for Config {
@@ -72,14 +78,17 @@ impl Default for Config {
             replan_after: 8,
             max_sessions: 64,
             max_window: 64,
+            arrange: None,
         }
     }
 }
 
 impl Config {
-    /// Serializes to the snapshot JSON object.
+    /// Serializes to the snapshot JSON object. The `arrange` key is
+    /// emitted only when arrangements are on, so arrangement-free
+    /// configs render exactly the version-1 object.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("seed", Json::from_u64(self.seed)),
             ("planner", Json::Str(self.planner.clone())),
             ("budget", self.budget.map(Json::Num).unwrap_or(Json::Null)),
@@ -98,7 +107,11 @@ impl Config {
             ("replan_after", Json::from_u64(self.replan_after)),
             ("max_sessions", Json::from_u64(self.max_sessions as u64)),
             ("max_window", Json::from_u64(u64::from(self.max_window))),
-        ])
+        ];
+        if let Some(a) = self.arrange {
+            fields.push(("arrange", Json::obj([("grace", Json::from_u64(a.grace))])));
+        }
+        Json::obj(fields)
     }
 
     /// Deserializes from the snapshot JSON object.
@@ -120,6 +133,15 @@ impl Config {
         let budget = match v.get("budget") {
             None | Some(Json::Null) => None,
             Some(b) => Some(b.as_f64().ok_or_else(|| missing("budget"))?),
+        };
+        let arrange = match v.get("arrange") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(ArrangeConfig {
+                grace: a
+                    .get("grace")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("arrange.grace"))?,
+            }),
         };
         Ok(Config {
             seed: v
@@ -150,6 +172,7 @@ impl Config {
                 .and_then(Json::as_u64)
                 .filter(|&w| w <= u64::from(u32::MAX))
                 .ok_or_else(|| missing("max_window"))? as u32,
+            arrange,
         })
     }
 }
@@ -194,6 +217,36 @@ pub struct Daemon {
     streams: Vec<SimStream>,
     stream_rngs: Vec<StdRng>,
     trace: TraceLog,
+    /// The persistent arrangement store (present iff `config.arrange`).
+    /// Lives here between ticks; `run_ticks` lends it to its scheduler.
+    arrangements: Option<ArrangementStore>,
+    /// `(stream, window)` pairs each live session holds a reader
+    /// refcount on, released when the session unregisters.
+    acquired: BTreeMap<u64, Vec<(StreamId, u32)>>,
+}
+
+/// The arrangements one session's reads should go through: each stream
+/// the query touches at the session's widest window there, whenever
+/// maintaining beats re-pulling even for this single reader (the store
+/// coalesces further readers for free).
+fn session_acquisitions(registry: &SessionRegistry, id: u64) -> Vec<(StreamId, u32)> {
+    let n = registry.catalog().len();
+    let Some(session) = registry.session(id) else {
+        return Vec::new();
+    };
+    session
+        .sim
+        .max_windows(n)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| {
+            // A session reads its streams every tick, so without the
+            // arrangement each tick re-pulls up to `w` items; with it,
+            // one delta item plus the amortized fill.
+            w > 0 && ArrangeTerm::new(w, 1, 1.0, f64::from(w)).should_materialize()
+        })
+        .map(|(k, &w)| (StreamId(k), w))
+        .collect()
 }
 
 impl Daemon {
@@ -201,6 +254,7 @@ impl Daemon {
     pub fn new(config: Config) -> Result<Daemon> {
         let registry =
             SessionRegistry::new(&config.planner, config.max_sessions, config.max_window)?;
+        let arrangements = config.arrange.map(ArrangementStore::new);
         Ok(Daemon {
             config,
             engine: Engine::new(),
@@ -212,6 +266,8 @@ impl Daemon {
             streams: Vec::new(),
             stream_rngs: Vec::new(),
             trace: TraceLog::default(),
+            arrangements,
+            acquired: BTreeMap::new(),
         })
     }
 
@@ -257,11 +313,25 @@ impl Daemon {
         self.trace.records().len()
     }
 
+    /// The live arrangement store, when arrangements are on.
+    pub fn arrangements(&self) -> Option<&ArrangementStore> {
+        self.arrangements.as_ref()
+    }
+
     /// Registers a qlang query; returns its session id.
     pub fn register(&mut self, source: &str, weight: f64) -> Result<u64> {
         let id = self
             .registry
             .register(source, weight, self.tick, &self.engine)?;
+        if let Some(store) = self.arrangements.as_mut() {
+            let pairs = session_acquisitions(&self.registry, id);
+            for &(k, w) in &pairs {
+                store.acquire(k, w);
+            }
+            if !pairs.is_empty() {
+                self.acquired.insert(id, pairs);
+            }
+        }
         self.churn_since_replan += 1;
         self.telemetry.registers += 1;
         Ok(id)
@@ -270,6 +340,15 @@ impl Daemon {
     /// Removes a live session.
     pub fn unregister(&mut self, id: u64) -> Result<()> {
         self.registry.unregister(id)?;
+        if let Some(pairs) = self.acquired.remove(&id) {
+            let store = self
+                .arrangements
+                .as_mut()
+                .expect("acquisitions exist only with a store");
+            for (k, w) in pairs {
+                store.release(k, w).expect("acquired pairs stay live");
+            }
+        }
         self.pending.remove(&id);
         self.churn_since_replan += 1;
         self.telemetry.unregisters += 1;
@@ -290,19 +369,38 @@ impl Daemon {
         self.ensure_streams();
         let mut energies = Vec::with_capacity(n as usize);
         let mut scheduler = Scheduler::new(self.streams.len(), MemoryPolicy::ClearEachQuery);
+        // Lend the persistent store to this batch's scheduler; it must
+        // come back even when a tick fails, so failures are deferred.
+        if let Some(store) = self.arrangements.take() {
+            scheduler.attach_arrangements(store);
+        }
+        let mut failure = None;
         for _ in 0..n {
             if self.config.replan_after > 0
                 && self.churn_since_replan >= self.config.replan_after
                 && !self.registry.is_empty()
             {
-                self.replan()?;
+                if let Err(e) = self.replan() {
+                    failure = Some(e);
+                    break;
+                }
             }
-            energies.push(self.run_one_tick(&mut scheduler)?);
+            match self.run_one_tick(&mut scheduler) {
+                Ok(energy) => energies.push(energy),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(BatchReport {
-            start_tick,
-            energies,
-        })
+        self.arrangements = scheduler.take_arrangements();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(BatchReport {
+                start_tick,
+                energies,
+            }),
+        }
     }
 
     fn run_one_tick(&mut self, scheduler: &mut Scheduler) -> Result<f64> {
@@ -359,6 +457,7 @@ impl Daemon {
             .collect();
 
         let mut meter = EnergyMeter::new(EnergyModel::from_catalog(self.registry.catalog()));
+        scheduler.maintain_tick(&self.streams, &mut meter);
         let traced = self.config.drift.is_some();
         if self.registry.shared() {
             let admitted_sims: Vec<&SimQuery> = run_order
@@ -414,6 +513,11 @@ impl Daemon {
         self.telemetry.last_tick_energy = tick_energy;
         self.telemetry.total_energy += tick_energy;
         self.telemetry.max_tick_energy = self.telemetry.max_tick_energy.max(tick_energy);
+        self.telemetry.maintain_energy += meter.maintain_cost_total();
+        if let Some(stats) = scheduler.arrangements().map(|s| s.stats()) {
+            self.telemetry.arrangements = stats.arrangements as u64;
+            self.telemetry.arrange_hit_items = stats.hit_items;
+        }
 
         for (s, rng) in self.streams.iter_mut().zip(&mut self.stream_rngs) {
             s.advance_by(1, rng);
@@ -445,10 +549,36 @@ impl Daemon {
         }
     }
 
-    /// The daemon's full persistent state as a [`Snapshot`].
+    /// The daemon's full persistent state as a [`Snapshot`]. Daemons
+    /// without arrangements keep writing the version-1 document, so
+    /// their snapshots stay readable by earlier builds.
     pub fn snapshot(&self) -> Snapshot {
+        let arrangements = self.arrangements.as_ref().map(|store| {
+            let stats = store.stats();
+            crate::snapshot::ArrangeSnap {
+                clock: store.clock(),
+                hits: stats.hits,
+                hit_items: stats.hit_items,
+                maintained_items: stats.maintained_items,
+                evictions: stats.evictions,
+                entries: store
+                    .iter()
+                    .map(|a| crate::snapshot::ArrangeEntrySnap {
+                        stream: a.stream().0,
+                        window: a.window(),
+                        readers: a.readers(),
+                        maintained_to: a.maintained_to(),
+                        zero_reader_since: a.zero_reader_since(),
+                    })
+                    .collect(),
+            }
+        });
         Snapshot {
-            version: crate::snapshot::SNAPSHOT_VERSION,
+            version: if arrangements.is_some() {
+                crate::snapshot::SNAPSHOT_VERSION
+            } else {
+                1
+            },
             config: self.config.clone(),
             tick: self.tick,
             next_id: self.registry.next_id(),
@@ -485,6 +615,7 @@ impl Daemon {
                 .collect(),
             order: self.registry.order().to_vec(),
             telemetry: self.telemetry.clone(),
+            arrangements,
         }
     }
 
@@ -494,7 +625,69 @@ impl Daemon {
     /// the snapshot tick. Counters continue exactly from their
     /// persisted values.
     pub fn from_snapshot(snap: &Snapshot) -> Result<Daemon> {
+        let invalid = |m: String| Error::Snapshot(crate::snapshot::SnapshotError::Invalid(m));
         let (registry, pending) = snap.restore_registry()?;
+
+        // Rebuild the arrangement store: persisted shells and counters,
+        // reader refcounts cross-checked against the sessions that must
+        // hold them (acquisitions are recomputed, not persisted).
+        let mut arrangements = snap.config.arrange.map(ArrangementStore::new);
+        if let Some(asnap) = &snap.arrangements {
+            let store = arrangements.as_mut().ok_or_else(|| {
+                invalid("snapshot persists arrangements but config.arrange is off".into())
+            })?;
+            for e in &asnap.entries {
+                store
+                    .restore_arrangement(
+                        StreamId(e.stream),
+                        e.window,
+                        e.readers,
+                        e.maintained_to,
+                        e.zero_reader_since,
+                    )
+                    .map_err(|m| invalid(format!("arrangements: {m}")))?;
+            }
+            store.restore_counters(
+                asnap.clock,
+                asnap.hits,
+                asnap.hit_items,
+                asnap.maintained_items,
+                asnap.evictions,
+            );
+        }
+        let mut acquired = BTreeMap::new();
+        if let Some(store) = &arrangements {
+            let ids: Vec<u64> = registry.sessions().map(|s| s.id).collect();
+            let mut expected: BTreeMap<(usize, u32), u32> = BTreeMap::new();
+            for id in ids {
+                let pairs = session_acquisitions(&registry, id);
+                for &(k, w) in &pairs {
+                    *expected.entry((k.0, w)).or_default() += 1;
+                }
+                if !pairs.is_empty() {
+                    acquired.insert(id, pairs);
+                }
+            }
+            for a in store.iter() {
+                let want = expected.remove(&(a.stream().0, a.window())).unwrap_or(0);
+                if a.readers() != want {
+                    return Err(invalid(format!(
+                        "arrangement for stream {} window {} persists {} readers, sessions hold {}",
+                        a.stream(),
+                        a.window(),
+                        a.readers(),
+                        want
+                    )));
+                }
+            }
+            if let Some((&(k, w), _)) = expected.iter().next() {
+                return Err(invalid(format!(
+                    "sessions read through an arrangement the snapshot does not persist \
+                     (stream {k} window {w})"
+                )));
+            }
+        }
+
         let mut daemon = Daemon {
             config: snap.config.clone(),
             engine: Engine::new(),
@@ -506,9 +699,43 @@ impl Daemon {
             streams: Vec::new(),
             stream_rngs: Vec::new(),
             trace: TraceLog::default(),
+            arrangements,
+            acquired,
         };
         daemon.ensure_streams();
+        daemon.refill_arrangements();
         Ok(daemon)
+    }
+
+    /// Refills restored arrangement rings from the replayed streams.
+    /// Counter-free, and tolerant of history the stream buffers have
+    /// already trimmed: a short ring self-heals on its first
+    /// maintenance (the catch-up absorb restores it to a full window
+    /// before any read can be served), so replay after a restore stays
+    /// tick-for-tick identical to the uninterrupted run.
+    fn refill_arrangements(&mut self) {
+        let Some(store) = self.arrangements.as_mut() else {
+            return;
+        };
+        let shells: Vec<(StreamId, u32, u64)> = store
+            .iter()
+            .filter(|a| a.maintained_to() > 0)
+            .map(|a| (a.stream(), a.window(), a.maintained_to()))
+            .collect();
+        for (k, window, maintained_to) in shells {
+            let stream = &self.streams[k.0];
+            // Drop items produced after the persisted maintenance
+            // point; what remains (newest first) ends at maintained_to.
+            let newer = stream.now().saturating_sub(maintained_to) as usize;
+            if newer >= stream.len() {
+                continue;
+            }
+            let take = (stream.len() - newer).min(window as usize);
+            let newest = stream.recent(stream.len()).expect("buffered items exist");
+            store
+                .refill(k, window, &newest[newer..newer + take])
+                .expect("shell restored above");
+        }
     }
 
     /// Saves a snapshot to `path`.
@@ -542,26 +769,51 @@ impl Daemon {
                     ("max_tick_energy", Json::Num(batch.max_energy())),
                 ])
             }),
-            Command::Stats => Ok(ok_response([
-                ("tick", Json::from_u64(self.tick)),
-                ("sessions", Json::from_u64(self.registry.len() as u64)),
-                (
-                    "headroom",
-                    self.telemetry
-                        .headroom(self.config.budget)
-                        .map(Json::Num)
-                        .unwrap_or(Json::Null),
-                ),
-                ("stats", self.telemetry.to_json()),
-                (
+            Command::Stats => {
+                let cache = self.engine.cache_stats();
+                let mut fields = vec![
+                    ("tick", Json::from_u64(self.tick)),
+                    ("sessions", Json::from_u64(self.registry.len() as u64)),
+                    (
+                        "headroom",
+                        self.telemetry
+                            .headroom(self.config.budget)
+                            .map(Json::Num)
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("stats", self.telemetry.to_json()),
+                    (
+                        "cache",
+                        Json::obj([
+                            ("hits", Json::from_u64(cache.hits)),
+                            ("misses", Json::from_u64(cache.misses)),
+                            ("entries", Json::from_u64(cache.entries as u64)),
+                            ("capacity", Json::from_u64(cache.capacity as u64)),
+                        ]),
+                    ),
+                ];
+                if let Some(stats) = self.arrangements.as_ref().map(|s| s.stats()) {
+                    fields.push((
+                        "arrange",
+                        Json::obj([
+                            ("arrangements", Json::from_u64(stats.arrangements as u64)),
+                            ("hits", Json::from_u64(stats.hits)),
+                            ("hit_items", Json::from_u64(stats.hit_items)),
+                            ("maintained_items", Json::from_u64(stats.maintained_items)),
+                            ("evictions", Json::from_u64(stats.evictions)),
+                        ]),
+                    ));
+                }
+                fields.push((
                     "table",
                     Json::Str(
                         self.telemetry
                             .table(self.registry.len(), self.config.budget)
                             .to_markdown(),
                     ),
-                ),
-            ])),
+                ));
+                Ok(ok_response(fields))
+            }
             Command::Plan => {
                 let digest = self.registry.plan_digest();
                 let plan = json_parse(&digest).expect("digest is valid JSON");
@@ -615,6 +867,54 @@ impl Daemon {
             if self.serve(reader, &mut writer)? {
                 break;
             }
+        }
+        Ok(())
+    }
+
+    /// Serves concurrent connections from `listener`, one thread per
+    /// client over the shared daemon, until any client sends
+    /// `shutdown`. Commands from all clients interleave line-by-line
+    /// against one state: registrations, ticks and arrangements are
+    /// shared. The daemon lock is held only while handling a line, so a
+    /// slow or idle client never blocks the others.
+    pub fn serve_tcp_shared(
+        daemon: Arc<Mutex<Daemon>>,
+        listener: &std::net::TcpListener,
+    ) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = listener.local_addr()?;
+        let mut workers = Vec::new();
+        for conn in listener.incoming() {
+            let stream = conn?;
+            // A shutdown handler wakes this accept loop by connecting
+            // to our own address; that wake connection is not served.
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let daemon = Arc::clone(&daemon);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let reader = BufReader::new(stream.try_clone()?);
+                let mut writer = stream;
+                for line in reader.lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (resp, shutdown) = daemon.lock().expect("daemon lock").handle_line(&line);
+                    writeln!(writer, "{resp}")?;
+                    writer.flush()?;
+                    if shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        let _ = std::net::TcpStream::connect(addr);
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for worker in workers {
+            let _ = worker.join();
         }
         Ok(())
     }
@@ -686,6 +986,83 @@ mod tests {
         assert_eq!(d.telemetry().churn_replans, 1);
     }
 
+    fn arranged_daemon(budget: Option<f64>) -> Daemon {
+        Daemon::new(Config {
+            budget,
+            arrange: Some(ArrangeConfig::default()),
+            ..Config::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn arrangements_cut_daemon_energy_at_identical_decisions() {
+        let run = |arrange: bool| {
+            let mut d = if arrange {
+                arranged_daemon(None)
+            } else {
+                daemon(None)
+            };
+            d.register(Q1, 1.0).unwrap();
+            d.register(Q2, 2.0).unwrap();
+            d.register(Q3, 0.5).unwrap();
+            d.run_ticks(50).unwrap();
+            d
+        };
+        let plain = run(false);
+        let arranged = run(true);
+        // Same queries, same sensor data, same admission: the served
+        // work is identical, only the item bill differs.
+        assert_eq!(arranged.telemetry().evals, plain.telemetry().evals);
+        assert_eq!(arranged.telemetry().truths, plain.telemetry().truths);
+        assert!(arranged.telemetry().arrange_hit_items > 0);
+        assert!(arranged.telemetry().maintain_energy > 0.0);
+        assert_eq!(plain.telemetry().maintain_energy, 0.0);
+        assert!(
+            arranged.telemetry().total_energy < plain.telemetry().total_energy,
+            "arranged {} J vs plain {} J",
+            arranged.telemetry().total_energy,
+            plain.telemetry().total_energy
+        );
+    }
+
+    #[test]
+    fn unregister_releases_arrangements_into_grace_and_eviction() {
+        let mut d = arranged_daemon(None);
+        let a = d.register(Q1, 1.0).unwrap();
+        d.register(Q3, 1.0).unwrap();
+        d.run_ticks(2).unwrap();
+        let live_before = d.arrangements().unwrap().stats().arrangements;
+        assert!(live_before > 0);
+        d.unregister(a).unwrap();
+        // Q1's exclusive arrangements lose their reader, survive the
+        // grace period, then fall to eviction.
+        d.run_ticks(ArrangeConfig::default().grace + 2).unwrap();
+        let stats = d.arrangements().unwrap().stats();
+        assert!(stats.evictions > 0, "grace-expired arrangements evict");
+        assert!(stats.arrangements < live_before);
+    }
+
+    #[test]
+    fn stats_exposes_plan_cache_and_arrangement_counters() {
+        let mut d = arranged_daemon(None);
+        d.register(Q1, 1.0).unwrap();
+        d.run_ticks(3).unwrap();
+        let (r, _) = d.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(r.contains(r#""cache":{"hits":"#), "{r}");
+        assert!(r.contains(r#""misses":"#), "{r}");
+        assert!(r.contains(r#""capacity":"#), "{r}");
+        assert!(r.contains(r#""arrange":{"arrangements":"#), "{r}");
+        assert!(r.contains(r#""maintained_items":"#), "{r}");
+        // Without arrangements the cache block stays, the arrange
+        // block is absent.
+        let mut plain = daemon(None);
+        plain.register(Q1, 1.0).unwrap();
+        let (r, _) = plain.handle_line(r#"{"cmd":"stats"}"#);
+        assert!(r.contains(r#""cache":{"hits":"#), "{r}");
+        assert!(!r.contains(r#""arrange":"#), "{r}");
+    }
+
     #[test]
     fn protocol_round_trip() {
         let mut d = daemon(None);
@@ -752,5 +1129,73 @@ mod tests {
         assert!(ask(r#"{"cmd":"tick","n":5}"#).contains(r#""ok":true"#));
         assert!(ask(r#"{"cmd":"shutdown"}"#).contains(r#""ok":true"#));
         assert_eq!(server.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn two_simultaneous_tcp_clients_share_one_daemon() {
+        use std::io::{BufRead, Write};
+        use std::net::TcpStream;
+
+        struct Client {
+            reader: BufReader<TcpStream>,
+            writer: TcpStream,
+        }
+        impl Client {
+            fn connect(addr: std::net::SocketAddr) -> Client {
+                let stream = TcpStream::connect(addr).unwrap();
+                Client {
+                    reader: BufReader::new(stream.try_clone().unwrap()),
+                    writer: stream,
+                }
+            }
+            fn ask(&mut self, line: &str) -> String {
+                writeln!(self.writer, "{line}").unwrap();
+                let mut resp = String::new();
+                self.reader.read_line(&mut resp).unwrap();
+                resp
+            }
+        }
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = Arc::new(Mutex::new(arranged_daemon(None)));
+        let server = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || Daemon::serve_tcp_shared(daemon, &listener).unwrap())
+        };
+
+        // Both connections are open at once; their commands interleave
+        // against the one shared daemon state.
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        assert!(a
+            .ask(r#"{"cmd":"register","query":"AVG(x,6) > 0.0"}"#)
+            .contains(r#""id":0"#));
+        assert!(b
+            .ask(r#"{"cmd":"register","query":"MAX(x,4) > 0.5"}"#)
+            .contains(r#""id":1"#,));
+        assert!(a.ask(r#"{"cmd":"tick","n":4}"#).contains(r#""tick":4"#));
+        // B sees A's ticks and both sessions.
+        let stats = b.ask(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains(r#""tick":4"#), "{stats}");
+        assert!(stats.contains(r#""sessions":2"#), "{stats}");
+        assert!(b.ask(r#"{"cmd":"tick","n":1}"#).contains(r#""tick":5"#));
+        // A client disconnecting (without shutdown) leaves the daemon
+        // serving the other.
+        drop(a);
+        assert!(b
+            .ask(r#"{"cmd":"unregister","id":0}"#)
+            .contains(r#""ok":true"#));
+        assert!(b.ask(r#"{"cmd":"shutdown"}"#).contains(r#""ok":true"#));
+        server.join().unwrap();
+
+        let d = Arc::try_unwrap(daemon)
+            .expect("all workers joined")
+            .into_inner()
+            .unwrap();
+        assert_eq!(d.telemetry().ticks, 5);
+        assert_eq!(d.telemetry().registers, 2);
+        assert_eq!(d.telemetry().unregisters, 1);
+        assert!(d.arrangements().is_some());
     }
 }

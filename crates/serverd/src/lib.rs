@@ -54,7 +54,7 @@ pub mod telemetry;
 
 pub use daemon::{Config, Daemon};
 pub use registry::{Session, SessionRegistry};
-pub use snapshot::{Snapshot, SnapshotError};
+pub use snapshot::{ArrangeEntrySnap, ArrangeSnap, Snapshot, SnapshotError};
 pub use telemetry::Telemetry;
 
 use std::fmt;

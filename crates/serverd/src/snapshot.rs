@@ -26,8 +26,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use stream_sim::{SimLeaf, SimQuery};
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Current snapshot format version. Version 2 added the optional
+/// `arrangements` section (and arrangement telemetry); daemons without
+/// arrangements still write version 1, and this build reads both.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot failed to save or load.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +53,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} (this build reads 1..={SNAPSHOT_VERSION})"
                 )
             }
         }
@@ -83,6 +85,41 @@ pub struct SessionSnap {
     pub pending_since: Option<u64>,
 }
 
+/// One persisted arrangement shell. Ring contents are *not* persisted:
+/// stream data is a pure function of `(seed, k, tick)`, so a restore
+/// refills each ring from the replayed streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrangeEntrySnap {
+    /// Arranged stream index.
+    pub stream: usize,
+    /// Window spec (ring capacity).
+    pub window: u32,
+    /// Live reader refcount.
+    pub readers: u32,
+    /// Timestamp of the newest maintained item (0 = never maintained).
+    pub maintained_to: u64,
+    /// Store clock at which the reader count hit zero, while in grace.
+    pub zero_reader_since: Option<u64>,
+}
+
+/// The persisted arrangement store: lifetime counters plus the live
+/// arrangement shells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrangeSnap {
+    /// Maintenance ticks seen (drives grace-period eviction).
+    pub clock: u64,
+    /// Reads served from maintained state.
+    pub hits: u64,
+    /// Items served from maintained state.
+    pub hit_items: u64,
+    /// Items fetched by maintenance.
+    pub maintained_items: u64,
+    /// Arrangements evicted after their grace period.
+    pub evictions: u64,
+    /// Live arrangements in `(stream, window)` order.
+    pub entries: Vec<ArrangeEntrySnap>,
+}
+
 /// The daemon's complete persistent state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -106,12 +143,14 @@ pub struct Snapshot {
     pub order: Vec<u64>,
     /// Lifetime counters.
     pub telemetry: Telemetry,
+    /// Persistent arrangement store (version >= 2, arrangements on).
+    pub arrangements: Option<ArrangeSnap>,
 }
 
 impl Snapshot {
     /// Serializes to the snapshot JSON document.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("version", Json::from_u64(self.version)),
             ("config", self.config.to_json()),
             ("tick", Json::from_u64(self.tick)),
@@ -141,7 +180,11 @@ impl Snapshot {
             ),
             ("order", Json::u64_arr(self.order.iter().copied())),
             ("telemetry", self.telemetry.to_json()),
-        ])
+        ];
+        if let Some(a) = &self.arrangements {
+            fields.push(("arrangements", arrange_to_json(a)));
+        }
+        Json::obj(fields)
     }
 
     /// The canonical one-line file rendering (trailing newline).
@@ -160,7 +203,7 @@ impl Snapshot {
             .get("version")
             .and_then(Json::as_u64)
             .ok_or_else(|| invalid("missing `version`"))?;
-        if version != SNAPSHOT_VERSION {
+        if !(1..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let config = Config::from_json(v.get("config").ok_or_else(|| invalid("missing `config`"))?)
@@ -203,6 +246,10 @@ impl Snapshot {
                 .ok_or_else(|| invalid("missing `telemetry`"))?,
         )
         .map_err(SnapshotError::Invalid)?;
+        let arrangements = match v.get("arrangements") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(arrange_from_json(a)?),
+        };
         Ok(Snapshot {
             version,
             config,
@@ -217,6 +264,7 @@ impl Snapshot {
             sessions,
             order,
             telemetry,
+            arrangements,
         })
     }
 
@@ -268,6 +316,75 @@ impl Snapshot {
         })?;
         Ok((registry, pending))
     }
+}
+
+fn arrange_to_json(a: &ArrangeSnap) -> Json {
+    Json::obj([
+        ("clock", Json::from_u64(a.clock)),
+        ("hits", Json::from_u64(a.hits)),
+        ("hit_items", Json::from_u64(a.hit_items)),
+        ("maintained_items", Json::from_u64(a.maintained_items)),
+        ("evictions", Json::from_u64(a.evictions)),
+        (
+            "entries",
+            Json::Arr(
+                a.entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("stream", Json::from_u64(e.stream as u64)),
+                            ("window", Json::from_u64(u64::from(e.window))),
+                            ("readers", Json::from_u64(u64::from(e.readers))),
+                            ("maintained_to", Json::from_u64(e.maintained_to)),
+                            (
+                                "zero_reader_since",
+                                e.zero_reader_since
+                                    .map(Json::from_u64)
+                                    .unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn arrange_from_json(v: &Json) -> std::result::Result<ArrangeSnap, SnapshotError> {
+    let u = |k: &str| {
+        v.get(k).and_then(Json::as_u64).ok_or_else(|| {
+            SnapshotError::Invalid(format!("arrangements: missing or invalid `{k}`"))
+        })
+    };
+    let entries = v
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| SnapshotError::Invalid("arrangements: missing `entries`".into()))?
+        .iter()
+        .map(|e| {
+            let eu = |k: &str| e.get(k).and_then(Json::as_u64);
+            let zero_reader_since = match e.get("zero_reader_since") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(t.as_u64()?),
+            };
+            Some(ArrangeEntrySnap {
+                stream: eu("stream")? as usize,
+                window: u32::try_from(eu("window")?).ok()?,
+                readers: u32::try_from(eu("readers")?).ok()?,
+                maintained_to: eu("maintained_to")?,
+                zero_reader_since,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| SnapshotError::Invalid("arrangements: malformed entry".into()))?;
+    Ok(ArrangeSnap {
+        clock: u("clock")?,
+        hits: u("hits")?,
+        hit_items: u("hit_items")?,
+        maintained_items: u("maintained_items")?,
+        evictions: u("evictions")?,
+        entries,
+    })
 }
 
 fn session_to_json(s: &SessionSnap) -> Json {
@@ -490,6 +607,69 @@ mod tests {
         let a = d.run_ticks(20).unwrap();
         let b = restored.run_ticks(20).unwrap();
         assert_eq!(a, b, "restore must replay streams to the snapshot tick");
+    }
+
+    fn populated_arranged_daemon() -> Daemon {
+        let mut d = Daemon::new(Config {
+            budget: Some(15.0),
+            arrange: Some(stream_sim::ArrangeConfig::default()),
+            ..Config::default()
+        })
+        .unwrap();
+        d.register("AVG(A,8) < 0.5 AND MAX(B,4) > 0.0", 1.0)
+            .unwrap();
+        d.register("(B < 0.2 AND C < 0.3) OR AVG(C,6) > 0.1", 2.0)
+            .unwrap();
+        d.register("LAST(A,2) < 0.5 @ 0.3", 0.5).unwrap();
+        d.run_ticks(30).unwrap();
+        d.unregister(1).unwrap();
+        d.run_ticks(5).unwrap();
+        d
+    }
+
+    #[test]
+    fn arranged_snapshot_round_trips_and_replays_tick_for_tick() {
+        let mut d = populated_arranged_daemon();
+        let snap = d.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        let arr = snap.arrangements.as_ref().expect("store persisted");
+        assert!(!arr.entries.is_empty());
+        assert!(arr.maintained_items > 0);
+        let once = snap.render();
+        let reparsed = Snapshot::parse(&once).unwrap();
+        assert_eq!(reparsed, snap);
+        assert_eq!(reparsed.render(), once);
+
+        // The PR's replay bar: a restore with live arrangements serves
+        // the exact energies of the uninterrupted run, and the store
+        // counters march in lockstep.
+        let mut restored = Daemon::from_snapshot(&snap).unwrap();
+        let a = d.run_ticks(20).unwrap();
+        let b = restored.run_ticks(20).unwrap();
+        assert_eq!(a, b, "arranged replay must be tick-for-tick identical");
+        assert_eq!(
+            d.arrangements().unwrap().stats(),
+            restored.arrangements().unwrap().stats()
+        );
+        assert_eq!(d.telemetry(), restored.telemetry());
+    }
+
+    #[test]
+    fn arranged_snapshot_with_wrong_refcounts_fails_typed() {
+        let snap = populated_arranged_daemon().snapshot();
+        let mut bad = snap.clone();
+        bad.arrangements.as_mut().unwrap().entries[0].readers += 1;
+        assert!(matches!(
+            Daemon::from_snapshot(&bad),
+            Err(Error::Snapshot(SnapshotError::Invalid(_)))
+        ));
+        // Arrangements persisted while the config has them off.
+        let mut off = snap;
+        off.config.arrange = None;
+        assert!(matches!(
+            Daemon::from_snapshot(&off),
+            Err(Error::Snapshot(SnapshotError::Invalid(_)))
+        ));
     }
 
     #[test]

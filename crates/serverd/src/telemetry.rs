@@ -34,6 +34,14 @@ pub struct Telemetry {
     pub max_tick_energy: f64,
     /// Energy spent in the most recent tick.
     pub last_tick_energy: f64,
+    /// Energy spent maintaining arrangements (included in
+    /// `total_energy`; this splits the bill).
+    pub maintain_energy: f64,
+    /// Live arrangements after the most recent tick (gauge).
+    pub arrangements: u64,
+    /// Window items served from maintained arrangements instead of
+    /// priced sensor pulls.
+    pub arrange_hit_items: u64,
 }
 
 impl Telemetry {
@@ -48,9 +56,11 @@ impl Telemetry {
         budget.map(|b| b - self.last_tick_energy)
     }
 
-    /// Serializes to the snapshot/stats JSON object.
+    /// Serializes to the snapshot/stats JSON object. The arrangement
+    /// counters are emitted only when non-zero, so daemons that never
+    /// arranged render exactly the version-1 telemetry object.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("ticks", Json::from_u64(self.ticks)),
             ("evals", Json::from_u64(self.evals)),
             ("truths", Json::from_u64(self.truths)),
@@ -63,7 +73,17 @@ impl Telemetry {
             ("total_energy", Json::Num(self.total_energy)),
             ("max_tick_energy", Json::Num(self.max_tick_energy)),
             ("last_tick_energy", Json::Num(self.last_tick_energy)),
-        ])
+        ];
+        if self.maintain_energy != 0.0 {
+            fields.push(("maintain_energy", Json::Num(self.maintain_energy)));
+        }
+        if self.arrangements != 0 {
+            fields.push(("arrangements", Json::from_u64(self.arrangements)));
+        }
+        if self.arrange_hit_items != 0 {
+            fields.push(("arrange_hit_items", Json::from_u64(self.arrange_hit_items)));
+        }
+        Json::obj(fields)
     }
 
     /// Deserializes from the snapshot/stats JSON object.
@@ -78,6 +98,20 @@ impl Telemetry {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("telemetry: missing or invalid `{k}`"))
         };
+        // Arrangement counters arrived with snapshot version 2; absent
+        // keys (every version-1 document) mean zero.
+        let opt_u = |k: &str| match v.get(k) {
+            None => Ok(0),
+            Some(x) => x
+                .as_u64()
+                .ok_or_else(|| format!("telemetry: invalid `{k}`")),
+        };
+        let opt_f = |k: &str| match v.get(k) {
+            None => Ok(0.0),
+            Some(x) => x
+                .as_f64()
+                .ok_or_else(|| format!("telemetry: invalid `{k}`")),
+        };
         Ok(Telemetry {
             ticks: u("ticks")?,
             evals: u("evals")?,
@@ -91,6 +125,9 @@ impl Telemetry {
             total_energy: f("total_energy")?,
             max_tick_energy: f("max_tick_energy")?,
             last_tick_energy: f("last_tick_energy")?,
+            maintain_energy: opt_f("maintain_energy")?,
+            arrangements: opt_u("arrangements")?,
+            arrange_hit_items: opt_u("arrange_hit_items")?,
         })
     }
 
@@ -120,6 +157,9 @@ impl Telemetry {
             ("total energy", format!("{:.2}", self.total_energy)),
             ("max tick energy", format!("{:.2}", self.max_tick_energy)),
             ("last tick energy", format!("{:.2}", self.last_tick_energy)),
+            ("maintenance energy", format!("{:.2}", self.maintain_energy)),
+            ("arrangements", self.arrangements.to_string()),
+            ("arranged items served", self.arrange_hit_items.to_string()),
             (
                 "energy headroom",
                 self.headroom(budget)
@@ -152,6 +192,9 @@ mod tests {
             total_energy: 1234.5,
             max_tick_energy: 19.25,
             last_tick_energy: 11.5,
+            maintain_energy: 40.25,
+            arrangements: 5,
+            arrange_hit_items: 320,
         }
     }
 
@@ -170,6 +213,22 @@ mod tests {
         }
         let err = Telemetry::from_json(&j).unwrap_err();
         assert!(err.contains("shed"), "{err}");
+    }
+
+    #[test]
+    fn zero_arrangement_counters_render_the_version_1_object() {
+        let t = Telemetry {
+            maintain_energy: 0.0,
+            arrangements: 0,
+            arrange_hit_items: 0,
+            ..sample()
+        };
+        let rendered = t.to_json().to_string_compact();
+        for key in ["maintain_energy", "arrangements", "arrange_hit_items"] {
+            assert!(!rendered.contains(key), "`{key}` leaked into:\n{rendered}");
+        }
+        let back = Telemetry::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back, "absent keys parse back as zero");
     }
 
     #[test]

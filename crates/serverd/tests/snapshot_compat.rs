@@ -1,23 +1,20 @@
-//! Snapshot format compatibility: the committed v1 fixture must keep
-//! restoring (and re-rendering byte-identically) on every future build.
+//! Snapshot format compatibility: the committed v1 and v2 fixtures must
+//! keep restoring (and re-rendering byte-identically) on every future
+//! build. The v1 fixture doubles as the arrangements-off golden — a
+//! daemon that never arranges must keep producing the exact version-1
+//! bytes.
 //!
 //! Regenerate after an intentional format bump with:
 //! `cargo test -p paotr-serverd --test snapshot_compat -- --ignored`
 
 use paotr_serverd::{Config, Daemon, Snapshot, SnapshotError};
+use stream_sim::ArrangeConfig;
 
 const FIXTURE: &str = include_str!("fixtures/snapshot_v1.snap");
+const FIXTURE_V2: &str = include_str!("fixtures/snapshot_v2.snap");
 
-fn fixture_daemon() -> Daemon {
-    let mut d = Daemon::new(Config {
-        seed: 7,
-        budget: Some(18.0),
-        replan_after: 3,
-        max_sessions: 16,
-        max_window: 24,
-        ..Config::default()
-    })
-    .unwrap();
+fn fixture_daemon_under(config: Config) -> Daemon {
+    let mut d = Daemon::new(config).unwrap();
     d.register("AVG(hr, 8) > 0.2 AND MAX(hr, 4) > 0.5", 1.0)
         .unwrap();
     d.register("(spo2 < 0.1 AND hr > 0.0) OR LAST(accel, 2) > 0.8", 2.0)
@@ -27,6 +24,28 @@ fn fixture_daemon() -> Daemon {
     d.unregister(1).unwrap();
     d.run_ticks(10).unwrap();
     d
+}
+
+fn fixture_config() -> Config {
+    Config {
+        seed: 7,
+        budget: Some(18.0),
+        replan_after: 3,
+        max_sessions: 16,
+        max_window: 24,
+        ..Config::default()
+    }
+}
+
+fn fixture_daemon() -> Daemon {
+    fixture_daemon_under(fixture_config())
+}
+
+fn fixture_daemon_v2() -> Daemon {
+    fixture_daemon_under(Config {
+        arrange: Some(ArrangeConfig::default()),
+        ..fixture_config()
+    })
 }
 
 #[test]
@@ -63,21 +82,64 @@ fn restored_fixture_keeps_serving_under_its_budget() {
 }
 
 #[test]
+fn arrangements_off_daemon_still_writes_version_1_bytes() {
+    // The arrangements-off golden: a current-build daemon without
+    // arrangements must reproduce the committed v1 fixture exactly.
+    assert_eq!(
+        fixture_daemon().snapshot().render(),
+        FIXTURE,
+        "an arrangement-free daemon drifted from the version-1 format"
+    );
+}
+
+#[test]
+fn committed_v2_fixture_parses_restores_and_re_renders() {
+    let snap = Snapshot::parse(FIXTURE_V2).expect("committed v2 fixture must stay parseable");
+    assert_eq!(snap.version, 2);
+    let arr = snap.arrangements.as_ref().expect("v2 fixture arranges");
+    assert!(!arr.entries.is_empty());
+    assert!(arr.maintained_items > 0);
+    assert_eq!(
+        snap.render(),
+        FIXTURE_V2,
+        "snapshot rendering changed — bump SNAPSHOT_VERSION and add a new fixture"
+    );
+    let daemon = Daemon::from_snapshot(&snap).expect("committed v2 fixture must stay restorable");
+    assert_eq!(daemon.tick(), 30);
+    assert!(daemon.arrangements().is_some());
+}
+
+#[test]
+fn restored_v2_fixture_replays_like_the_live_daemon() {
+    let mut live = fixture_daemon_v2();
+    assert_eq!(live.snapshot().render(), FIXTURE_V2);
+    let mut restored = Daemon::from_snapshot(&Snapshot::parse(FIXTURE_V2).unwrap()).unwrap();
+    let a = live.run_ticks(15).unwrap();
+    let b = restored.run_ticks(15).unwrap();
+    assert_eq!(a, b, "restored arrangements must replay tick-for-tick");
+}
+
+#[test]
 fn future_versions_are_rejected_with_a_typed_error() {
-    let bumped = FIXTURE.replacen("\"version\":1", "\"version\":2", 1);
+    let bumped = FIXTURE.replacen("\"version\":1", "\"version\":3", 1);
     assert!(matches!(
         Snapshot::parse(&bumped),
-        Err(SnapshotError::UnsupportedVersion(2))
+        Err(SnapshotError::UnsupportedVersion(3))
     ));
 }
 
-/// Not a test: rewrites the committed fixture from the current code.
+/// Not a test: rewrites the committed fixtures from the current code.
 #[test]
-#[ignore = "regenerates tests/fixtures/snapshot_v1.snap in the source tree"]
+#[ignore = "regenerates tests/fixtures/snapshot_v*.snap in the source tree"]
 fn regenerate_fixture() {
-    let path = concat!(
+    let v1 = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/tests/fixtures/snapshot_v1.snap"
     );
-    std::fs::write(path, fixture_daemon().snapshot().render()).unwrap();
+    std::fs::write(v1, fixture_daemon().snapshot().render()).unwrap();
+    let v2 = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v2.snap"
+    );
+    std::fs::write(v2, fixture_daemon_v2().snapshot().render()).unwrap();
 }

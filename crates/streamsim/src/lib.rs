@@ -40,6 +40,7 @@ pub mod trace;
 pub use device::{DeviceMemory, MemoryPolicy};
 pub use energy::EnergyModel;
 pub use engine::Engine;
+pub use paotr_arrange::{ArrangeConfig, ArrangeStats, ArrangementStore};
 pub use predicate::{Comparator, Predicate, WindowOp};
 pub use query::{SimLeaf, SimQuery};
 pub use runtime::{gaussian_streams, EnergyMeter, QueryOutcome, Scheduler, StreamSource};

@@ -30,6 +30,7 @@ use crate::query::SimQuery;
 use crate::source::{SensorModel, SensorSource};
 use crate::stream::SimStream;
 use crate::trace::{LeafRecord, TraceLog};
+use paotr_arrange::ArrangementStore;
 use paotr_core::schedule::DnfSchedule;
 use paotr_core::stream::StreamId;
 use rand::Rng;
@@ -77,19 +78,24 @@ pub struct QueryOutcome {
 pub struct EnergyMeter {
     model: EnergyModel,
     total: f64,
+    maintain_total: f64,
     evaluations: u64,
     items: Vec<u64>,
+    maintain_items: Vec<u64>,
 }
 
 impl EnergyMeter {
     /// A meter over the given pricing model.
     pub fn new(model: EnergyModel) -> EnergyMeter {
         let items = vec![0; model.len()];
+        let maintain_items = vec![0; model.len()];
         EnergyMeter {
             model,
             total: 0.0,
+            maintain_total: 0.0,
             evaluations: 0,
             items,
+            maintain_items,
         }
     }
 
@@ -98,9 +104,20 @@ impl EnergyMeter {
         &self.model
     }
 
-    /// Total energy spent since construction.
+    /// Total energy spent since construction: query pulls plus
+    /// arrangement maintenance.
     pub fn total_cost(&self) -> f64 {
+        self.total + self.maintain_total
+    }
+
+    /// Energy spent on query pulls alone.
+    pub fn pull_cost_total(&self) -> f64 {
         self.total
+    }
+
+    /// Energy spent on arrangement maintenance alone.
+    pub fn maintain_cost_total(&self) -> f64 {
+        self.maintain_total
     }
 
     /// Number of query evaluations metered.
@@ -108,9 +125,14 @@ impl EnergyMeter {
         self.evaluations
     }
 
-    /// Lifetime items pulled per stream.
+    /// Lifetime items pulled per stream by query evaluation.
     pub fn items_pulled(&self) -> &[u64] {
         &self.items
+    }
+
+    /// Lifetime items fetched per stream by arrangement maintenance.
+    pub fn items_maintained(&self) -> &[u64] {
+        &self.maintain_items
     }
 
     /// Prices a pull of `items` new items from stream `k`, adds it to
@@ -122,6 +144,17 @@ impl EnergyMeter {
         cost
     }
 
+    /// Prices an arrangement-maintenance fetch of `items` from stream
+    /// `k` — same per-item rates and wake-up surcharge as a pull, but
+    /// accounted separately so serving reports can split "paid to
+    /// maintain" from "paid to pull".
+    pub fn charge_maintenance(&mut self, k: StreamId, items: u32) -> f64 {
+        let cost = self.model.pull_cost(k, items);
+        self.maintain_total += cost;
+        self.maintain_items[k.0] += u64::from(items);
+        cost
+    }
+
     fn count_evaluation(&mut self) {
         self.evaluations += 1;
     }
@@ -129,10 +162,15 @@ impl EnergyMeter {
 
 /// The tick-driven pull scheduler: one shared [`DeviceMemory`], a
 /// [`MemoryPolicy`], and the short-circuiting schedule interpreter.
+/// Under [`MemoryPolicy::Arranged`] the scheduler additionally carries
+/// an [`ArrangementStore`]: leaves whose pull a current arrangement
+/// covers are served from the maintained ring instead of charging the
+/// meter.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     memory: DeviceMemory,
     policy: MemoryPolicy,
+    arrangements: Option<ArrangementStore>,
 }
 
 impl Scheduler {
@@ -141,6 +179,17 @@ impl Scheduler {
         Scheduler {
             memory: DeviceMemory::new(n_streams),
             policy,
+            arrangements: None,
+        }
+    }
+
+    /// A scheduler serving pulls from `store` where possible
+    /// ([`MemoryPolicy::Arranged`]).
+    pub fn with_arrangements(n_streams: usize, store: ArrangementStore) -> Scheduler {
+        Scheduler {
+            memory: DeviceMemory::new(n_streams),
+            policy: MemoryPolicy::Arranged,
+            arrangements: Some(store),
         }
     }
 
@@ -154,6 +203,56 @@ impl Scheduler {
         &self.memory
     }
 
+    /// The attached arrangement store, if any.
+    pub fn arrangements(&self) -> Option<&ArrangementStore> {
+        self.arrangements.as_ref()
+    }
+
+    /// Mutable access to the attached arrangement store (refcount
+    /// changes between ticks).
+    pub fn arrangements_mut(&mut self) -> Option<&mut ArrangementStore> {
+        self.arrangements.as_mut()
+    }
+
+    /// Lends a store to this scheduler and switches it to
+    /// [`MemoryPolicy::Arranged`]. Owners whose store outlives the
+    /// scheduler (the serving daemon builds a fresh scheduler per
+    /// batch) attach before a batch and [`Scheduler::take_arrangements`]
+    /// after.
+    pub fn attach_arrangements(&mut self, store: ArrangementStore) {
+        self.policy = MemoryPolicy::Arranged;
+        self.arrangements = Some(store);
+    }
+
+    /// Detaches and returns the store, reverting the policy to
+    /// [`MemoryPolicy::ClearEachQuery`].
+    pub fn take_arrangements(&mut self) -> Option<ArrangementStore> {
+        if self.arrangements.is_some() {
+            self.policy = MemoryPolicy::ClearEachQuery;
+        }
+        self.arrangements.take()
+    }
+
+    /// Runs one maintenance round on the attached store: advances the
+    /// arrangement clock (evicting arrangements past their zero-reader
+    /// grace) and fetches, per stream, the widest catch-up any live
+    /// arrangement needs — charged to the meter's maintenance
+    /// accounts. Call once per tick, before executing queries; a no-op
+    /// without a store.
+    pub fn maintain_tick<S: StreamSource>(&mut self, streams: &[S], meter: &mut EnergyMeter) {
+        let Some(store) = self.arrangements.as_mut() else {
+            return;
+        };
+        store.begin_tick();
+        for (i, stream) in streams.iter().enumerate() {
+            let k = StreamId(i);
+            let fetched = store.maintain(k, stream.now(), |n| stream.recent(n));
+            if fetched > 0 {
+                meter.charge_maintenance(k, fetched);
+            }
+        }
+    }
+
     /// Applies the memory policy for the evaluation of `queries` at the
     /// current tick: clear everything, or ([`MemoryPolicy::Retain`])
     /// prune items older than the set's per-stream relevance horizon.
@@ -162,7 +261,7 @@ impl Scheduler {
         queries: &[Q],
         streams: &[S],
     ) {
-        if self.policy == MemoryPolicy::ClearEachQuery {
+        if self.policy != MemoryPolicy::Retain {
             self.memory.clear();
             return;
         }
@@ -221,14 +320,31 @@ impl Scheduler {
             let stream = &streams[k.0];
             let now = stream.now();
             let window = leaf.predicate.window;
-            let missing = self.memory.missing(k, now, window);
-            let pull_cost = meter.charge(k, missing);
+            let mut missing = self.memory.missing(k, now, window);
+            let mut pull_cost = 0.0;
+            let mut served = None;
+            if missing > 0 {
+                // A current arrangement substitutes for the paid pull:
+                // the maintained items already sit on the device.
+                served = self
+                    .arrangements
+                    .as_mut()
+                    .and_then(|store| store.serve(k, now, window));
+                if served.is_some() {
+                    missing = 0;
+                } else {
+                    pull_cost = meter.charge(k, missing);
+                }
+            }
             cost += pull_cost;
             items_pulled[k.0] += missing;
             self.memory.insert_window(k, now, window);
-            let data = stream
-                .recent(window as usize)
-                .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window"));
+            let data = match served {
+                Some(data) => data,
+                None => stream
+                    .recent(window as usize)
+                    .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window")),
+            };
             let truth = leaf.predicate.eval(&data);
             evaluated += 1;
             if let Some(t) = trace.as_deref_mut() {
@@ -408,5 +524,85 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let again = gaussian_streams(&horizons, &mut rng);
         assert_eq!(streams[1].recent(7), again[1].recent(7));
+    }
+
+    #[test]
+    fn arranged_scheduler_serves_pulls_from_maintained_rings() {
+        use paotr_arrange::{ArrangeConfig, ArrangementStore};
+
+        let query = SimQuery::new(vec![vec![leaf(0, 8, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut streams = gaussian_streams(&[8], &mut rng);
+
+        let mut store = ArrangementStore::new(ArrangeConfig::default());
+        assert!(store.acquire(StreamId(0), 8));
+        let mut arranged = Scheduler::with_arrangements(1, store);
+        assert_eq!(arranged.policy(), MemoryPolicy::Arranged);
+        let mut plain = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        let mut am = meter(&[1.0]);
+        let mut pm = meter(&[1.0]);
+
+        for tick in 0..5 {
+            arranged.maintain_tick(&streams, &mut am);
+            arranged.begin_tick(std::slice::from_ref(&query), &streams);
+            let a = arranged.run_query(&query, &schedule, &streams, &mut am, None);
+            plain.begin_tick(std::slice::from_ref(&query), &streams);
+            let p = plain.run_query(&query, &schedule, &streams, &mut pm, None);
+            assert_eq!(a.value, p.value, "tick {tick}: truth must not change");
+            assert_eq!(a.cost, 0.0, "arranged evaluation pays no pull");
+            assert_eq!(a.items_pulled, vec![0]);
+            streams[0].advance_by(1, &mut rng);
+        }
+
+        // Maintenance: an 8-item fill, then 1 item per subsequent tick.
+        assert_eq!(am.items_maintained(), &[8 + 4]);
+        assert_eq!(am.items_pulled(), &[0]);
+        assert_eq!(pm.items_pulled(), &[8 * 5]);
+        assert!(am.total_cost() < pm.total_cost());
+        assert_eq!(am.total_cost(), am.maintain_cost_total());
+        assert_eq!(am.pull_cost_total(), 0.0);
+        let stats = arranged.arrangements().unwrap().stats();
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.hit_items, 40);
+        assert_eq!(stats.maintained_items, 12);
+    }
+
+    #[test]
+    fn unarranged_streams_fall_back_to_priced_pulls() {
+        use paotr_arrange::{ArrangeConfig, ArrangementStore};
+
+        // Arrangement only covers a 4-item window; the query needs 8.
+        let query = SimQuery::new(vec![vec![leaf(0, 8, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let streams = vec![constant_stream(50.0, 20)];
+
+        let mut store = ArrangementStore::new(ArrangeConfig::default());
+        assert!(store.acquire(StreamId(0), 4));
+        let mut sched = Scheduler::with_arrangements(1, store);
+        let mut m = meter(&[1.0]);
+        sched.maintain_tick(&streams, &mut m);
+        sched.begin_tick(std::slice::from_ref(&query), &streams);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.items_pulled, vec![8], "4-item ring cannot serve 8");
+        assert_eq!(m.items_maintained(), &[4]);
+    }
+
+    #[test]
+    fn attach_and_take_move_the_store_between_schedulers() {
+        use paotr_arrange::{ArrangeConfig, ArrangementStore};
+
+        let mut store = ArrangementStore::new(ArrangeConfig::default());
+        assert!(store.acquire(StreamId(0), 3));
+        let mut sched = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        assert!(sched.take_arrangements().is_none());
+        assert_eq!(sched.policy(), MemoryPolicy::ClearEachQuery);
+        sched.attach_arrangements(store);
+        assert_eq!(sched.policy(), MemoryPolicy::Arranged);
+        assert_eq!(sched.arrangements().unwrap().len(), 1);
+        let back = sched.take_arrangements().expect("store comes back");
+        assert_eq!(back.len(), 1);
+        assert_eq!(sched.policy(), MemoryPolicy::ClearEachQuery);
+        assert!(sched.arrangements().is_none());
     }
 }

@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the PAOTR workspace public API.
+pub use paotr_arrange as arrange;
 pub use paotr_core as core;
 pub use paotr_exec as exec;
 pub use paotr_gen as gen;
