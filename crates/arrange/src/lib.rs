@@ -368,6 +368,20 @@ impl ArrangementStore {
         hit
     }
 
+    /// Serves a `window`-item read of stream `k` from the *freshest*
+    /// maintained state regardless of currency — the degraded-mode
+    /// fallback for a stream in outage. Returns the window and its
+    /// staleness (`now - maintained_to`); `None` when no ring is wide
+    /// and full enough. Counter-free: stale serves are accounted by the
+    /// caller (they carry no bit-for-bit guarantee, so they must not
+    /// inflate the hit statistics replay tests compare).
+    pub fn serve_stale(&self, k: StreamId, now: u64, window: u32) -> Option<(Vec<f64>, u64)> {
+        self.stream_range(k)
+            .filter(|a| a.window >= window && a.ring.len() >= window as usize)
+            .max_by_key(|a| a.maintained_to)
+            .map(|a| (a.read(window), now.saturating_sub(a.maintained_to)))
+    }
+
     /// Restores a persisted arrangement shell (ring contents are
     /// re-derived from replayed streams via
     /// [`refill`](ArrangementStore::refill)).

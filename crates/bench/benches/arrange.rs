@@ -29,6 +29,8 @@ fn serve_loop(queries: usize, arrange: bool) -> (ServeLoop, Engine) {
         ticks_between: 1,
         drift: None,
         arrange: arrange.then(ArrangeConfig::default),
+        faults: None,
+        record_verdicts: false,
     };
     (ServeLoop::new(&workload, &joint, config), engine)
 }

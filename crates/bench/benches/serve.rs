@@ -24,6 +24,8 @@ fn serve_loop(drift: bool) -> (ServeLoop, Engine) {
         ticks_between: 1,
         drift: drift.then(DriftConfig::default),
         arrange: None,
+        faults: None,
+        record_verdicts: false,
     };
     (ServeLoop::new(&workload, &joint, config), engine)
 }

@@ -7,15 +7,17 @@
 //! file exists) and writes it back on clean shutdown, so restarts
 //! continue tick-for-tick where the previous process stopped.
 
-use paotr_serverd::{Config, Daemon};
+use paotr_serverd::{Config, Daemon, FaultSpec, TcpOptions};
 use std::io::{BufReader, Write};
 use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut config = Config::default();
     let mut listen: Option<String> = None;
     let mut snapshot: Option<String> = None;
+    let mut tcp = TcpOptions::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +90,87 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 snapshot = Some(take("--snapshot")?);
                 i += 2;
             }
+            "--idle-timeout" => {
+                let ms: u64 = take("--idle-timeout")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout expects milliseconds".to_string())?;
+                tcp.idle_timeout = Some(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--faults" => {
+                config.faults.get_or_insert_with(FaultSpec::default);
+                i += 1;
+            }
+            "--fault-seed" => {
+                config.faults.get_or_insert_with(FaultSpec::default).seed = take("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "--fault-seed expects an integer".to_string())?;
+                i += 2;
+            }
+            "--fault-rate" => {
+                let r: f64 = take("--fault-rate")?
+                    .parse()
+                    .map_err(|_| "--fault-rate expects a number".to_string())?;
+                if !(r.is_finite() && (0.0..=1.0).contains(&r)) {
+                    return Err("--fault-rate expects a probability in [0, 1]".into());
+                }
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .transient_rate = r;
+                i += 2;
+            }
+            "--outage-streams" => {
+                let share: f64 = take("--outage-streams")?
+                    .parse()
+                    .map_err(|_| "--outage-streams expects a number".to_string())?;
+                if !(share.is_finite() && (0.0..=1.0).contains(&share)) {
+                    return Err("--outage-streams expects a share in [0, 1]".into());
+                }
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .outage_streams = share;
+                i += 2;
+            }
+            "--outage-len" => {
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .outage_len = take("--outage-len")?
+                    .parse()
+                    .map_err(|_| "--outage-len expects an integer".to_string())?;
+                i += 2;
+            }
+            "--outage-gap" => {
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .outage_gap = take("--outage-gap")?
+                    .parse()
+                    .map_err(|_| "--outage-gap expects an integer".to_string())?;
+                i += 2;
+            }
+            "--retries" => {
+                let attempts: u32 = take("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects an integer >= 1".to_string())?;
+                if attempts == 0 {
+                    return Err("--retries expects an integer >= 1".into());
+                }
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .max_attempts = attempts;
+                i += 2;
+            }
+            "--no-stale" => {
+                config
+                    .faults
+                    .get_or_insert_with(FaultSpec::default)
+                    .stale_serve = false;
+                i += 1;
+            }
             other => return Err(format!("unknown daemon flag `{other}`")),
         }
     }
@@ -120,7 +203,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             listener.local_addr().map_err(|e| e.to_string())?
         );
         let shared = Arc::new(Mutex::new(daemon));
-        Daemon::serve_tcp_shared(Arc::clone(&shared), &listener)
+        Daemon::serve_tcp_shared_with(Arc::clone(&shared), &listener, tcp)
             .map_err(|e| format!("serve: {e}"))?;
         daemon = Arc::try_unwrap(shared)
             .map_err(|_| "a connection thread outlived the serve loop".to_string())?
@@ -155,5 +238,9 @@ mod tests {
         assert!(super::run(&["--budget".into(), "-1".into()]).is_err());
         assert!(super::run(&["--max-sessions".into(), "0".into()]).is_err());
         assert!(super::run(&["--replan-after".into()]).is_err());
+        assert!(super::run(&["--fault-rate".into(), "2".into()]).is_err());
+        assert!(super::run(&["--outage-streams".into(), "-1".into()]).is_err());
+        assert!(super::run(&["--retries".into(), "0".into()]).is_err());
+        assert!(super::run(&["--idle-timeout".into(), "soon".into()]).is_err());
     }
 }

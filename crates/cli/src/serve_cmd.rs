@@ -4,8 +4,8 @@
 
 use paotr_core::plan::Engine;
 use paotr_exec::{
-    AcceptAll, AdmissionPolicy, ArrivalSpec, DriftConfig, EnergyBudget, ServeConfig, ServeLoop,
-    ServeReport,
+    AcceptAll, AdmissionPolicy, ArrivalSpec, DriftConfig, EnergyBudget, FaultSpec, ServeConfig,
+    ServeLoop, ServeReport,
 };
 use paotr_gen::workload::{workload_instance, WorkloadConfig};
 use paotr_multi::{planner_by_name, planner_names, Workload};
@@ -33,6 +33,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut check_budget: Option<f64> = None;
     let mut arrange = false;
     let mut arrange_grace = paotr_exec::ArrangeConfig::default().grace;
+    let mut faults: Option<FaultSpec> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -128,6 +129,50 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--arrange-grace expects an integer".to_string())?;
                 i += 2;
             }
+            "--faults" => {
+                faults.get_or_insert_with(FaultSpec::default);
+                i += 1;
+            }
+            "--fault-seed" => {
+                faults.get_or_insert_with(FaultSpec::default).seed = take("--fault-seed")?
+                    .parse()
+                    .map_err(|_| "--fault-seed expects an integer".to_string())?;
+                i += 2;
+            }
+            "--fault-rate" => {
+                let mut r = 0.0;
+                parse_num("--fault-rate", &mut r)?;
+                faults.get_or_insert_with(FaultSpec::default).transient_rate = r;
+                i += 2;
+            }
+            "--outage-streams" => {
+                let mut share = 0.0;
+                parse_num("--outage-streams", &mut share)?;
+                faults.get_or_insert_with(FaultSpec::default).outage_streams = share;
+                i += 2;
+            }
+            "--outage-len" => {
+                faults.get_or_insert_with(FaultSpec::default).outage_len = take("--outage-len")?
+                    .parse()
+                    .map_err(|_| "--outage-len expects an integer".to_string())?;
+                i += 2;
+            }
+            "--outage-gap" => {
+                faults.get_or_insert_with(FaultSpec::default).outage_gap = take("--outage-gap")?
+                    .parse()
+                    .map_err(|_| "--outage-gap expects an integer".to_string())?;
+                i += 2;
+            }
+            "--retries" => {
+                faults.get_or_insert_with(FaultSpec::default).max_attempts = take("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects an integer >= 1".to_string())?;
+                i += 2;
+            }
+            "--no-stale" => {
+                faults.get_or_insert_with(FaultSpec::default).stale_serve = false;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -166,6 +211,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
             return Err("--check-budget expects a finite energy value >= 0".into());
         }
     }
+    if let Some(f) = &faults {
+        if !(0.0..=1.0).contains(&f.transient_rate) || !f.transient_rate.is_finite() {
+            return Err("--fault-rate expects a probability in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&f.outage_streams) || !f.outage_streams.is_finite() {
+            return Err("--outage-streams expects a share in [0, 1]".into());
+        }
+        if f.max_attempts == 0 {
+            return Err("--retries expects an integer >= 1".into());
+        }
+    }
 
     let config = WorkloadConfig::with_overlap(queries, overlap);
     let (trees, catalog) = workload_instance(config, seed as usize);
@@ -184,6 +240,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         arrange: arrange.then_some(paotr_exec::ArrangeConfig {
             grace: arrange_grace,
         }),
+        faults,
+        record_verdicts: false,
     };
 
     println!(
@@ -213,6 +271,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "off".into()
         }
     );
+    if let Some(f) = &faults {
+        println!(
+            "fault injection    : seed {}, transient rate {}, outages {:.0}% of streams \
+             ({} down / {} up ticks), {} attempts, stale serving {}",
+            f.seed,
+            f.transient_rate,
+            f.outage_streams * 100.0,
+            f.outage_len,
+            f.outage_gap,
+            f.max_attempts,
+            if f.stale_serve { "on" } else { "off" }
+        );
+    }
     println!();
 
     let chosen: Vec<String> = if compare_all {
@@ -301,6 +372,28 @@ pub fn run(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    if faults.is_some() {
+        println!();
+        for r in &reports {
+            let det = r.determined as f64 / (r.served.max(1)) as f64;
+            println!(
+                "chaos [{:>13}]: {} retries ({:.2} J), {} failed reads, verdicts \
+                 {} determined ({:.1}%) / {} degraded / {} unknown, {} stale leaves \
+                 (max staleness {}), {} outage re-plans",
+                r.planner,
+                r.retries,
+                r.retry_energy,
+                r.failed_reads,
+                r.determined,
+                det * 100.0,
+                r.degraded_verdicts,
+                r.unknown_verdicts,
+                r.stale_leaves,
+                r.max_staleness,
+                r.outage_replans
+            );
+        }
+    }
     if let Some(b) = budget {
         println!();
         println!(
@@ -352,12 +445,37 @@ mod tests {
     }
 
     #[test]
+    fn serves_under_fault_injection_with_budget() {
+        super::run(&[
+            "--queries".into(),
+            "6".into(),
+            "--ticks".into(),
+            "40".into(),
+            "--arrivals".into(),
+            "periodic".into(),
+            "--budget".into(),
+            "60".into(),
+            "--faults".into(),
+            "--fault-seed".into(),
+            "42".into(),
+            "--outage-streams".into(),
+            "0.5".into(),
+            "--retries".into(),
+            "2".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         assert!(super::run(&["--bogus".into()]).is_err());
         assert!(super::run(&["--arrivals".into(), "nope".into()]).is_err());
         assert!(super::run(&["--planner".into(), "nope".into()]).is_err());
         assert!(super::run(&["--queries".into(), "0".into()]).is_err());
         assert!(super::run(&["--rate".into(), "0".into()]).is_err());
+        assert!(super::run(&["--fault-rate".into(), "1.5".into()]).is_err());
+        assert!(super::run(&["--outage-streams".into(), "-0.1".into()]).is_err());
+        assert!(super::run(&["--retries".into(), "0".into()]).is_err());
         assert!(super::run(&[
             "--arrivals".into(),
             "periodic".into(),

@@ -39,16 +39,23 @@ pub struct AdmissionCtx<'a> {
     /// True when admitted queries share one device memory per tick
     /// (joint plans); false for the isolated independent baseline.
     pub shared: bool,
+    /// Worst-case multiplier for fault-injected serving: with up to
+    /// `a` sensor contacts per leaf (retries are priced as pulls), a
+    /// stream's tick spend is bounded by `a` times its widest admitted
+    /// window, so admission scales every worst case by this factor.
+    /// `1.0` for fault-free runs.
+    pub retry_factor: f64,
 }
 
 impl AdmissionCtx<'_> {
     /// Worst-case energy of query `q` run against empty memory.
     pub fn worst_case_query(&self, q: usize) -> f64 {
-        self.windows[q]
+        let base: f64 = self.windows[q]
             .iter()
             .zip(self.costs)
             .map(|(&w, c)| f64::from(w) * c)
-            .sum()
+            .sum();
+        base * self.retry_factor
     }
 
     /// Worst-case energy *added* by admitting `q` on top of an admitted
@@ -60,12 +67,13 @@ impl AdmissionCtx<'_> {
         if !self.shared {
             return self.worst_case_query(q);
         }
-        self.windows[q]
+        let base: f64 = self.windows[q]
             .iter()
             .zip(acc)
             .zip(self.costs)
             .map(|((&w, &have), c)| f64::from(w.saturating_sub(have)) * c)
-            .sum()
+            .sum();
+        base * self.retry_factor
     }
 
     /// Folds `q`'s windows into the admitted set's per-stream maxima.
@@ -82,7 +90,7 @@ impl AdmissionCtx<'_> {
             return admitted.iter().map(|&q| self.worst_case_query(q)).sum();
         }
         let n = self.costs.len();
-        (0..n)
+        let base: f64 = (0..n)
             .map(|k| {
                 let w = admitted
                     .iter()
@@ -91,7 +99,8 @@ impl AdmissionCtx<'_> {
                     .unwrap_or(0);
                 f64::from(w) * self.costs[k]
             })
-            .sum()
+            .sum();
+        base * self.retry_factor
     }
 
     /// Convenience: per-query windows from concrete sim queries.
@@ -238,6 +247,7 @@ mod tests {
             costs,
             pending_since: &ZERO_SINCE[..weights.len()],
             shared,
+            retry_factor: 1.0,
         }
     }
 
@@ -318,6 +328,7 @@ mod tests {
             costs: &costs,
             pending_since: &pending_since,
             shared: false,
+            retry_factor: 1.0,
         };
         let a = EnergyBudget::deferring(5.0).admit(1, &[0, 2], &c);
         assert_eq!(a.admitted, vec![2], "oldest pending request wins the tie");
@@ -326,6 +337,23 @@ mod tests {
         let a = EnergyBudget::deferring(5.0).admit(1, &[0, 1], &c);
         assert_eq!(a.admitted, vec![0]);
         assert_eq!(a.deferred, vec![1]);
+    }
+
+    #[test]
+    fn retry_factor_scales_every_worst_case() {
+        let weights = [1.0];
+        let windows = vec![vec![5]];
+        let costs = [1.0];
+        let mut c = ctx(&weights, &windows, &costs, true);
+        c.retry_factor = 3.0;
+        assert_eq!(c.worst_case_query(0), 15.0);
+        assert_eq!(c.worst_case_set(&[0]), 15.0);
+        assert_eq!(c.marginal_cost(&[0u32], 0), 15.0);
+        let a = EnergyBudget::shedding(5.0).admit(0, &[0], &c);
+        assert!(
+            a.admitted.is_empty(),
+            "a 5-item window with 3 attempts cannot fit a budget of 5"
+        );
     }
 
     #[test]

@@ -56,5 +56,8 @@ pub mod serve;
 
 pub use admission::{AcceptAll, Admission, AdmissionCtx, AdmissionPolicy, EnergyBudget};
 pub use arrivals::{ArrivalProcess, ArrivalSpec};
-pub use serve::{DriftConfig, DriftState, ServeConfig, ServeLoop, ServeReport, TickStats};
-pub use stream_sim::{ArrangeConfig, ArrangeStats, ArrangementStore};
+pub use paotr_faults::{FaultPlan, FaultSpec, FaultySource};
+pub use serve::{
+    DriftConfig, DriftState, ServeConfig, ServeLoop, ServeReport, TickStats, VerdictRecord,
+};
+pub use stream_sim::{ArrangeConfig, ArrangeStats, ArrangementStore, Verdict};

@@ -19,14 +19,20 @@ use paotr_core::error::{Error, Result};
 use paotr_core::plan::Engine;
 use paotr_core::schedule::DnfSchedule;
 use paotr_core::stream::StreamCatalog;
-use paotr_multi::{synthesize, JointPlan, Workload};
+use paotr_faults::{FaultPlan, FaultSpec, FaultySource};
+use paotr_multi::{outage_catalog, synthesize, JointPlan, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use stream_sim::{
     gaussian_streams, ArrangeConfig, ArrangementStore, EnergyMeter, EnergyModel, MemoryPolicy,
-    Scheduler, SimQuery, TraceLog,
+    Scheduler, SimQuery, TraceLog, Verdict,
 };
+
+/// Cost multiplier applied to dead streams during outage re-planning:
+/// large enough that any alive alternative is preferred, small enough
+/// to keep the cost model finite and well-ordered.
+const OUTAGE_PENALTY: f64 = 1e3;
 
 /// Drift detection knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +70,14 @@ pub struct ServeConfig {
     /// arrangements (`None` re-pulls every tick, the pre-arrangement
     /// behaviour). Only effective under shared execution.
     pub arrange: Option<ArrangeConfig>,
+    /// Replay the run under this seeded fault plan (`None` = fault
+    /// free). Faults enable bounded retries, three-valued verdicts and
+    /// outage-triggered re-planning.
+    pub faults: Option<FaultSpec>,
+    /// Record every evaluation's `(tick, query, verdict)` in the report
+    /// — the hook chaos tests use to compare runs bit-for-bit. Off by
+    /// default to keep long runs light.
+    pub record_verdicts: bool,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +89,8 @@ impl Default for ServeConfig {
             ticks_between: 1,
             drift: None,
             arrange: None,
+            faults: None,
+            record_verdicts: false,
         }
     }
 }
@@ -136,6 +152,41 @@ pub struct ServeReport {
     pub arrangements: usize,
     /// Items served from maintained rings instead of priced pulls.
     pub arrangement_hit_items: u64,
+    /// Transient read failures retried (each priced as a pull).
+    pub retries: u64,
+    /// Energy burnt by failed contacts (included in `total_energy`).
+    pub retry_energy: f64,
+    /// Leaves given up on (outage, or retries exhausted).
+    pub failed_reads: u64,
+    /// Evaluations whose verdict was determined by live streams alone.
+    pub determined: u64,
+    /// Evaluations that ended `unknown`.
+    pub unknown_verdicts: u64,
+    /// Evaluations resolved only through stale arrangement data.
+    pub degraded_verdicts: u64,
+    /// Leaves answered from stale rings across the run.
+    pub stale_leaves: u64,
+    /// Worst staleness (ticks) of any stale window served.
+    pub max_staleness: u64,
+    /// Re-plans triggered by outage transitions (separate from drift
+    /// `replans`).
+    pub outage_replans: u64,
+    /// Per-evaluation verdict log (empty unless
+    /// [`ServeConfig::record_verdicts`] is set).
+    pub verdicts: Vec<VerdictRecord>,
+}
+
+/// One served evaluation's verdict, for bit-for-bit run comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictRecord {
+    /// Serve tick.
+    pub tick: u64,
+    /// Workload query index.
+    pub query: usize,
+    /// Three-valued verdict.
+    pub verdict: Verdict,
+    /// Resolved only via stale arrangement data.
+    pub degraded: bool,
 }
 
 impl ServeReport {
@@ -426,6 +477,25 @@ impl ServeLoop {
         };
         let mut meter = EnergyMeter::new(EnergyModel::from_catalog(&self.catalog));
 
+        // Fault injection: every run executes through FaultySource
+        // decorators — under the empty plan they are pass-throughs, so
+        // faulty and fault-free runs share one code path (which is what
+        // makes determined verdicts bit-for-bit comparable).
+        let fault_spec = self.config.faults.unwrap_or_else(FaultSpec::none);
+        let fault_plan = FaultPlan::new(fault_spec);
+        let faults_on = self.config.faults.is_some();
+        scheduler.set_fault_policy(fault_spec.max_attempts.max(1), fault_spec.stale_serve);
+        let retry_factor = if faults_on {
+            f64::from(fault_spec.max_attempts.max(1))
+        } else {
+            1.0
+        };
+        // Outage signature of the previous tick, and the catalog the
+        // planners currently see (dead streams penalized during an
+        // outage so re-plans pull them last).
+        let mut last_out = vec![false; n_streams];
+        let mut live_catalog = self.catalog.clone();
+
         let mut arrivals: Vec<ArrivalProcess> = (0..n)
             .map(|q| ArrivalProcess::new(self.config.arrivals, self.config.seed, q))
             .collect();
@@ -449,8 +519,51 @@ impl ServeLoop {
         let mut max_tick_energy = 0.0f64;
         let mut per_query_served = vec![0u64; n];
         let mut truths = 0u64;
+        let mut retries = 0u64;
+        let mut failed_reads = 0u64;
+        let mut determined = 0u64;
+        let mut unknown_verdicts = 0u64;
+        let mut degraded_verdicts = 0u64;
+        let mut stale_leaves = 0u64;
+        let mut max_staleness = 0u64;
+        let mut outage_replans = 0u64;
+        let mut verdicts: Vec<VerdictRecord> = Vec::new();
 
         for t in 0..self.config.ticks as u64 {
+            // Outage transitions re-plan the affected queries against a
+            // penalized catalog, so schedules stop pulling dead streams
+            // first; recoveries re-plan back (a cache hit in `engine`).
+            if faults_on {
+                let now = streams.first().map(|s| s.now()).unwrap_or(0);
+                let out = fault_plan.outage_signature(n_streams, now);
+                if out != last_out {
+                    live_catalog = if out.iter().any(|&b| b) {
+                        outage_catalog(&self.catalog, &out, OUTAGE_PENALTY)
+                    } else {
+                        self.catalog.clone()
+                    };
+                    for q in 0..n {
+                        let touched =
+                            (0..n_streams).any(|k| out[k] != last_out[k] && windows[q][k] > 0);
+                        if !touched {
+                            continue;
+                        }
+                        let probs = drift[q].calibrated().to_vec();
+                        let tree = self.queries[q].skeleton(&probs);
+                        let plan = engine.plan(&tree, &live_catalog)?;
+                        let schedule = plan.body.to_dnf_schedule(&tree).ok_or_else(|| {
+                            Error::InvalidWorkload(format!(
+                                "planner `{}` produced a non-schedule plan during outage re-planning",
+                                plan.planner
+                            ))
+                        })?;
+                        schedules[q] = Arc::new(schedule);
+                        outage_replans += 1;
+                    }
+                    last_out = out;
+                }
+            }
+
             for (q, arrival) in arrivals.iter_mut().enumerate() {
                 let fired = arrival.poll(t);
                 total_arrivals += fired;
@@ -468,13 +581,15 @@ impl ServeLoop {
                 costs: &costs,
                 pending_since: &pending_since,
                 shared: self.shared,
+                retry_factor,
             };
             let admission = policy.admit(t, &due, &ctx);
 
             // Execute the admitted set in the joint plan's order so the
             // planned cross-query sharing materializes.
             let energy_before = meter.total_cost();
-            scheduler.maintain_tick(&streams, &mut meter);
+            let sources = FaultySource::wrap(&streams, &fault_plan);
+            scheduler.maintain_tick(&sources, &mut meter);
             let mut is_admitted = vec![false; n];
             for &q in &admission.admitted {
                 is_admitted[q] = true;
@@ -485,21 +600,38 @@ impl ServeLoop {
                 .map(|&q| &self.queries[q])
                 .collect();
             if self.shared {
-                scheduler.begin_tick(&admitted_queries, &streams);
+                scheduler.begin_tick(&admitted_queries, &sources);
             }
             for &q in self.order.iter().filter(|&&q| is_admitted[q]) {
                 if !self.shared {
-                    scheduler.begin_tick(std::slice::from_ref(&self.queries[q]), &streams);
+                    scheduler.begin_tick(std::slice::from_ref(&self.queries[q]), &sources);
                 }
                 let traced = self.config.drift.is_some();
                 let out = scheduler.run_query(
                     &self.queries[q],
                     &schedules[q],
-                    &streams,
+                    &sources,
                     &mut meter,
                     traced.then_some(&mut trace),
                 );
                 truths += u64::from(out.value);
+                retries += u64::from(out.retries);
+                failed_reads += u64::from(out.failed_reads);
+                stale_leaves += u64::from(out.stale_leaves);
+                max_staleness = max_staleness.max(out.staleness);
+                match out.verdict {
+                    Verdict::Unknown => unknown_verdicts += 1,
+                    _ if out.degraded => degraded_verdicts += 1,
+                    _ => determined += 1,
+                }
+                if self.config.record_verdicts {
+                    verdicts.push(VerdictRecord {
+                        tick: t,
+                        query: q,
+                        verdict: out.verdict,
+                        degraded: out.degraded,
+                    });
+                }
                 per_query_served[q] += 1;
                 served += 1;
                 pending[q] = None;
@@ -515,7 +647,7 @@ impl ServeLoop {
                     if drift[q].drifted(cfg) {
                         let probs = drift[q].recalibrated(cfg);
                         let tree = self.queries[q].skeleton(&probs);
-                        let plan = engine.plan(&tree, &self.catalog)?;
+                        let plan = engine.plan(&tree, &live_catalog)?;
                         let schedule = plan.body.to_dnf_schedule(&tree).ok_or_else(|| {
                             Error::InvalidWorkload(format!(
                                 "planner `{}` produced a non-schedule plan during drift re-planning",
@@ -574,6 +706,16 @@ impl ServeLoop {
             maintain_energy: meter.maintain_cost_total(),
             arrangements: stats.map_or(0, |s| s.arrangements),
             arrangement_hit_items: stats.map_or(0, |s| s.hit_items),
+            retries,
+            retry_energy: meter.retry_cost_total(),
+            failed_reads,
+            determined,
+            unknown_verdicts,
+            degraded_verdicts,
+            stale_leaves,
+            max_staleness,
+            outage_replans,
+            verdicts,
         })
     }
 }

@@ -64,4 +64,6 @@ pub use planner::{
     JointPlan, SharedGreedyPlanner, WorkloadPlanner,
 };
 pub use sim::{simulate, synthesize, SimConfig, WorkloadSimReport};
-pub use workload::{InterferenceReport, StreamInterference, Workload, WorkloadQuery};
+pub use workload::{
+    outage_catalog, InterferenceReport, StreamInterference, Workload, WorkloadQuery,
+};

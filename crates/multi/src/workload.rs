@@ -188,6 +188,33 @@ pub(crate) fn extract_schedule(
     })
 }
 
+/// The catalog to re-plan against while some streams are in outage:
+/// identical to `catalog` except that every stream flagged in `out`
+/// costs `factor` times as much. Cost-optimal planners then sink dead
+/// streams' leaves to the end of every schedule — the serving layers'
+/// outage re-plan stops pulling dead streams first, without any new
+/// planner machinery.
+///
+/// # Panics
+/// Panics if `factor` is not a finite positive value (the penalized
+/// catalog must stay valid).
+pub fn outage_catalog(catalog: &StreamCatalog, out: &[bool], factor: f64) -> StreamCatalog {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "outage penalty factor must be finite and positive"
+    );
+    let mut penalized = StreamCatalog::new();
+    for k in 0..catalog.len() {
+        let id = StreamId(k);
+        let dead = out.get(k).copied().unwrap_or(false);
+        let cost = catalog.cost(id) * if dead { factor } else { 1.0 };
+        penalized
+            .add_named(catalog.name(id), cost)
+            .expect("penalizing a valid catalog keeps it valid");
+    }
+    penalized
+}
+
 /// One shared stream's cross-query usage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamInterference {
@@ -259,6 +286,17 @@ mod tests {
             StreamCatalog::from_costs([2.0, 3.0, 1.0]).unwrap(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn outage_catalog_penalizes_only_dead_streams() {
+        let cat = StreamCatalog::from_costs([1.0, 2.0, 3.0]).unwrap();
+        let pen = outage_catalog(&cat, &[false, true], 1000.0);
+        assert_eq!(pen.len(), 3);
+        assert_eq!(pen.cost(StreamId(0)), 1.0);
+        assert_eq!(pen.cost(StreamId(1)), 2000.0);
+        assert_eq!(pen.cost(StreamId(2)), 3.0, "missing flags mean alive");
+        assert_eq!(pen.name(StreamId(1)), cat.name(StreamId(1)));
     }
 
     #[test]

@@ -28,16 +28,18 @@ use paotr_core::cost::ArrangeTerm;
 use paotr_core::plan::Engine;
 use paotr_core::stream::StreamId;
 use paotr_exec::{AcceptAll, AdmissionCtx, AdmissionPolicy, DriftConfig, EnergyBudget};
+use paotr_faults::{FaultPlan, FaultSpec, FaultySource};
 use paotr_gen::seeds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as IoRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use stream_sim::{
     ArrangeConfig, ArrangementStore, EnergyMeter, EnergyModel, MemoryPolicy, Scheduler,
-    SensorModel, SensorSource, SimQuery, SimStream, TraceLog,
+    SensorModel, SensorSource, SimQuery, SimStream, TraceLog, Verdict,
 };
 
 /// Domain separation for per-stream RNG seeds.
@@ -65,6 +67,10 @@ pub struct Config {
     pub max_window: u32,
     /// Persistent stream arrangements; `None` re-pulls every window.
     pub arrange: Option<ArrangeConfig>,
+    /// Seeded fault injection; `None` serves fault free. The plan is
+    /// derived, never stored, so a restored daemon replays the exact
+    /// chaos schedule of the uninterrupted run.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for Config {
@@ -79,6 +85,7 @@ impl Default for Config {
             max_sessions: 64,
             max_window: 64,
             arrange: None,
+            faults: None,
         }
     }
 }
@@ -110,6 +117,20 @@ impl Config {
         ];
         if let Some(a) = self.arrange {
             fields.push(("arrange", Json::obj([("grace", Json::from_u64(a.grace))])));
+        }
+        if let Some(f) = self.faults {
+            fields.push((
+                "faults",
+                Json::obj([
+                    ("seed", Json::from_u64(f.seed)),
+                    ("transient_rate", Json::Num(f.transient_rate)),
+                    ("outage_streams", Json::Num(f.outage_streams)),
+                    ("outage_len", Json::from_u64(f.outage_len)),
+                    ("outage_gap", Json::from_u64(f.outage_gap)),
+                    ("max_attempts", Json::from_u64(u64::from(f.max_attempts))),
+                    ("stale_serve", Json::Bool(f.stale_serve)),
+                ]),
+            ));
         }
         Json::obj(fields)
     }
@@ -143,6 +164,40 @@ impl Config {
                     .ok_or_else(|| missing("arrange.grace"))?,
             }),
         };
+        let faults = match v.get("faults") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(FaultSpec {
+                seed: f
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("faults.seed"))?,
+                transient_rate: f
+                    .get("transient_rate")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("faults.transient_rate"))?,
+                outage_streams: f
+                    .get("outage_streams")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| missing("faults.outage_streams"))?,
+                outage_len: f
+                    .get("outage_len")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("faults.outage_len"))?,
+                outage_gap: f
+                    .get("outage_gap")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("faults.outage_gap"))?,
+                max_attempts: f
+                    .get("max_attempts")
+                    .and_then(Json::as_u64)
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| missing("faults.max_attempts"))?,
+                stale_serve: f
+                    .get("stale_serve")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| missing("faults.stale_serve"))?,
+            }),
+        };
         Ok(Config {
             seed: v
                 .get("seed")
@@ -173,6 +228,7 @@ impl Config {
                 .filter(|&w| w <= u64::from(u32::MAX))
                 .ok_or_else(|| missing("max_window"))? as u32,
             arrange,
+            faults,
         })
     }
 }
@@ -223,6 +279,14 @@ pub struct Daemon {
     /// `(stream, window)` pairs each live session holds a reader
     /// refcount on, released when the session unregisters.
     acquired: BTreeMap<u64, Vec<(StreamId, u32)>>,
+    /// The derived fault schedule (the empty pass-through plan when
+    /// `config.faults` is off). Never persisted: it is a pure function
+    /// of the config.
+    faults: FaultPlan,
+    /// `(session id, verdict, degraded)` of every evaluation in the
+    /// most recent tick — the diagnostic chaos tests compare against a
+    /// fault-free daemon.
+    last_verdicts: Vec<(u64, Verdict, bool)>,
 }
 
 /// The arrangements one session's reads should go through: each stream
@@ -255,6 +319,7 @@ impl Daemon {
         let registry =
             SessionRegistry::new(&config.planner, config.max_sessions, config.max_window)?;
         let arrangements = config.arrange.map(ArrangementStore::new);
+        let faults = FaultPlan::new(config.faults.unwrap_or_else(FaultSpec::none));
         Ok(Daemon {
             config,
             engine: Engine::new(),
@@ -268,6 +333,8 @@ impl Daemon {
             trace: TraceLog::default(),
             arrangements,
             acquired: BTreeMap::new(),
+            faults,
+            last_verdicts: Vec::new(),
         })
     }
 
@@ -316,6 +383,12 @@ impl Daemon {
     /// The live arrangement store, when arrangements are on.
     pub fn arrangements(&self) -> Option<&ArrangementStore> {
         self.arrangements.as_ref()
+    }
+
+    /// `(session id, verdict, degraded)` of every evaluation in the
+    /// most recent tick, in execution order.
+    pub fn last_verdicts(&self) -> &[(u64, Verdict, bool)] {
+        &self.last_verdicts
     }
 
     /// Registers a qlang query; returns its session id.
@@ -369,6 +442,8 @@ impl Daemon {
         self.ensure_streams();
         let mut energies = Vec::with_capacity(n as usize);
         let mut scheduler = Scheduler::new(self.streams.len(), MemoryPolicy::ClearEachQuery);
+        let spec = self.faults.spec();
+        scheduler.set_fault_policy(spec.max_attempts.max(1), spec.stale_serve);
         // Lend the persistent store to this batch's scheduler; it must
         // come back even when a tick fails, so failures are deferred.
         if let Some(store) = self.arrangements.take() {
@@ -430,6 +505,11 @@ impl Daemon {
             costs: &costs,
             pending_since: &pending_since,
             shared: self.registry.shared(),
+            retry_factor: if self.config.faults.is_some() {
+                f64::from(self.faults.spec().max_attempts.max(1))
+            } else {
+                1.0
+            },
         };
         let admission = match self.config.budget {
             None => AcceptAll.admit(t, &due, &ctx),
@@ -457,25 +537,30 @@ impl Daemon {
             .collect();
 
         let mut meter = EnergyMeter::new(EnergyModel::from_catalog(self.registry.catalog()));
-        scheduler.maintain_tick(&self.streams, &mut meter);
+        // Every read goes through the fault decorators; under the empty
+        // plan they are pass-throughs, so faulted and fault-free
+        // daemons share one execution path.
+        let sources = FaultySource::wrap(&self.streams, &self.faults);
+        scheduler.maintain_tick(&sources, &mut meter);
         let traced = self.config.drift.is_some();
         if self.registry.shared() {
             let admitted_sims: Vec<&SimQuery> = run_order
                 .iter()
                 .map(|id| &self.registry.session(*id).expect("live id").sim)
                 .collect();
-            scheduler.begin_tick(&admitted_sims, &self.streams);
+            scheduler.begin_tick(&admitted_sims, &sources);
         }
+        self.last_verdicts.clear();
         for &id in &run_order {
-            let (value, records) = {
+            let (out, records) = {
                 let session = self.registry.session(id).expect("live id");
                 if !self.registry.shared() {
-                    scheduler.begin_tick(std::slice::from_ref(&session.sim), &self.streams);
+                    scheduler.begin_tick(std::slice::from_ref(&session.sim), &sources);
                 }
                 let out = scheduler.run_query(
                     &session.sim,
                     &session.schedule,
-                    &self.streams,
+                    &sources,
                     &mut meter,
                     traced.then_some(&mut self.trace),
                 );
@@ -486,10 +571,19 @@ impl Daemon {
                     .map(|r| (r.leaf, r.value))
                     .collect();
                 self.trace.clear();
-                (out.value, records)
+                (out, records)
             };
             self.telemetry.evals += 1;
-            self.telemetry.truths += u64::from(value);
+            self.telemetry.truths += u64::from(out.value);
+            self.telemetry.retries += u64::from(out.retries);
+            self.telemetry.failed_reads += u64::from(out.failed_reads);
+            self.telemetry.stale_serves += u64::from(out.stale_leaves);
+            match out.verdict {
+                Verdict::Unknown => self.telemetry.unknown_verdicts += 1,
+                _ if out.degraded => self.telemetry.degraded_verdicts += 1,
+                _ => {}
+            }
+            self.last_verdicts.push((id, out.verdict, out.degraded));
             self.pending.remove(&id);
 
             if let Some(cfg) = self.config.drift {
@@ -514,6 +608,7 @@ impl Daemon {
         self.telemetry.total_energy += tick_energy;
         self.telemetry.max_tick_energy = self.telemetry.max_tick_energy.max(tick_energy);
         self.telemetry.maintain_energy += meter.maintain_cost_total();
+        self.telemetry.retry_energy += meter.retry_cost_total();
         if let Some(stats) = scheduler.arrangements().map(|s| s.stats()) {
             self.telemetry.arrangements = stats.arrangements as u64;
             self.telemetry.arrange_hit_items = stats.hit_items;
@@ -688,6 +783,7 @@ impl Daemon {
             }
         }
 
+        let faults = FaultPlan::new(snap.config.faults.unwrap_or_else(FaultSpec::none));
         let mut daemon = Daemon {
             config: snap.config.clone(),
             engine: Engine::new(),
@@ -701,6 +797,8 @@ impl Daemon {
             trace: TraceLog::default(),
             arrangements,
             acquired,
+            faults,
+            last_verdicts: Vec::new(),
         };
         daemon.ensure_streams();
         daemon.refill_arrangements();
@@ -743,9 +841,11 @@ impl Daemon {
         self.snapshot().save(path).map_err(Error::Snapshot)
     }
 
-    /// Restores a daemon from a snapshot file.
+    /// Restores a daemon from a snapshot file. A corrupt or truncated
+    /// primary falls back to the rotated last-good generation
+    /// (`<path>.1`) written by the previous save.
     pub fn load_snapshot(path: &str) -> Result<Daemon> {
-        let snap = Snapshot::load(path).map_err(Error::Snapshot)?;
+        let (snap, _) = Snapshot::load_with_fallback(path).map_err(Error::Snapshot)?;
         Daemon::from_snapshot(&snap)
     }
 
@@ -876,10 +976,31 @@ impl Daemon {
     /// `shutdown`. Commands from all clients interleave line-by-line
     /// against one state: registrations, ticks and arrangements are
     /// shared. The daemon lock is held only while handling a line, so a
-    /// slow or idle client never blocks the others.
+    /// slow or idle client never blocks the others. Uses
+    /// [`TcpOptions::default`]; [`Daemon::serve_tcp_shared_with`]
+    /// exposes the timeout knobs.
     pub fn serve_tcp_shared(
         daemon: Arc<Mutex<Daemon>>,
         listener: &std::net::TcpListener,
+    ) -> std::io::Result<()> {
+        Daemon::serve_tcp_shared_with(daemon, listener, TcpOptions::default())
+    }
+
+    /// [`Daemon::serve_tcp_shared`] with explicit connection options.
+    ///
+    /// Hardening over the plain accept loop:
+    /// * every connection reads with [`TcpOptions::read_timeout`], so a
+    ///   silent client never wedges its worker — on each timeout the
+    ///   worker re-checks the shared stop flag and exits promptly after
+    ///   a shutdown from any other client;
+    /// * a connection idle longer than [`TcpOptions::idle_timeout`] is
+    ///   evicted (the daemon state it touched stays live);
+    /// * malformed bytes — invalid UTF-8, unparseable JSON — get an
+    ///   error *reply* on the same connection instead of a disconnect.
+    pub fn serve_tcp_shared_with(
+        daemon: Arc<Mutex<Daemon>>,
+        listener: &std::net::TcpListener,
+        opts: TcpOptions,
     ) -> std::io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
         let addr = listener.local_addr()?;
@@ -894,23 +1015,7 @@ impl Daemon {
             let daemon = Arc::clone(&daemon);
             let stop = Arc::clone(&stop);
             workers.push(std::thread::spawn(move || -> std::io::Result<()> {
-                let reader = BufReader::new(stream.try_clone()?);
-                let mut writer = stream;
-                for line in reader.lines() {
-                    let line = line?;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let (resp, shutdown) = daemon.lock().expect("daemon lock").handle_line(&line);
-                    writeln!(writer, "{resp}")?;
-                    writer.flush()?;
-                    if shutdown {
-                        stop.store(true, Ordering::SeqCst);
-                        let _ = std::net::TcpStream::connect(addr);
-                        return Ok(());
-                    }
-                }
-                Ok(())
+                serve_connection(&daemon, stream, &opts, &stop, addr)
             }));
         }
         for worker in workers {
@@ -918,6 +1023,105 @@ impl Daemon {
         }
         Ok(())
     }
+}
+
+/// Per-connection knobs for [`Daemon::serve_tcp_shared_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Socket read timeout: the longest any worker blocks before
+    /// re-checking the shared stop flag (and the idle clock).
+    pub read_timeout: Duration,
+    /// Evict a connection after this much time without receiving any
+    /// bytes; `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> TcpOptions {
+        TcpOptions {
+            read_timeout: Duration::from_millis(200),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// One worker's connection loop: timeout-aware reads, line framing
+/// over a persistent buffer, error replies for malformed input, idle
+/// eviction, and a partial final line processed at EOF.
+fn serve_connection(
+    daemon: &Arc<Mutex<Daemon>>,
+    stream: std::net::TcpStream,
+    opts: &TcpOptions,
+    stop: &Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a trailing line without a newline still gets
+                // served (the reply goes out before the socket closes).
+                if !buf.is_empty() {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    handle_connection_line(daemon, &mut writer, &line, stop, addr)?;
+                }
+                return Ok(());
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                idle += opts.read_timeout;
+                if opts.idle_timeout.is_some_and(|limit| idle >= limit) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        idle = Duration::ZERO;
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = buf.drain(..=nl).collect();
+            // Invalid UTF-8 is replied to as a parse error, never a
+            // disconnect: the lossy text cannot parse as a command.
+            let line = String::from_utf8_lossy(&raw[..nl]).into_owned();
+            if handle_connection_line(daemon, &mut writer, &line, stop, addr)? {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Handles one framed line; returns whether shutdown was requested.
+fn handle_connection_line(
+    daemon: &Arc<Mutex<Daemon>>,
+    writer: &mut std::net::TcpStream,
+    line: &str,
+    stop: &Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+) -> std::io::Result<bool> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    if line.trim().is_empty() {
+        return Ok(false);
+    }
+    let (resp, shutdown) = daemon.lock().expect("daemon lock").handle_line(line);
+    writeln!(writer, "{resp}")?;
+    writer.flush()?;
+    if shutdown {
+        stop.store(true, Ordering::SeqCst);
+        let _ = std::net::TcpStream::connect(addr);
+    }
+    Ok(shutdown)
 }
 
 #[cfg(test)]

@@ -52,7 +52,8 @@ pub mod registry;
 pub mod snapshot;
 pub mod telemetry;
 
-pub use daemon::{Config, Daemon};
+pub use daemon::{Config, Daemon, TcpOptions};
+pub use paotr_faults::{FaultPlan, FaultSpec, FaultySource};
 pub use registry::{Session, SessionRegistry};
 pub use snapshot::{ArrangeEntrySnap, ArrangeSnap, Snapshot, SnapshotError};
 pub use telemetry::Telemetry;

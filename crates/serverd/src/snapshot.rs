@@ -269,11 +269,20 @@ impl Snapshot {
     }
 
     /// Writes the rendered snapshot to `path` (write-then-rename, so a
-    /// crash never leaves a truncated snapshot in place).
+    /// crash never leaves a truncated snapshot in place). An existing
+    /// snapshot is first rotated to `<path>.1` as the last-good
+    /// generation, so even if the new primary is later corrupted on
+    /// disk, [`Snapshot::load_with_fallback`] still has a complete
+    /// document to restore from.
     pub fn save(&self, path: &str) -> std::result::Result<(), SnapshotError> {
         let tmp = format!("{path}.tmp");
         std::fs::write(&tmp, self.render())
             .map_err(|e| SnapshotError::Io(format!("write {tmp}: {e}")))?;
+        if std::fs::metadata(path).is_ok() {
+            let previous = format!("{path}.1");
+            std::fs::rename(path, &previous)
+                .map_err(|e| SnapshotError::Io(format!("rotate to {previous}: {e}")))?;
+        }
         std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(format!("rename to {path}: {e}")))
     }
 
@@ -282,6 +291,20 @@ impl Snapshot {
         let text = std::fs::read_to_string(path)
             .map_err(|e| SnapshotError::Io(format!("read {path}: {e}")))?;
         Snapshot::parse(&text)
+    }
+
+    /// Loads `path`, falling back to the rotated last-good generation
+    /// `<path>.1` when the primary is missing, corrupt or truncated.
+    /// Returns the snapshot and whether the fallback was used; when
+    /// both generations fail, the *primary's* error is reported.
+    pub fn load_with_fallback(path: &str) -> std::result::Result<(Snapshot, bool), SnapshotError> {
+        match Snapshot::load(path) {
+            Ok(snap) => Ok((snap, false)),
+            Err(primary) => match Snapshot::load(&format!("{path}.1")) {
+                Ok(snap) => Ok((snap, true)),
+                Err(_) => Err(primary),
+            },
+        }
     }
 
     /// Rebuilds the session registry (and the pending-request map) this

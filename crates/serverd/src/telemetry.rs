@@ -42,6 +42,19 @@ pub struct Telemetry {
     /// Window items served from maintained arrangements instead of
     /// priced sensor pulls.
     pub arrange_hit_items: u64,
+    /// Transient read failures retried (each priced as a pull).
+    pub retries: u64,
+    /// Energy burnt by failed stream contacts (included in
+    /// `total_energy`; this splits the bill).
+    pub retry_energy: f64,
+    /// Leaves given up on (stream outage, or retries exhausted).
+    pub failed_reads: u64,
+    /// Evaluations that ended `unknown` under outages.
+    pub unknown_verdicts: u64,
+    /// Evaluations resolved only through stale arrangement data.
+    pub degraded_verdicts: u64,
+    /// Leaves answered from stale arrangement rings.
+    pub stale_serves: u64,
 }
 
 impl Telemetry {
@@ -82,6 +95,26 @@ impl Telemetry {
         }
         if self.arrange_hit_items != 0 {
             fields.push(("arrange_hit_items", Json::from_u64(self.arrange_hit_items)));
+        }
+        // Fault counters follow the same discipline: a fault-free
+        // daemon's telemetry renders exactly the pre-fault object.
+        if self.retries != 0 {
+            fields.push(("retries", Json::from_u64(self.retries)));
+        }
+        if self.retry_energy != 0.0 {
+            fields.push(("retry_energy", Json::Num(self.retry_energy)));
+        }
+        if self.failed_reads != 0 {
+            fields.push(("failed_reads", Json::from_u64(self.failed_reads)));
+        }
+        if self.unknown_verdicts != 0 {
+            fields.push(("unknown_verdicts", Json::from_u64(self.unknown_verdicts)));
+        }
+        if self.degraded_verdicts != 0 {
+            fields.push(("degraded_verdicts", Json::from_u64(self.degraded_verdicts)));
+        }
+        if self.stale_serves != 0 {
+            fields.push(("stale_serves", Json::from_u64(self.stale_serves)));
         }
         Json::obj(fields)
     }
@@ -128,6 +161,12 @@ impl Telemetry {
             maintain_energy: opt_f("maintain_energy")?,
             arrangements: opt_u("arrangements")?,
             arrange_hit_items: opt_u("arrange_hit_items")?,
+            retries: opt_u("retries")?,
+            retry_energy: opt_f("retry_energy")?,
+            failed_reads: opt_u("failed_reads")?,
+            unknown_verdicts: opt_u("unknown_verdicts")?,
+            degraded_verdicts: opt_u("degraded_verdicts")?,
+            stale_serves: opt_u("stale_serves")?,
         })
     }
 
@@ -160,6 +199,12 @@ impl Telemetry {
             ("maintenance energy", format!("{:.2}", self.maintain_energy)),
             ("arrangements", self.arrangements.to_string()),
             ("arranged items served", self.arrange_hit_items.to_string()),
+            ("retries", self.retries.to_string()),
+            ("retry energy", format!("{:.2}", self.retry_energy)),
+            ("failed reads", self.failed_reads.to_string()),
+            ("unknown verdicts", self.unknown_verdicts.to_string()),
+            ("degraded verdicts", self.degraded_verdicts.to_string()),
+            ("stale serves", self.stale_serves.to_string()),
             (
                 "energy headroom",
                 self.headroom(budget)
@@ -195,6 +240,12 @@ mod tests {
             maintain_energy: 40.25,
             arrangements: 5,
             arrange_hit_items: 320,
+            retries: 17,
+            retry_energy: 6.75,
+            failed_reads: 9,
+            unknown_verdicts: 4,
+            degraded_verdicts: 2,
+            stale_serves: 11,
         }
     }
 
@@ -221,10 +272,26 @@ mod tests {
             maintain_energy: 0.0,
             arrangements: 0,
             arrange_hit_items: 0,
+            retries: 0,
+            retry_energy: 0.0,
+            failed_reads: 0,
+            unknown_verdicts: 0,
+            degraded_verdicts: 0,
+            stale_serves: 0,
             ..sample()
         };
         let rendered = t.to_json().to_string_compact();
-        for key in ["maintain_energy", "arrangements", "arrange_hit_items"] {
+        for key in [
+            "maintain_energy",
+            "arrangements",
+            "arrange_hit_items",
+            "retries",
+            "retry_energy",
+            "failed_reads",
+            "unknown_verdicts",
+            "degraded_verdicts",
+            "stale_serves",
+        ] {
             assert!(!rendered.contains(key), "`{key}` leaked into:\n{rendered}");
         }
         let back = Telemetry::from_json(&t.to_json()).unwrap();

@@ -1,0 +1,238 @@
+//! Daemon hardening under fault injection: snapshot generations with
+//! corrupt-primary fallback, kill/restore/replay under an identical
+//! chaos schedule, TCP read timeouts with idle eviction, and error
+//! replies (not disconnects) on malformed bytes.
+
+use paotr_serverd::daemon::{Config, Daemon, TcpOptions};
+use paotr_serverd::{FaultSpec, Snapshot};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use stream_sim::Verdict;
+
+const FIXTURE_V2: &str = include_str!("fixtures/snapshot_v2.snap");
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("paotr_chaos_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("daemon.snap").to_str().unwrap().to_string()
+}
+
+fn chaos_config() -> Config {
+    Config {
+        seed: 7,
+        faults: Some(FaultSpec {
+            seed: 42,
+            transient_rate: 0.05,
+            outage_streams: 0.4,
+            outage_len: 8,
+            outage_gap: 12,
+            max_attempts: 3,
+            stale_serve: false,
+        }),
+        ..Config::default()
+    }
+}
+
+fn populate(d: &mut Daemon) {
+    d.register("AVG(hr, 8) > 0.2 AND MAX(hr, 4) > 0.5", 1.0)
+        .unwrap();
+    d.register("(spo2 < 0.1 AND hr > 0.0) OR LAST(accel, 2) > 0.8", 2.0)
+        .unwrap();
+    d.register("MIN(accel, 5) < -0.5 @ 0.3", 0.75).unwrap();
+}
+
+/// Saving twice rotates the first generation to `<path>.1`; a corrupt
+/// primary falls back to it, and a healthy primary is preferred.
+#[test]
+fn snapshot_save_rotates_and_restore_falls_back_on_corruption() {
+    let path = temp_path("rotate");
+    let mut d = Daemon::new(chaos_config()).unwrap();
+    populate(&mut d);
+    d.run_ticks(30).unwrap();
+    d.save_snapshot(&path).unwrap();
+    d.run_ticks(10).unwrap();
+    d.save_snapshot(&path).unwrap();
+
+    // The rotated generation is the tick-30 document, the primary is
+    // the tick-40 one; with both healthy the primary wins.
+    let rotated = Snapshot::load(&format!("{path}.1")).unwrap();
+    assert_eq!(rotated.tick, 30);
+    assert_eq!(Daemon::load_snapshot(&path).unwrap().tick(), 40);
+
+    // Corrupt the primary: restore falls back to tick 30 and the
+    // restored daemon replays exactly what the uninterrupted run did.
+    std::fs::write(&path, "{\"version\":2,\"config\":{tr").unwrap();
+    let mut restored = Daemon::load_snapshot(&path).unwrap();
+    assert_eq!(restored.tick(), 30);
+    let replay = restored.run_ticks(10).unwrap();
+    let mut uninterrupted = Daemon::new(chaos_config()).unwrap();
+    populate(&mut uninterrupted);
+    uninterrupted.run_ticks(30).unwrap();
+    let original = uninterrupted.run_ticks(10).unwrap();
+    assert_eq!(
+        replay, original,
+        "fallback restore must replay the chaos schedule tick-for-tick"
+    );
+
+    // Both generations unreadable: the primary's error is surfaced.
+    std::fs::write(format!("{path}.1"), "also broken").unwrap();
+    assert!(Daemon::load_snapshot(&path).is_err());
+}
+
+/// The committed v2 fixture restores through the fallback path when a
+/// truncated primary sits in front of it.
+#[test]
+fn truncated_primary_falls_back_to_the_committed_v2_generation() {
+    let path = temp_path("fixture_fallback");
+    std::fs::write(&path, &FIXTURE_V2[..FIXTURE_V2.len() / 2]).unwrap();
+    std::fs::write(format!("{path}.1"), FIXTURE_V2).unwrap();
+    let (snap, fell_back) = Snapshot::load_with_fallback(&path).unwrap();
+    assert!(fell_back, "the truncated primary must be rejected");
+    assert_eq!(snap.tick, 30);
+    let d = Daemon::load_snapshot(&path).unwrap();
+    assert_eq!(d.tick(), 30);
+    assert!(d.arrangements().is_some());
+}
+
+/// A daemon killed mid-run under a fault schedule and restored from its
+/// snapshot replays the remaining ticks exactly: the fault plan is a
+/// pure function of `(spec, tick)`, so the chaos schedule survives the
+/// restart with zero persisted fault state.
+#[test]
+fn faulted_daemon_restores_and_replays_tick_for_tick() {
+    let mut d = Daemon::new(chaos_config()).unwrap();
+    populate(&mut d);
+    d.run_ticks(25).unwrap();
+    let snap = d.snapshot();
+
+    // The chaos schedule really bit before the snapshot...
+    assert!(d.telemetry().retries > 0, "transient failures should fire");
+    // ...and the counters (including the fault ones) survive restore.
+    let mut restored = Daemon::from_snapshot(&snap).unwrap();
+    assert_eq!(restored.telemetry(), d.telemetry());
+
+    let a = d.run_ticks(20).unwrap();
+    let b = restored.run_ticks(20).unwrap();
+    assert_eq!(
+        a, b,
+        "restored chaos replay must be tick-for-tick identical"
+    );
+    assert_eq!(d.telemetry(), restored.telemetry());
+
+    // The config (fault spec included) round-trips the JSON document.
+    let reparsed = Snapshot::parse(&snap.render()).unwrap();
+    assert_eq!(reparsed.config, *d.config());
+}
+
+/// Every verdict a faulted daemon *determines* (non-degraded) equals
+/// the fault-free daemon's verdict for the same session on the same
+/// tick — unknowns are the only divergence chaos is allowed to cause.
+#[test]
+fn determined_daemon_verdicts_match_the_fault_free_daemon() {
+    // Heavier outages than `chaos_config`: with only three streams a
+    // 40% selection can hash to none, and this test needs unknowns.
+    let config = Config {
+        faults: Some(FaultSpec {
+            outage_streams: 1.0,
+            ..chaos_config().faults.unwrap()
+        }),
+        ..chaos_config()
+    };
+    let mut faulted = Daemon::new(config.clone()).unwrap();
+    let mut clean = Daemon::new(Config {
+        faults: None,
+        ..config
+    })
+    .unwrap();
+    populate(&mut faulted);
+    populate(&mut clean);
+
+    let (mut determined, mut unknown) = (0u64, 0u64);
+    for t in 0..60 {
+        faulted.run_ticks(1).unwrap();
+        clean.run_ticks(1).unwrap();
+        let base: std::collections::BTreeMap<u64, Verdict> = clean
+            .last_verdicts()
+            .iter()
+            .map(|&(id, v, _)| (id, v))
+            .collect();
+        for &(id, verdict, degraded) in faulted.last_verdicts() {
+            if verdict == Verdict::Unknown {
+                unknown += 1;
+                continue;
+            }
+            assert!(!degraded, "stale serving is off");
+            assert_eq!(
+                verdict, base[&id],
+                "tick {t} session {id}: determined verdict diverged"
+            );
+            determined += 1;
+        }
+    }
+    assert!(determined > 0, "chaos must leave some verdicts determined");
+    assert!(unknown > 0, "this schedule is meant to cause outages");
+    assert_eq!(faulted.telemetry().unknown_verdicts, unknown);
+}
+
+/// TCP hardening: a connection that sends malformed bytes gets an error
+/// reply and stays usable; a deliberately silent connection is evicted
+/// after the idle timeout; and shutdown still tears everything down.
+#[test]
+fn tcp_timeouts_evict_silent_clients_and_malformed_bytes_get_replies() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let daemon = Arc::new(Mutex::new(Daemon::new(Config::default()).unwrap()));
+    let opts = TcpOptions {
+        read_timeout: Duration::from_millis(10),
+        idle_timeout: Some(Duration::from_millis(150)),
+    };
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || Daemon::serve_tcp_shared_with(daemon, &listener, opts).unwrap())
+    };
+
+    // The silent client: connects, never sends a byte.
+    let silent = TcpStream::connect(addr).unwrap();
+
+    // The working client: malformed bytes first (invalid UTF-8, then
+    // non-JSON), then real work on the SAME connection.
+    let active = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(active.try_clone().unwrap());
+    let mut writer = active;
+    let mut ask_raw = |bytes: &[u8]| {
+        writer.write_all(bytes).unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    assert!(
+        ask_raw(&[0xff, 0xfe, 0x01, b'\n']).contains(r#""ok":false"#),
+        "invalid UTF-8 must get an error reply, not a disconnect"
+    );
+    assert!(ask_raw(b"definitely not json\n").contains(r#""ok":false"#));
+    assert!(
+        ask_raw(b"{\"cmd\":\"register\",\"query\":\"AVG(x,3) > 0.0\"}\n").contains(r#""id":0"#)
+    );
+    assert!(ask_raw(b"{\"cmd\":\"tick\",\"n\":3}\n").contains(r#""tick":3"#));
+
+    // Wait out the idle timeout, keeping the active connection warm:
+    // the silent one is evicted (its socket reads EOF) while the
+    // daemon keeps serving the client that still talks.
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(ask_raw(b"{\"cmd\":\"stats\"}\n").contains(r#""ok":true"#));
+    }
+    silent
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let mut probe = silent;
+    let n = probe.read(&mut [0u8; 8]).expect("eviction closes cleanly");
+    assert_eq!(n, 0, "the idle connection must be evicted with EOF");
+
+    assert!(ask_raw(b"{\"cmd\":\"shutdown\"}\n").contains(r#""ok":true"#));
+    server.join().unwrap();
+    assert_eq!(daemon.lock().unwrap().telemetry().ticks, 3);
+}

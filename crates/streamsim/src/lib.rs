@@ -43,7 +43,9 @@ pub use engine::Engine;
 pub use paotr_arrange::{ArrangeConfig, ArrangeStats, ArrangementStore};
 pub use predicate::{Comparator, Predicate, WindowOp};
 pub use query::{SimLeaf, SimQuery};
-pub use runtime::{gaussian_streams, EnergyMeter, QueryOutcome, Scheduler, StreamSource};
+pub use runtime::{
+    gaussian_streams, EnergyMeter, QueryOutcome, ReadAttempt, Scheduler, StreamSource, Verdict,
+};
 pub use simulate::{run_pipeline, PipelineConfig, PipelineReport};
 pub use source::{SensorModel, SensorSource};
 pub use stream::SimStream;

@@ -47,6 +47,31 @@ pub trait StreamSource {
 
     /// The last `n` items, newest first; `None` while fewer exist.
     fn recent(&self, n: usize) -> Option<Vec<f64>>;
+
+    /// Whether the stream is in a hard outage right now. A source in
+    /// outage cannot be contacted at all: pulls fail without charge and
+    /// arrangement maintenance skips it. Plain sources are never out.
+    fn is_out(&self) -> bool {
+        false
+    }
+
+    /// One *sensor contact* attempt for the last `n` items. Unlike
+    /// [`StreamSource::recent`] (a read of data already on the device),
+    /// this models going out to the radio and may fail: decorators such
+    /// as `paotr_faults::FaultySource` inject [`ReadAttempt::Transient`]
+    /// and [`ReadAttempt::Outage`] keyed on `(stream, now, attempt)` so
+    /// a replay under the same fault plan fails identically. The
+    /// default implementation never fails.
+    fn try_recent(&self, n: usize, attempt: u32) -> ReadAttempt {
+        let _ = attempt;
+        if self.is_out() {
+            return ReadAttempt::Outage;
+        }
+        match self.recent(n) {
+            Some(data) => ReadAttempt::Data(data),
+            None => ReadAttempt::Cold,
+        }
+    }
 }
 
 impl StreamSource for SimStream {
@@ -59,12 +84,65 @@ impl StreamSource for SimStream {
     }
 }
 
+/// Outcome of one sensor-contact attempt ([`StreamSource::try_recent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadAttempt {
+    /// The window, newest first.
+    Data(Vec<f64>),
+    /// The stream has not produced enough items yet (a programming
+    /// error in this workspace — streams are warmed before serving).
+    Cold,
+    /// A transient failure: the contact was made (and paid for) but no
+    /// data came back. Retrying with a higher `attempt` may succeed.
+    Transient,
+    /// A hard outage: the stream is unreachable; retries are pointless
+    /// and nothing is charged.
+    Outage,
+}
+
+/// Three-valued (Kleene) verdict of a query evaluation. Under fault
+/// injection some leaves may be unreadable; a query still resolves to
+/// [`Verdict::True`]/[`Verdict::False`] whenever the live leaves alone
+/// determine the monotone DNF — otherwise it reports
+/// [`Verdict::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Determined true.
+    True,
+    /// Determined false.
+    False,
+    /// Undetermined: some unreadable leaf could still flip the result.
+    Unknown,
+}
+
+impl Verdict {
+    /// True iff the verdict is not [`Verdict::Unknown`].
+    pub fn is_determined(self) -> bool {
+        !matches!(self, Verdict::Unknown)
+    }
+}
+
 /// Result of one query evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
-    /// Truth value of the query.
+    /// Truth value of the query (`verdict == True`; `Unknown` reads as
+    /// false here, so fault-free runs are unchanged).
     pub value: bool,
-    /// Energy spent on this evaluation.
+    /// Three-valued verdict. Always determined on fault-free runs.
+    pub verdict: Verdict,
+    /// The verdict was only reached by substituting stale arrangement
+    /// data for unreadable leaves. Degraded verdicts carry no
+    /// bit-for-bit guarantee against the fault-free run.
+    pub degraded: bool,
+    /// Worst staleness (ticks behind `now`) of any stale window used.
+    pub staleness: u64,
+    /// Leaves answered from a stale arrangement ring.
+    pub stale_leaves: u32,
+    /// Transient read failures retried during this evaluation.
+    pub retries: u32,
+    /// Leaves given up on (outage, or retries exhausted).
+    pub failed_reads: u32,
+    /// Energy spent on this evaluation (including priced retries).
     pub cost: f64,
     /// Leaves actually evaluated.
     pub evaluated: usize,
@@ -79,6 +157,8 @@ pub struct EnergyMeter {
     model: EnergyModel,
     total: f64,
     maintain_total: f64,
+    retry_total: f64,
+    retry_attempts: u64,
     evaluations: u64,
     items: Vec<u64>,
     maintain_items: Vec<u64>,
@@ -93,6 +173,8 @@ impl EnergyMeter {
             model,
             total: 0.0,
             maintain_total: 0.0,
+            retry_total: 0.0,
+            retry_attempts: 0,
             evaluations: 0,
             items,
             maintain_items,
@@ -105,9 +187,9 @@ impl EnergyMeter {
     }
 
     /// Total energy spent since construction: query pulls plus
-    /// arrangement maintenance.
+    /// arrangement maintenance plus failed-read retries.
     pub fn total_cost(&self) -> f64 {
-        self.total + self.maintain_total
+        self.total + self.maintain_total + self.retry_total
     }
 
     /// Energy spent on query pulls alone.
@@ -118,6 +200,16 @@ impl EnergyMeter {
     /// Energy spent on arrangement maintenance alone.
     pub fn maintain_cost_total(&self) -> f64 {
         self.maintain_total
+    }
+
+    /// Energy spent on failed sensor contacts (transient-read retries).
+    pub fn retry_cost_total(&self) -> f64 {
+        self.retry_total
+    }
+
+    /// Lifetime count of failed contacts that were charged.
+    pub fn retry_attempts(&self) -> u64 {
+        self.retry_attempts
     }
 
     /// Number of query evaluations metered.
@@ -155,6 +247,17 @@ impl EnergyMeter {
         cost
     }
 
+    /// Prices one *failed* contact with stream `k` that attempted to
+    /// pull `items`: a retry is a pull and burns the same energy, but
+    /// the items never arrive, so the per-stream pulled counters stay
+    /// untouched and the charge lands in a separate retry account.
+    pub fn charge_retry(&mut self, k: StreamId, items: u32) -> f64 {
+        let cost = self.model.pull_cost(k, items);
+        self.retry_total += cost;
+        self.retry_attempts += 1;
+        cost
+    }
+
     fn count_evaluation(&mut self) {
         self.evaluations += 1;
     }
@@ -171,6 +274,8 @@ pub struct Scheduler {
     memory: DeviceMemory,
     policy: MemoryPolicy,
     arrangements: Option<ArrangementStore>,
+    max_attempts: u32,
+    stale_fallback: bool,
 }
 
 impl Scheduler {
@@ -180,6 +285,8 @@ impl Scheduler {
             memory: DeviceMemory::new(n_streams),
             policy,
             arrangements: None,
+            max_attempts: 1,
+            stale_fallback: false,
         }
     }
 
@@ -190,7 +297,25 @@ impl Scheduler {
             memory: DeviceMemory::new(n_streams),
             policy: MemoryPolicy::Arranged,
             arrangements: Some(store),
+            max_attempts: 1,
+            stale_fallback: false,
         }
+    }
+
+    /// Configures fault handling: up to `max_attempts` sensor contacts
+    /// per leaf (each failed attempt priced as a retry through the
+    /// meter), and, when `stale_fallback` is set and a store is
+    /// attached, unreadable leaves may be answered from a stale
+    /// arrangement ring — producing *degraded* verdicts flagged on the
+    /// outcome. Defaults are one attempt and no stale serving, which is
+    /// exactly the fault-free behaviour.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts` is zero.
+    pub fn set_fault_policy(&mut self, max_attempts: u32, stale_fallback: bool) {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        self.max_attempts = max_attempts;
+        self.stale_fallback = stale_fallback;
     }
 
     /// The configured memory policy.
@@ -245,6 +370,13 @@ impl Scheduler {
         };
         store.begin_tick();
         for (i, stream) in streams.iter().enumerate() {
+            // An out stream cannot be contacted: its arrangements fall
+            // behind and catch up (capped at the ring width) once the
+            // outage lifts. Their stale contents stay servable through
+            // `serve_stale` in the meantime.
+            if stream.is_out() {
+                continue;
+            }
             let k = StreamId(i);
             let fetched = store.maintain(k, stream.now(), |n| stream.recent(n));
             if fetched > 0 {
@@ -286,6 +418,20 @@ impl Scheduler {
     /// trace. Call [`Scheduler::begin_tick`] first to apply the memory
     /// policy — or use [`Scheduler::run_tick`], which sequences both.
     ///
+    /// Under fault injection (sources whose [`StreamSource::try_recent`]
+    /// can fail) evaluation is three-valued: an unreadable leaf becomes
+    /// `unknown` instead of aborting. Because the DNF is monotone, the
+    /// query still resolves whenever the *live* leaves determine it — a
+    /// term completing all-true forces [`Verdict::True`], every term
+    /// holding a live false leaf forces [`Verdict::False`] — and those
+    /// determined verdicts are bit-for-bit what a fault-free run
+    /// produces, since live reads see identical data. Early exits only
+    /// ever fire on live determinations. Anything else reports
+    /// [`Verdict::Unknown`] unless the stale fallback
+    /// ([`Scheduler::set_fault_policy`]) resolves it from arrangement
+    /// rings, in which case the outcome is marked `degraded` and
+    /// carries its worst-case staleness.
+    ///
     /// # Panics
     /// Panics if a stream is too cold to provide a required window or
     /// if the schedule shape does not match the query.
@@ -303,13 +449,26 @@ impl Scheduler {
             "schedule does not cover the query's leaves"
         );
         let n_terms = query.terms().len();
+        // Two truth lattices per term. The *live* lattice only counts
+        // leaves evaluated on real data and is what determines
+        // fault-free-equivalent verdicts; the *degraded* lattice
+        // additionally folds in stale-ring answers and is consulted
+        // only when the live lattice ends undetermined.
         let mut term_failed = vec![false; n_terms];
         let mut remaining: Vec<usize> = query.terms().iter().map(Vec::len).collect();
+        let mut live_unknown = vec![0usize; n_terms];
+        let mut deg_failed = vec![false; n_terms];
+        let mut deg_unknown = vec![0usize; n_terms];
         let mut alive = n_terms;
         let mut items_pulled = vec![0u32; streams.len()];
         let mut cost = 0.0;
         let mut evaluated = 0;
-        let mut value = false;
+        let mut retries = 0u32;
+        let mut failed_reads = 0u32;
+        let mut stale_leaves = 0u32;
+        let mut staleness = 0u64;
+        let mut verdict = Verdict::Unknown;
+        let mut decided = false;
 
         for &r in schedule.order() {
             if term_failed[r.term] || remaining[r.term] == 0 {
@@ -322,58 +481,137 @@ impl Scheduler {
             let window = leaf.predicate.window;
             let mut missing = self.memory.missing(k, now, window);
             let mut pull_cost = 0.0;
-            let mut served = None;
-            if missing > 0 {
-                // A current arrangement substitutes for the paid pull:
-                // the maintained items already sit on the device.
-                served = self
-                    .arrangements
-                    .as_mut()
-                    .and_then(|store| store.serve(k, now, window));
-                if served.is_some() {
-                    missing = 0;
+            // `data` is the leaf's *live* window: from a current
+            // arrangement, a (possibly retried) sensor contact, or —
+            // when nothing is missing — the copy already on the device.
+            let data: Option<Vec<f64>> =
+                if missing > 0 {
+                    // A current arrangement substitutes for the paid pull:
+                    // the maintained items already sit on the device.
+                    let mut data = self
+                        .arrangements
+                        .as_mut()
+                        .and_then(|store| store.serve(k, now, window));
+                    if data.is_some() {
+                        missing = 0;
+                    } else {
+                        // Sensor contact required — the only point where
+                        // injected faults can bite.
+                        let mut attempt = 0u32;
+                        loop {
+                            match stream.try_recent(window as usize, attempt) {
+                                ReadAttempt::Data(d) => {
+                                    pull_cost += meter.charge(k, missing);
+                                    data = Some(d);
+                                    break;
+                                }
+                                ReadAttempt::Cold => {
+                                    panic!("stream {k} too cold for a {window}-item window")
+                                }
+                                ReadAttempt::Outage => break,
+                                ReadAttempt::Transient => {
+                                    // The failed contact still burnt a
+                                    // pull's worth of energy.
+                                    pull_cost += meter.charge_retry(k, missing);
+                                    retries += 1;
+                                    attempt += 1;
+                                    if attempt >= self.max_attempts {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    data
                 } else {
-                    pull_cost = meter.charge(k, missing);
-                }
-            }
+                    Some(stream.recent(window as usize).unwrap_or_else(|| {
+                        panic!("stream {k} too cold for a {window}-item window")
+                    }))
+                };
             cost += pull_cost;
-            items_pulled[k.0] += missing;
-            self.memory.insert_window(k, now, window);
-            let data = match served {
-                Some(data) => data,
-                None => stream
-                    .recent(window as usize)
-                    .unwrap_or_else(|| panic!("stream {k} too cold for a {window}-item window")),
-            };
-            let truth = leaf.predicate.eval(&data);
             evaluated += 1;
-            if let Some(t) = trace.as_deref_mut() {
-                t.push(LeafRecord {
-                    tick: now,
-                    leaf: r,
-                    value: truth,
-                    items_paid: missing,
-                    cost: pull_cost,
-                });
-            }
-            if truth {
-                remaining[r.term] -= 1;
-                if remaining[r.term] == 0 {
-                    value = true;
-                    break;
+            remaining[r.term] -= 1;
+            if let Some(data) = data {
+                items_pulled[k.0] += missing;
+                self.memory.insert_window(k, now, window);
+                let truth = leaf.predicate.eval(&data);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(LeafRecord {
+                        tick: now,
+                        leaf: r,
+                        value: truth,
+                        items_paid: missing,
+                        cost: pull_cost,
+                    });
+                }
+                if truth {
+                    if remaining[r.term] == 0 && live_unknown[r.term] == 0 {
+                        verdict = Verdict::True;
+                        decided = true;
+                        break;
+                    }
+                } else {
+                    term_failed[r.term] = true;
+                    deg_failed[r.term] = true;
+                    alive -= 1;
+                    if alive == 0 {
+                        verdict = Verdict::False;
+                        decided = true;
+                        break;
+                    }
                 }
             } else {
-                term_failed[r.term] = true;
-                alive -= 1;
-                if alive == 0 {
-                    break;
+                // Unreadable leaf: unknown in the live lattice. No
+                // memory insert (nothing arrived), no trace record
+                // (drift estimation must only see live observations).
+                failed_reads += 1;
+                live_unknown[r.term] += 1;
+                let stale = if self.stale_fallback {
+                    self.arrangements
+                        .as_ref()
+                        .and_then(|store| store.serve_stale(k, now, window))
+                } else {
+                    None
+                };
+                match stale {
+                    Some((data, age)) => {
+                        stale_leaves += 1;
+                        staleness = staleness.max(age);
+                        if !leaf.predicate.eval(&data) {
+                            deg_failed[r.term] = true;
+                        }
+                    }
+                    None => deg_unknown[r.term] += 1,
                 }
+            }
+        }
+
+        let mut degraded = false;
+        if !decided {
+            // The live lattice ended undetermined (a live determination
+            // would have broken out above). Try the degraded lattice:
+            // same monotone-DNF rules with stale answers filled in.
+            let deg_true =
+                (0..n_terms).any(|t| !term_failed[t] && !deg_failed[t] && deg_unknown[t] == 0);
+            let deg_false = (0..n_terms).all(|t| term_failed[t] || deg_failed[t]);
+            if deg_true {
+                verdict = Verdict::True;
+                degraded = true;
+            } else if deg_false {
+                verdict = Verdict::False;
+                degraded = true;
             }
         }
 
         meter.count_evaluation();
         QueryOutcome {
-            value,
+            value: verdict == Verdict::True,
+            verdict,
+            degraded,
+            staleness,
+            stale_leaves,
+            retries,
+            failed_reads,
             cost,
             evaluated,
             items_pulled,
@@ -586,6 +824,157 @@ mod tests {
         let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
         assert_eq!(out.items_pulled, vec![8], "4-item ring cannot serve 8");
         assert_eq!(m.items_maintained(), &[4]);
+    }
+
+    /// A source whose first `fail_first` contacts per read fail
+    /// transiently, or which is in permanent outage.
+    struct Flaky {
+        inner: SimStream,
+        fail_first: u32,
+        out: bool,
+    }
+
+    impl StreamSource for Flaky {
+        fn now(&self) -> u64 {
+            self.inner.now()
+        }
+
+        fn recent(&self, n: usize) -> Option<Vec<f64>> {
+            self.inner.recent(n)
+        }
+
+        fn is_out(&self) -> bool {
+            self.out
+        }
+
+        fn try_recent(&self, n: usize, attempt: u32) -> ReadAttempt {
+            if self.out {
+                return ReadAttempt::Outage;
+            }
+            if attempt < self.fail_first {
+                return ReadAttempt::Transient;
+            }
+            match self.recent(n) {
+                Some(data) => ReadAttempt::Data(data),
+                None => ReadAttempt::Cold,
+            }
+        }
+    }
+
+    #[test]
+    fn retries_are_priced_and_the_verdict_stays_determined() {
+        let query = SimQuery::new(vec![vec![leaf(0, 4, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let streams = vec![Flaky {
+            inner: constant_stream(50.0, 20),
+            fail_first: 2,
+            out: false,
+        }];
+        let mut sched = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        sched.set_fault_policy(3, false);
+        let mut m = meter(&[1.0]);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.verdict, Verdict::True);
+        assert!(out.value && !out.degraded);
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.failed_reads, 0);
+        assert_eq!(out.cost, 12.0, "two failed 4-item contacts plus the pull");
+        assert_eq!(m.retry_cost_total(), 8.0);
+        assert_eq!(m.retry_attempts(), 2);
+        assert_eq!(m.total_cost(), 12.0);
+        assert_eq!(m.items_pulled(), &[4], "failed contacts deliver no items");
+    }
+
+    #[test]
+    fn exhausted_retries_leave_the_leaf_unknown() {
+        let query = SimQuery::new(vec![vec![leaf(0, 4, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let streams = vec![Flaky {
+            inner: constant_stream(50.0, 20),
+            fail_first: 10,
+            out: false,
+        }];
+        let mut sched = Scheduler::new(1, MemoryPolicy::ClearEachQuery);
+        sched.set_fault_policy(3, false);
+        let mut m = meter(&[1.0]);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.verdict, Verdict::Unknown);
+        assert!(!out.value);
+        assert_eq!(out.retries, 3, "every allowed attempt was made and priced");
+        assert_eq!(out.failed_reads, 1);
+        assert_eq!(m.total_cost(), 12.0);
+        assert_eq!(m.items_pulled(), &[0]);
+    }
+
+    #[test]
+    fn outages_charge_nothing_and_live_leaves_still_determine() {
+        // (A) OR (B): A is out; B alone determines the query.
+        let query = SimQuery::new(vec![vec![leaf(0, 4, 70.0)], vec![leaf(1, 4, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let mk = |v: f64, out: bool| Flaky {
+            inner: constant_stream(v, 20),
+            fail_first: 0,
+            out,
+        };
+
+        // B true -> live True despite A's outage.
+        let streams = vec![mk(50.0, true), mk(50.0, false)];
+        let mut sched = Scheduler::new(2, MemoryPolicy::ClearEachQuery);
+        let mut m = meter(&[1.0, 1.0]);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.verdict, Verdict::True);
+        assert!(!out.degraded);
+        assert_eq!(out.failed_reads, 1);
+        assert_eq!(out.cost, 4.0, "only B's pull is paid; outages are free");
+        assert_eq!(out.items_pulled, vec![0, 4]);
+
+        // B false -> A's outage leaves the verdict open.
+        let streams = vec![mk(50.0, true), mk(90.0, false)];
+        let mut sched = Scheduler::new(2, MemoryPolicy::ClearEachQuery);
+        let mut m = meter(&[1.0, 1.0]);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.verdict, Verdict::Unknown);
+        assert!(!out.value && !out.degraded);
+    }
+
+    #[test]
+    fn stale_fallback_resolves_outages_with_a_degraded_verdict() {
+        use paotr_arrange::{ArrangeConfig, ArrangementStore};
+
+        let query = SimQuery::new(vec![vec![leaf(0, 4, 70.0)]]).unwrap();
+        let schedule = DnfSchedule::from_order_unchecked(query.leaf_refs());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut inner = SimStream::new(SensorSource::new(SensorModel::Constant(50.0)), 64);
+        inner.advance_by(10, &mut rng);
+
+        let mut store = ArrangementStore::new(ArrangeConfig::default());
+        assert!(store.acquire(StreamId(0), 4));
+        let mut sched = Scheduler::with_arrangements(1, store);
+        sched.set_fault_policy(1, true);
+        let mut m = meter(&[1.0]);
+
+        // Maintain while healthy, then the stream advances and dies:
+        // the ring is one tick behind and the only source of data.
+        let healthy = [Flaky {
+            inner,
+            fail_first: 0,
+            out: false,
+        }];
+        sched.maintain_tick(&healthy, &mut m);
+        let [mut flaky] = healthy;
+        flaky.inner.advance_by(1, &mut rng);
+        flaky.out = true;
+        let streams = [flaky];
+        sched.maintain_tick(&streams, &mut m); // skipped: stream is out
+        sched.begin_tick(std::slice::from_ref(&query), &streams);
+        let out = sched.run_query(&query, &schedule, &streams, &mut m, None);
+        assert_eq!(out.verdict, Verdict::True, "stale constant window is < 70");
+        assert!(out.degraded, "stale answers carry no live guarantee");
+        assert_eq!(out.staleness, 1);
+        assert_eq!(out.stale_leaves, 1);
+        assert_eq!(out.cost, 0.0);
+        let stats = sched.arrangements().unwrap().stats();
+        assert_eq!(stats.hits, 0, "stale serves do not count as hits");
     }
 
     #[test]
