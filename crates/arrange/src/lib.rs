@@ -32,6 +32,7 @@
 //! alike. Whether maintaining beats re-pulling for a given stream is
 //! decided by the planner through `paotr_core::cost::arrange` — the
 //! store only executes the decision.
+#![forbid(unsafe_code)]
 
 use paotr_core::stream::StreamId;
 use std::collections::{BTreeMap, VecDeque};

@@ -1,1 +1,3 @@
+#![forbid(unsafe_code)]
+
 // Criterion benches live under benches/.

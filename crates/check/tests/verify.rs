@@ -1,0 +1,204 @@
+//! Acceptance and mutation-rejection tests for the static verifiers.
+//!
+//! Accept side: every registered per-query planner and every workload
+//! planner must produce verifier-clean plans on generated instances
+//! (fixed sizes 4/16/64 plus proptest-randomized shapes). Reject side:
+//! one test per seeded mutation class — a verifier that accepts
+//! everything is worse than none.
+
+use paotr_check::{verify_joint, verify_plan};
+use paotr_core::cost::arrange::{ArrangeTerm, DEFAULT_HORIZON};
+use paotr_core::plan::{Engine, PlanBody, QueryRef};
+use paotr_core::schedule::DnfSchedule;
+use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_multi::planner::Materialization;
+use paotr_multi::{default_planners, Workload};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn workload(queries: usize, overlap: f64, seed: usize) -> Workload {
+    let (trees, catalog) = workload_instance(WorkloadConfig::with_overlap(queries, overlap), seed);
+    Workload::from_trees(trees, catalog).expect("generated workloads are valid")
+}
+
+/// Every workload planner, on every required size, verifier-clean.
+#[test]
+fn all_workload_planners_verify_clean_at_4_16_64() {
+    let engine = Engine::new();
+    for queries in [4usize, 16, 64] {
+        let w = workload(queries, 0.5, queries);
+        for p in default_planners() {
+            let joint = p.plan(&w, &engine).expect("planning succeeds");
+            let report = verify_joint(&joint, &w);
+            assert!(
+                report.is_clean(),
+                "{} on {queries} queries:\n{report}",
+                p.name()
+            );
+            assert!(report.checks_run > 0);
+        }
+    }
+}
+
+/// Every registered per-query planner that supports the query,
+/// verifier-clean on every query of a generated workload.
+#[test]
+fn all_registry_planners_verify_clean() {
+    let engine = Engine::new();
+    let w = workload(4, 0.5, 1);
+    for wq in w.queries() {
+        let q = QueryRef::from(&wq.tree);
+        for name in engine.registry().names() {
+            let p = engine.registry().get(name).expect("name from names()");
+            if !p.supports(&q) {
+                continue;
+            }
+            let plan = engine
+                .plan_with(name, &wq.tree, w.catalog())
+                .expect("planning succeeds");
+            let report = verify_plan(&plan, &q, w.catalog());
+            assert!(report.is_clean(), "{name}:\n{report}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random workload shapes: every planner's joint plan passes.
+    #[test]
+    fn random_workloads_verify_clean(
+        queries in 1usize..12,
+        overlap_pct in 0usize..=10,
+        seed in 0usize..1000,
+    ) {
+        let engine = Engine::new();
+        let w = workload(queries, overlap_pct as f64 / 10.0, seed);
+        for p in default_planners() {
+            let joint = p.plan(&w, &engine).expect("planning succeeds");
+            let report = verify_joint(&joint, &w);
+            prop_assert!(report.is_clean(), "{} seed {seed}:\n{report}", p.name());
+        }
+    }
+}
+
+// ---- mutation classes: each must be rejected --------------------------
+
+/// Plans query 0 of a fixed workload with the default planner and hands
+/// the pieces to a mutation test.
+fn planned_query() -> (Workload, paotr_core::plan::Plan) {
+    let w = workload(4, 0.5, 2);
+    let engine = Engine::new();
+    let plan = engine
+        .plan(&w.query(0).tree, w.catalog())
+        .expect("planning succeeds");
+    (w, plan)
+}
+
+fn rules(report: &paotr_check::CheckReport) -> Vec<&'static str> {
+    report.errors.iter().map(|e| e.rule()).collect()
+}
+
+#[test]
+fn mutation_dropped_leaf_is_rejected() {
+    let (w, plan) = planned_query();
+    let mut mutated = plan.clone();
+    let PlanBody::Dnf(s) = &plan.body else {
+        panic!("default planner emits DNF schedules")
+    };
+    let mut order = s.order().to_vec();
+    order.pop();
+    mutated.body = PlanBody::Dnf(DnfSchedule::from_order_unchecked(order));
+    let report = verify_plan(&mutated, &QueryRef::from(&w.query(0).tree), w.catalog());
+    assert!(rules(&report).contains(&"missing-leaf"), "{report}");
+}
+
+#[test]
+fn mutation_duplicated_leaf_is_rejected() {
+    let (w, plan) = planned_query();
+    let mut mutated = plan.clone();
+    let PlanBody::Dnf(s) = &plan.body else {
+        panic!("default planner emits DNF schedules")
+    };
+    let mut order = s.order().to_vec();
+    order[0] = *order.last().expect("schedules are non-empty");
+    mutated.body = PlanBody::Dnf(DnfSchedule::from_order_unchecked(order));
+    let report = verify_plan(&mutated, &QueryRef::from(&w.query(0).tree), w.catalog());
+    assert!(rules(&report).contains(&"duplicate-leaf"), "{report}");
+}
+
+#[test]
+fn mutation_perturbed_cost_is_rejected() {
+    let (w, plan) = planned_query();
+    let mut mutated = plan.clone();
+    // Just past the 1e-9 relative tolerance with margin.
+    mutated.expected_cost = mutated.expected_cost.map(|c| c * (1.0 + 1e-6));
+    let report = verify_plan(&mutated, &QueryRef::from(&w.query(0).tree), w.catalog());
+    assert!(rules(&report).contains(&"cost-mismatch"), "{report}");
+}
+
+#[test]
+fn mutation_window_past_horizon_is_rejected() {
+    let w = workload(4, 0.5, 2);
+    let engine = Engine::new();
+    let mut joint = default_planners()
+        .into_iter()
+        .find(|p| p.name() == "shared-greedy")
+        .expect("shared-greedy is registered")
+        .plan(&w, &engine)
+        .expect("planning succeeds");
+    // A window wider than the maintenance horizon can never be
+    // acquired: repulling would always be cheaper than maintaining.
+    let window = DEFAULT_HORIZON as u32 + 64;
+    joint.materialized.push(Materialization {
+        stream: paotr_core::stream::StreamId(0),
+        window,
+        term: ArrangeTerm::new(window, 2, 1.0, DEFAULT_HORIZON),
+    });
+    let report = verify_joint(&joint, &w);
+    assert!(
+        rules(&report).contains(&"window-not-acquirable"),
+        "{report}"
+    );
+}
+
+#[test]
+fn mutation_inflated_bound_is_rejected() {
+    // Realized by deflating the stored cost below the admissible B&B
+    // lower bound — the bound itself is recomputed, not stored.
+    let w = workload(4, 0.5, 2);
+    let engine = Engine::new();
+    let tree = &w.query(0).tree;
+    let mut plan = engine
+        .plan_with("branch-and-bound", tree, w.catalog())
+        .expect("planning succeeds");
+    plan.expected_cost = plan.expected_cost.map(|c| c * 1e-3);
+    let report = verify_plan(&plan, &QueryRef::from(tree), w.catalog());
+    assert!(rules(&report).contains(&"bound-exceeds-cost"), "{report}");
+}
+
+/// A mutated plan smuggled into a joint plan is caught through
+/// `verify_joint` too (the per-query layer composes).
+#[test]
+fn mutation_inside_joint_plan_is_rejected() {
+    let w = workload(4, 0.5, 2);
+    let engine = Engine::new();
+    let mut joint = default_planners()
+        .into_iter()
+        .find(|p| p.name() == "independent")
+        .expect("independent is registered")
+        .plan(&w, &engine)
+        .expect("planning succeeds");
+    let mut mutated = (*joint.plans[1]).clone();
+    mutated.expected_cost = mutated.expected_cost.map(|c| c * (1.0 + 1e-5));
+    joint.plans[1] = Arc::new(mutated);
+    let report = verify_joint(&joint, &w);
+    assert!(rules(&report).contains(&"cost-mismatch"), "{report}");
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.location().starts_with("queries[1]")),
+        "violation should carry the query index: {report}"
+    );
+}

@@ -1,0 +1,175 @@
+//! `paotr check` — static verification without executing anything.
+//!
+//! ```text
+//! paotr check snapshot <path>
+//! paotr check query "<query or file>" [--costs A=1,B=2]
+//! paotr check workload [--queries N] [--overlap F] [--seed S]
+//!                      [--planner NAME | --all] [--budget J]
+//! ```
+//!
+//! Exit status is non-zero when any violation is found, so the command
+//! doubles as a CI gate.
+
+use paotr_check::{check_snapshot_file, lint_query, verify_energy, verify_joint, CheckReport};
+use paotr_core::plan::Engine;
+use paotr_exec::EnergyBudget;
+use paotr_gen::workload::{workload_instance, WorkloadConfig};
+use paotr_multi::{default_planners, planner_by_name, Workload, WorkloadPlanner};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(
+            "expected a subject: `check snapshot <path>`, `check query <q>`, \
+             or `check workload [...]`"
+                .into(),
+        );
+    };
+    match sub.as_str() {
+        "snapshot" => snapshot(rest),
+        "query" => query(rest),
+        "workload" => workload(rest),
+        other => Err(format!(
+            "unknown check subject `{other}` (expected snapshot, query, or workload)"
+        )),
+    }
+}
+
+/// Renders a report and turns a dirty one into a CLI error.
+fn finish(report: CheckReport) -> Result<(), String> {
+    print!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s) found", report.errors.len()))
+    }
+}
+
+fn snapshot(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: paotr check snapshot <path>".into());
+    };
+    finish(check_snapshot_file(path).map_err(|e| e.to_string())?)
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let common = crate::parse_common(args)?;
+    if let Some((flag, _)) = common.rest.first() {
+        return Err(format!("unknown flag `{flag}`"));
+    }
+    // A query argument naming a readable file is linted from the file;
+    // anything else is treated as inline source.
+    let source = match std::fs::read_to_string(&common.query) {
+        Ok(text) => text.trim_end().to_string(),
+        Err(_) => common.query.clone(),
+    };
+    // Surface parse errors through the parser's own caret diagnostic.
+    paotr_qlang::parse(&source).map_err(|e| format!("\n{}", e.render(&source)))?;
+    let report = lint_query(&source, &common.costs);
+    for e in &report.errors {
+        if let paotr_check::CheckError::Lint(l) = e {
+            println!("{}\n", l.render(&source));
+        }
+    }
+    finish(report)
+}
+
+fn workload(args: &[String]) -> Result<(), String> {
+    let mut queries = 16usize;
+    let mut overlap = 0.5f64;
+    let mut seed = 0usize;
+    let mut planner: Option<String> = None;
+    let mut all = false;
+    let mut budget: Option<f64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        let take = |name: &str| -> Result<String, String> {
+            value
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag {
+            "--queries" => {
+                queries = take("--queries")?
+                    .parse()
+                    .map_err(|_| "--queries expects an integer".to_string())?;
+                i += 2;
+            }
+            "--overlap" => {
+                overlap = take("--overlap")?
+                    .parse()
+                    .map_err(|_| "--overlap expects a number in [0, 1]".to_string())?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+                i += 2;
+            }
+            "--planner" => {
+                planner = Some(take("--planner")?);
+                i += 2;
+            }
+            "--all" => {
+                all = true;
+                i += 1;
+            }
+            "--budget" => {
+                budget = Some(
+                    take("--budget")?
+                        .parse()
+                        .map_err(|_| "--budget expects a number".to_string())?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if queries == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+
+    let config = WorkloadConfig::with_overlap(queries, overlap);
+    let (trees, catalog) = workload_instance(config, seed);
+    let workload = Workload::from_trees(trees, catalog).map_err(|e| e.to_string())?;
+    let engine = Engine::new();
+
+    let planners: Vec<Box<dyn WorkloadPlanner>> = if all {
+        default_planners()
+    } else {
+        let name = planner.as_deref().unwrap_or("shared-greedy");
+        vec![planner_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown workload planner `{name}` (expected one of: {})",
+                paotr_multi::planner_names().join(", ")
+            )
+        })?]
+    };
+
+    let mut combined = CheckReport::new(format!(
+        "workload (queries={queries}, overlap={overlap}, seed={seed})"
+    ));
+    for p in planners {
+        let joint = p.plan(&workload, &engine).map_err(|e| e.to_string())?;
+        let mut report = verify_joint(&joint, &workload);
+        if let Some(j) = budget {
+            report.merge(verify_energy(
+                &joint,
+                &workload,
+                &EnergyBudget::shedding(j),
+                1.0,
+            ));
+        }
+        println!(
+            "{:<14} {} checks, {} violations",
+            p.name(),
+            report.checks_run,
+            report.errors.len()
+        );
+        combined.merge(report);
+    }
+    finish(combined)
+}

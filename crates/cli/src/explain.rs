@@ -61,7 +61,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("\nStream metrics (stream-ordered heuristic, increasing R):");
     println!("{:<10} {:>10}", "stream", "R(S)");
     let mut metrics = stream_ordered::stream_metrics(&dnf, cat);
-    metrics.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    metrics.sort_by(|a, b| a.1.total_cmp(&b.1));
     for (k, r) in metrics {
         println!("{:<10} {:>10.4}", cat.name(k), r);
     }

@@ -8,11 +8,14 @@
 //! paotr workload [--queries N] [--overlap F] [--seed S] [--planner NAME | --compare]
 //! paotr serve    [--queries N] [--arrivals poisson|periodic] [--budget J] [--compare]
 //! paotr serve    --daemon [--budget J] [--listen ADDR] [--snapshot PATH]
+//! paotr check    snapshot <path> | query "<q>" | workload [--planner NAME | --all]
 //! ```
 //!
 //! Probabilities come from `@` annotations (default 0.5). Stream costs
 //! default to 1.0.
 
+#![forbid(unsafe_code)]
+mod check_cmd;
 mod daemon_cmd;
 mod explain;
 mod schedule_cmd;
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         "simulate" => simulate_cmd::run(rest),
         "workload" => workload_cmd::run(rest),
         "serve" => serve_cmd::run(rest),
+        "check" => check_cmd::run(rest),
         "--help" | "-h" | "help" => {
             print_help();
             Ok(())
@@ -68,7 +72,11 @@ fn print_help() {
          \x20                [--planner NAME | --compare] [--check-budget J]\n\
          \x20 paotr serve    --daemon [--seed S] [--planner NAME] [--budget J] [--shed]\n\
          \x20                [--replan-after N] [--max-sessions N] [--max-window N]\n\
-         \x20                [--listen ADDR] [--snapshot PATH]\n\n\
+         \x20                [--listen ADDR] [--snapshot PATH]\n\
+         \x20 paotr check    snapshot <path>\n\
+         \x20 paotr check    query \"<query or file>\" [--costs A=1,B=2]\n\
+         \x20 paotr check    workload [--queries N] [--overlap F] [--seed S]\n\
+         \x20                [--planner NAME | --all] [--budget J]\n\n\
          query syntax: AVG|MAX|MIN|SUM|LAST(stream, window) CMP threshold [@ prob],\n\
          \x20 bare `stream CMP x` = LAST(stream,1); AND/&& binds tighter than OR/||.\n\n\
          planner names (for --heuristic; default and-inc-cp-dyn):"

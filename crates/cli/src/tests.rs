@@ -89,3 +89,41 @@ fn compile_reports_parse_errors_with_rendering() {
     let err = crate::compile(&c).unwrap_err();
     assert!(err.contains('^'), "rendered caret expected: {err}");
 }
+
+#[test]
+fn check_rejects_unknown_subjects_and_flags() {
+    assert!(crate::check_cmd::run(&args(&[])).is_err());
+    assert!(crate::check_cmd::run(&args(&["plans"])).is_err());
+    assert!(crate::check_cmd::run(&args(&["workload", "--bogus"])).is_err());
+}
+
+#[test]
+fn check_workload_passes_for_every_planner() {
+    let a = args(&["workload", "--queries", "4", "--all"]);
+    crate::check_cmd::run(&a).unwrap();
+}
+
+#[test]
+fn check_query_flags_lints_with_nonzero_result() {
+    // clean query: ok
+    crate::check_cmd::run(&args(&["query", "A < 1 AND B > 2"])).unwrap();
+    // absorbed term: reported as an error result
+    assert!(crate::check_cmd::run(&args(&["query", "A < 1 OR (A < 1 AND B > 2)"])).is_err());
+    // syntax errors surface the parser's caret diagnostic
+    let err = crate::check_cmd::run(&args(&["query", "AND AND"])).unwrap_err();
+    assert!(err.contains("^"), "{err}");
+}
+
+#[test]
+fn check_snapshot_accepts_committed_fixtures() {
+    for fixture in [
+        "tests/fixtures/snapshot_v1.snap",
+        "tests/fixtures/snapshot_v2.snap",
+    ] {
+        // cargo test runs with cwd = crates/cli
+        let path = format!("../serverd/{fixture}");
+        crate::check_cmd::run(&args(&["snapshot", &path])).unwrap();
+    }
+    let bad = "../check/tests/fixtures/snapshot_refcount_imbalance.snap";
+    assert!(crate::check_cmd::run(&args(&["snapshot", bad])).is_err());
+}

@@ -58,6 +58,7 @@
 //! (`algo::greedy::schedule_with_cost` and friends) are deprecated
 //! shims, gated behind the off-by-default `legacy-api` cargo feature;
 //! new code should go through [`plan`].
+#![forbid(unsafe_code)]
 
 pub mod algo;
 pub mod cost;

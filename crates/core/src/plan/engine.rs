@@ -403,6 +403,24 @@ impl Engine {
         let planner = self.registry.get_required(planner_name)?;
         let planning_started = std::time::Instant::now();
         let plan = planner.plan(query, catalog)?;
+        // Every `Engine::plan*` entry point funnels through here, so in
+        // debug builds each freshly planned (cache-miss) plan passes
+        // the static verifier before it is served or cached — the whole
+        // test suite doubles as verifier soak. Cache hits were verified
+        // when inserted; release builds skip the check entirely.
+        #[cfg(debug_assertions)]
+        {
+            let violations = super::verify::verify_plan(&plan, query, catalog);
+            assert!(
+                violations.is_empty(),
+                "planner `{planner_name}` produced a plan that fails static verification:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  - {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.miss_nanos.fetch_add(
             planning_started.elapsed().as_nanos() as u64,

@@ -46,10 +46,12 @@ pub mod engine;
 pub mod fingerprint;
 pub mod planners;
 pub mod registry;
+pub mod verify;
 
 pub use engine::{CacheStats, Engine, EngineConfig, WorkloadPlans};
 pub use fingerprint::catalog_fingerprint;
 pub use registry::PlannerRegistry;
+pub use verify::{verify_plan, PlanViolation};
 
 use crate::algo::nonlinear::Strategy;
 use crate::error::{Error, Result};

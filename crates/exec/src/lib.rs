@@ -49,6 +49,7 @@
 //! assert!(budgeted.max_tick_energy <= 25.0 + 1e-9);
 //! assert!(budgeted.served <= unconstrained.served);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod admission;
 pub mod arrivals;

@@ -84,7 +84,7 @@ pub fn run(opts: &Options) -> Vec<Row> {
 pub fn report(rows: &[Row], opts: &Options) -> RatioSummary {
     // Sort by increasing optimal cost, as in the paper's plot.
     let mut sorted: Vec<&Row> = rows.iter().collect();
-    sorted.sort_by(|a, b| a.optimal.partial_cmp(&b.optimal).expect("finite costs"));
+    sorted.sort_by(|a, b| a.optimal.total_cmp(&b.optimal));
 
     // CSV with every instance.
     let mut table = Table::new([

@@ -12,6 +12,7 @@
 //! run under a few minutes while preserving every qualitative conclusion.
 //! Artifacts (CSV, SVG, Markdown) land in `--out` (default `results/`).
 
+#![forbid(unsafe_code)]
 mod ablation;
 mod arrange;
 mod common;

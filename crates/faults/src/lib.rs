@@ -21,6 +21,7 @@
 //!
 //! The scheduler's three-valued evaluation and retry pricing live in
 //! `stream_sim::runtime`; this crate only decides *when* things fail.
+#![forbid(unsafe_code)]
 
 use paotr_gen::seeds::{instance_seed, mix, Experiment};
 use stream_sim::{ReadAttempt, StreamSource};

@@ -13,6 +13,7 @@
 //! Parameters follow Section III-B: `p ~ U[0,1]`, `d ~ U{1..5}`,
 //! `c ~ U[1,10]`; the sharing ratio `rho` is realised by drawing each
 //! leaf's stream uniformly from `round(leaves / rho)` streams.
+#![forbid(unsafe_code)]
 
 pub mod and_grid;
 pub mod churn;

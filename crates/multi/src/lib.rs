@@ -51,6 +51,7 @@
 //! assert!(joint.speedup(&weights) > 1.2);
 //! assert!(joint.aggregate_predicted(&weights) <= joint.aggregate_independent(&weights));
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod outcome;

@@ -23,6 +23,7 @@
 //! assert_eq!(compiled.tree.num_leaves(), 3);
 //! assert_eq!(compiled.catalog.len(), 3);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod compile;
@@ -34,4 +35,4 @@ pub mod token;
 pub use ast::{Agg, CmpOp, Expr, PredicateAst};
 pub use compile::{compile, compile_str, to_sim_query, Compiled};
 pub use error::ParseError;
-pub use parser::parse;
+pub use parser::{parse, parse_spanned};

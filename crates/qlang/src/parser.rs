@@ -20,16 +20,32 @@ use crate::token::{Token, TokenKind};
 
 /// Parses a complete query expression.
 pub fn parse(source: &str) -> Result<Expr> {
+    parse_spanned(source).map(|(expr, _)| expr)
+}
+
+/// Like [`parse`], but also returns the byte offset of every predicate
+/// in depth-first (source) order — index `i` of the returned vector is
+/// the offset of the `i`-th [`PredicateAst`](crate::ast::PredicateAst)
+/// an in-order walk of the expression visits. Lint tooling uses these
+/// to point caret diagnostics at the exact predicate, the same way
+/// [`ParseError::render`] does for syntax errors.
+pub fn parse_spanned(source: &str) -> Result<(Expr, Vec<usize>)> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        offsets: Vec::new(),
+    };
     let expr = p.expr()?;
     p.expect_eof()?;
-    Ok(expr)
+    Ok((expr, p.offsets))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Byte offset of each predicate's first token, in parse order.
+    offsets: Vec<usize>,
 }
 
 impl Parser {
@@ -105,6 +121,7 @@ impl Parser {
             }
             TokenKind::Ident(name) => {
                 let ident = self.bump();
+                self.offsets.push(ident.offset);
                 if self.peek().kind == TokenKind::LParen {
                     self.aggregate_predicate(&name, ident.offset)
                 } else {

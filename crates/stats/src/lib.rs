@@ -7,6 +7,7 @@
 //! * [`table`] — dependency-free CSV / Markdown table writers;
 //! * [`svg`] — dependency-free SVG line/scatter charts;
 //! * [`ascii`] — terminal charts for the examples.
+#![forbid(unsafe_code)]
 
 pub mod ascii;
 pub mod profile;

@@ -30,7 +30,7 @@ impl Profile {
             "ratios must be finite"
         );
         let mut sorted = ratios.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Profile {
             name: name.into(),
             sorted_ratios: sorted,

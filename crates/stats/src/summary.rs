@@ -48,7 +48,7 @@ impl RatioSummary {
         );
         let n = ratios.len() as f64;
         let mut sorted = ratios.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let max = *sorted.last().expect("non-empty");
         let mean = ratios.iter().sum::<f64>() / n;
         let geometric_mean = (ratios.iter().map(|r| r.max(1e-300).ln()).sum::<f64>() / n).exp();

@@ -25,6 +25,7 @@
 //! * [`trace`] — execution traces and probability calibration ("inferred
 //!   from historical traces", as the paper assumes);
 //! * [`simulate`] — the calibrate–schedule–measure pipeline.
+#![forbid(unsafe_code)]
 
 pub mod device;
 pub mod energy;

@@ -6,6 +6,7 @@
 //! statistics, plots, or baselines — just enough to compile the bench
 //! suite offline and get order-of-magnitude numbers.
 
+#![forbid(unsafe_code)]
 //! Two knobs support CI smoke runs:
 //!
 //! * passing `--smoke` to the bench binary (i.e. `cargo bench -- --smoke`)

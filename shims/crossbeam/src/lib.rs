@@ -5,6 +5,7 @@
 //! senders, a single consumer draining until every sender is dropped), so
 //! the shim is a thin re-export.
 
+#![forbid(unsafe_code)]
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, SendError, Sender};
 

@@ -14,6 +14,7 @@
 //! without a global rejection cap, and the RNG seed is derived from the
 //! test name so runs are reproducible.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

@@ -9,6 +9,7 @@
 //! Determinism is the only contract callers rely on (seeded runs are
 //! reproducible); the exact stream of values differs from upstream `rand`.
 
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.
